@@ -1,0 +1,87 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// Convenience constructors so applications can build actions and operand
+// values without importing internal packages.
+
+// GroupCount builds a group-by action counting rows per group.
+func GroupCount(column string) *Action { return engine.NewGroupCount(column) }
+
+// Aggregate functions for GroupAgg.
+const (
+	Sum = engine.AggSum
+	Avg = engine.AggAvg
+	Min = engine.AggMin
+	Max = engine.AggMax
+)
+
+// GroupAgg builds a group-by action aggregating a column per group.
+func GroupAgg(groupBy string, agg engine.AggFunc, column string) *Action {
+	return engine.NewGroupAgg(groupBy, agg, column)
+}
+
+// Filter builds a conjunctive filter action.
+func Filter(preds ...Predicate) *Action { return engine.NewFilter(preds...) }
+
+// TopK builds a top-k action keeping the k rows with the largest values of
+// column (smallest when ascending).
+func TopK(column string, k int, ascending bool) *Action {
+	return engine.NewTopK(column, k, ascending)
+}
+
+// Predicate constructors.
+
+// Eq matches rows whose column equals the value.
+func Eq(column string, v Value) Predicate {
+	return Predicate{Column: column, Op: engine.OpEq, Operand: v}
+}
+
+// Neq matches rows whose column differs from the value.
+func Neq(column string, v Value) Predicate {
+	return Predicate{Column: column, Op: engine.OpNeq, Operand: v}
+}
+
+// Lt / Le / Gt / Ge are the ordered comparisons.
+func Lt(column string, v Value) Predicate {
+	return Predicate{Column: column, Op: engine.OpLt, Operand: v}
+}
+
+// Le matches rows whose column is at most the value.
+func Le(column string, v Value) Predicate {
+	return Predicate{Column: column, Op: engine.OpLe, Operand: v}
+}
+
+// Gt matches rows whose column exceeds the value.
+func Gt(column string, v Value) Predicate {
+	return Predicate{Column: column, Op: engine.OpGt, Operand: v}
+}
+
+// Ge matches rows whose column is at least the value.
+func Ge(column string, v Value) Predicate {
+	return Predicate{Column: column, Op: engine.OpGe, Operand: v}
+}
+
+// Contains matches rows whose column's string form contains the value's.
+func Contains(column string, v Value) Predicate {
+	return Predicate{Column: column, Op: engine.OpContains, Operand: v}
+}
+
+// Value constructors.
+
+// Str builds a string value.
+func Str(s string) Value { return dataset.S(s) }
+
+// Int builds an integer value.
+func Int(i int64) Value { return dataset.I(i) }
+
+// Float builds a float value.
+func Float(f float64) Value { return dataset.F(f) }
+
+// Time builds a timestamp value.
+func Time(t time.Time) Value { return dataset.T(t) }

@@ -1,0 +1,140 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func TestActionBuilders(t *testing.T) {
+	g := GroupCount("protocol")
+	if g.Type != engine.ActionGroup || g.Agg != engine.AggCount {
+		t.Errorf("GroupCount = %v", g)
+	}
+	ga := GroupAgg("proto", Sum, "length")
+	if ga.Agg != engine.AggSum || ga.AggColumn != "length" {
+		t.Errorf("GroupAgg = %v", ga)
+	}
+	for _, agg := range []engine.AggFunc{Sum, Avg, Min, Max} {
+		a := GroupAgg("g", agg, "v")
+		if a.Agg != agg {
+			t.Errorf("agg constant mismatch: %v", agg)
+		}
+	}
+	f := Filter(Eq("a", Str("x")), Gt("b", Int(5)))
+	if f.Type != engine.ActionFilter || len(f.Predicates) != 2 {
+		t.Errorf("Filter = %v", f)
+	}
+}
+
+func TestPredicateBuilders(t *testing.T) {
+	cases := []struct {
+		p   Predicate
+		op  engine.CompareOp
+		col string
+	}{
+		{Eq("c", Int(1)), engine.OpEq, "c"},
+		{Neq("c", Int(1)), engine.OpNeq, "c"},
+		{Lt("c", Int(1)), engine.OpLt, "c"},
+		{Le("c", Int(1)), engine.OpLe, "c"},
+		{Gt("c", Int(1)), engine.OpGt, "c"},
+		{Ge("c", Int(1)), engine.OpGe, "c"},
+		{Contains("c", Str("x")), engine.OpContains, "c"},
+	}
+	for _, c := range cases {
+		if c.p.Op != c.op || c.p.Column != c.col {
+			t.Errorf("predicate %v: op=%v col=%q", c.p, c.p.Op, c.p.Column)
+		}
+	}
+}
+
+func TestValueBuilders(t *testing.T) {
+	if Str("x").String() != "x" {
+		t.Error("Str")
+	}
+	if Int(-3).String() != "-3" {
+		t.Error("Int")
+	}
+	if Float(2.5).Float() != 2.5 {
+		t.Error("Float")
+	}
+	ts := time.Date(2020, 1, 2, 3, 4, 5, 0, time.UTC)
+	if !Time(ts).Time().Equal(ts) {
+		t.Error("Time")
+	}
+}
+
+func TestBuildersDriveARealSession(t *testing.T) {
+	tables := GenerateDatasets(NetlogConfig{Rows: 500})
+	s := NewSession("builders", tables[1])
+	if _, err := s.Apply(Filter(Eq("protocol", Str("HTTP")), Ge("hour", Int(8)))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(GroupAgg("dst_ip", Avg, "length")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Steps() != 2 || !s.Current().Display.Aggregated {
+		t.Error("builder-driven session wrong")
+	}
+	scores, err := ScoreAll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 8 {
+		t.Errorf("ScoreAll size = %d", len(scores))
+	}
+}
+
+func TestNormalizedScoresFacade(t *testing.T) {
+	fw := testFramework(t)
+	tbl := fw.Repo.RootDisplay(fw.Repo.DatasetNames()[0]).Table
+	s := NewSession("ns", tbl)
+	if _, err := s.Apply(GroupCount("protocol")); err != nil {
+		t.Fatal(err)
+	}
+	z, err := fw.NormalizedScores(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) != 8 {
+		t.Fatalf("normalized scores = %d", len(z))
+	}
+	// All finite.
+	for name, v := range z {
+		if v != v || v > 1e6 || v < -1e6 {
+			t.Errorf("z[%s] = %v", name, v)
+		}
+	}
+	// Requires analysis.
+	bare := &Framework{}
+	if _, err := bare.NormalizedScores(s); err == nil {
+		t.Error("must require analysis")
+	}
+	// Requires an action.
+	fresh := NewSession("empty", tbl)
+	if _, err := fw.NormalizedScores(fresh); err == nil {
+		t.Error("must require at least one action")
+	}
+}
+
+func TestPredictOnRawContext(t *testing.T) {
+	fw := testFramework(t)
+	pred, err := fw.TrainPredictor(DefaultMeasureSet(), Normalized, PredictorConfig{N: 2, K: 3, ThetaDelta: 0.5, ThetaI: -10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fw.Repo.SuccessfulSessions()[0]
+	ctx, err := ExtractContext(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label, ok := pred.Predict(ctx)
+	if ok && label == "" {
+		t.Error("covered prediction with empty label")
+	}
+	detail := pred.PredictWithVotes(ctx)
+	if detail.Covered != ok {
+		t.Error("PredictWithVotes coverage mismatch")
+	}
+}

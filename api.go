@@ -1,0 +1,231 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Milo, Ozeri, Somech: "Predicting 'What is Interesting' by Mining
+//	Interactive-Data-Analysis Session Logs", EDBT 2019.
+//
+// It implements the paper's full stack: a generic IDA model (datasets,
+// filter/group-and-aggregate actions, displays, session trees), the eight
+// interestingness measures of Table 1, the two offline interestingness
+// comparison methods (Reference-Based, Algorithm 1; Normalized with
+// Box-Cox + z-score, Algorithm 2), n-context extraction, the tree-edit
+// session distance, and the I-kNN predictive model with its RANDOM /
+// Best-SM / I-SVM baselines — plus a calibrated simulator standing in for
+// the REACT-IDA session log.
+//
+// This root package is the public facade; the subsystems live in
+// internal/ packages and are re-exported here through type aliases, so
+// the whole pipeline is drivable from a single import:
+//
+//	fw, _ := repro.GenerateBenchmark(repro.SimulatorConfig{})
+//	_ = fw.RunOfflineAnalysis(repro.AnalysisOptions{})
+//	pred, _ := fw.TrainPredictor(repro.DefaultMeasureSet(), repro.Normalized, repro.DefaultPredictorConfig(repro.Normalized))
+//	label, ok := pred.PredictState(state)
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/engine"
+	"repro/internal/eval"
+	"repro/internal/knn"
+	"repro/internal/measures"
+	"repro/internal/netlog"
+	"repro/internal/offline"
+	"repro/internal/session"
+	"repro/internal/simulate"
+)
+
+// Re-exported types: the data substrate.
+type (
+	// Table is an immutable, typed, columnar relational table.
+	Table = dataset.Table
+	// Schema describes a table's columns.
+	Schema = dataset.Schema
+	// Value is a dynamically typed cell value.
+	Value = dataset.Value
+
+	// Action is one analysis step (filter or group-and-aggregate).
+	Action = engine.Action
+	// Predicate is a single-column filter comparison.
+	Predicate = engine.Predicate
+	// Display is the results screen an action produces.
+	Display = engine.Display
+
+	// Session is an IDA session modeled as an ordered labeled tree.
+	Session = session.Session
+	// State is a session state S_t.
+	State = session.State
+	// NContext is the n-context c_t of a session state.
+	NContext = session.Context
+	// Repository is a session log repository.
+	Repository = session.Repository
+
+	// Measure scores one interestingness facet.
+	Measure = measures.Measure
+	// MeasureSet is an ordered measure configuration (the paper's I).
+	MeasureSet = measures.Set
+	// MeasureClass is an interestingness facet.
+	MeasureClass = measures.Class
+
+	// Method selects an offline comparison method.
+	Method = offline.Method
+	// Analysis holds offline per-action relative scores.
+	Analysis = offline.Analysis
+	// AnalysisOptions configures RunOfflineAnalysis.
+	AnalysisOptions = offline.Options
+	// Sample is a labeled training example.
+	Sample = offline.Sample
+
+	// SimulatorConfig configures benchmark generation.
+	SimulatorConfig = simulate.Config
+	// NetlogConfig configures the synthetic dataset generator.
+	NetlogConfig = netlog.Config
+
+	// Metrics are the five evaluation metrics of Section 4.2.
+	Metrics = eval.Metrics
+)
+
+// Comparison methods.
+const (
+	// ReferenceBased is Algorithm 1.
+	ReferenceBased = offline.ReferenceBased
+	// Normalized is Algorithm 2.
+	Normalized = offline.Normalized
+)
+
+// DefaultMeasureSet returns the canonical one-per-class configuration
+// {Variance, Schutz, OSF, Compaction Gain}.
+func DefaultMeasureSet() MeasureSet { return measures.DefaultSet() }
+
+// AllMeasureConfigurations returns the paper's 16 one-per-class
+// configurations of I.
+func AllMeasureConfigurations() []MeasureSet { return measures.AllConfigurations() }
+
+// BuiltinMeasures returns the eight Table-1 measures.
+func BuiltinMeasures() []Measure { return measures.BuiltinMeasures() }
+
+// Framework bundles a session repository with its offline analysis and is
+// the entry point for training predictors and reproducing the paper's
+// experiments.
+type Framework struct {
+	// Repo is the session repository R.
+	Repo *Repository
+	// Analysis is populated by RunOfflineAnalysis.
+	Analysis *Analysis
+}
+
+// GenerateBenchmark creates the four synthetic network-log datasets and
+// simulates an analyst session log over them (the stand-in for REACT-IDA).
+func GenerateBenchmark(cfg SimulatorConfig) (*Framework, error) {
+	repo, err := simulate.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{Repo: repo}, nil
+}
+
+// NewFramework wraps an existing repository.
+func NewFramework(repo *Repository) *Framework { return &Framework{Repo: repo} }
+
+// NewRepository returns an empty session repository; register datasets
+// with Repository.AddDataset and load logs with Repository.LoadLogFile.
+func NewRepository() *Repository { return session.NewRepository() }
+
+// RunOfflineAnalysis computes raw and relative interestingness scores for
+// every recorded action under both comparison methods (Section 3.1).
+func (f *Framework) RunOfflineAnalysis(opts AnalysisOptions) error {
+	a, err := offline.Analyze(f.Repo, opts)
+	if err != nil {
+		return err
+	}
+	f.Analysis = a
+	return nil
+}
+
+// PredictorConfig carries the model hyper-parameters of Table 4.
+type PredictorConfig struct {
+	// N is the n-context size.
+	N int
+	// K is the kNN size.
+	K int
+	// ThetaDelta is the distance threshold θ_δ.
+	ThetaDelta float64
+	// ThetaI is the interestingness threshold θ_I (method-scaled).
+	ThetaI float64
+}
+
+// DefaultPredictorConfig returns the paper's default configuration for a
+// comparison method (Table 4).
+func DefaultPredictorConfig(m Method) PredictorConfig {
+	if m == ReferenceBased {
+		return PredictorConfig{N: 3, K: 3, ThetaDelta: 0.2, ThetaI: 0.92}
+	}
+	return PredictorConfig{N: 2, K: 3, ThetaDelta: 0.1, ThetaI: 0.7}
+}
+
+// Predictor is the trained I-kNN model: it selects the most suitable
+// interestingness measure for a session state from the state's n-context.
+type Predictor struct {
+	clf    *knn.Classifier
+	I      MeasureSet
+	method Method
+	cfg    PredictorConfig
+}
+
+// TrainPredictor builds the labeled training set for (I, method) and
+// constructs the kNN model. RunOfflineAnalysis must have been called.
+func (f *Framework) TrainPredictor(I MeasureSet, method Method, cfg PredictorConfig) (*Predictor, error) {
+	if f.Analysis == nil {
+		return nil, fmt.Errorf("repro: TrainPredictor requires RunOfflineAnalysis first")
+	}
+	if cfg.N < 1 {
+		cfg = DefaultPredictorConfig(method)
+	}
+	samples := offline.BuildTrainingSet(f.Analysis, I, offline.TrainingOptions{
+		N:              cfg.N,
+		Method:         method,
+		ThetaI:         cfg.ThetaI,
+		SuccessfulOnly: true,
+	})
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("repro: training set is empty (θ_I too strict?)")
+	}
+	clf := knn.New(samples, distance.NewMemoizedTreeEdit(nil), knn.Config{
+		K:          cfg.K,
+		ThetaDelta: cfg.ThetaDelta,
+	})
+	return &Predictor{clf: clf, I: I, method: method, cfg: cfg}, nil
+}
+
+// TrainingSize returns the number of labeled samples behind the model.
+func (p *Predictor) TrainingSize() int { return len(p.clf.Samples()) }
+
+// Config returns the model's hyper-parameters.
+func (p *Predictor) Config() PredictorConfig { return p.cfg }
+
+// MeasureSet returns the measure configuration the model predicts over.
+func (p *Predictor) MeasureSet() MeasureSet { return p.I }
+
+// Predict selects the most suitable measure for an n-context. ok is false
+// when the model abstains (no sufficiently similar training contexts).
+func (p *Predictor) Predict(ctx *NContext) (measureName string, ok bool) {
+	pred := p.clf.Predict(ctx)
+	return pred.Label, pred.Covered
+}
+
+// PredictState extracts the state's n-context (with the model's configured
+// n) and predicts.
+func (p *Predictor) PredictState(st State) (measureName string, ok bool) {
+	return p.Predict(session.Extract(st, p.cfg.N))
+}
+
+// Measure resolves a predicted measure name to its implementation within
+// the model's configuration.
+func (p *Predictor) Measure(name string) (Measure, error) {
+	if i := p.I.Index(name); i >= 0 {
+		return p.I[i], nil
+	}
+	return nil, fmt.Errorf("repro: measure %q is not in the model's configuration %v", name, p.I.Names())
+}

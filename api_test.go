@@ -1,0 +1,201 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/netlog"
+)
+
+var (
+	fwOnce sync.Once
+	fwErr  error
+	fwVal  *Framework
+)
+
+// testFramework builds a compact benchmark and runs the offline analysis
+// once, shared read-only across the package's tests.
+func testFramework(t *testing.T) *Framework {
+	t.Helper()
+	fwOnce.Do(func() {
+		fw, err := GenerateBenchmark(SimulatorConfig{
+			Analysts:      6,
+			Sessions:      36,
+			SuccessRate:   0.5,
+			MeanActions:   4.5,
+			Seed:          21,
+			DatasetConfig: NetlogConfig{Rows: 1000},
+		})
+		if err != nil {
+			fwErr = err
+			return
+		}
+		fwErr = fw.RunOfflineAnalysis(AnalysisOptions{RefLimit: 20, MinRefs: 2})
+		fwVal = fw
+	})
+	if fwErr != nil {
+		t.Fatal(fwErr)
+	}
+	return fwVal
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	fw := testFramework(t)
+	st := fw.Repo.ComputeStats()
+	if st.Sessions != 36 || st.Datasets != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if fw.Analysis == nil || len(fw.Analysis.Nodes) != st.Actions {
+		t.Fatal("analysis incomplete")
+	}
+
+	pred, err := fw.TrainPredictor(DefaultMeasureSet(), Normalized, PredictorConfig{
+		N: 2, K: 3, ThetaDelta: 0.25, ThetaI: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.TrainingSize() == 0 {
+		t.Fatal("empty training set")
+	}
+
+	// Predict over the successful sessions' states: the model must make
+	// predictions within the configured measure set.
+	names := map[string]bool{}
+	for _, n := range DefaultMeasureSet().Names() {
+		names[n] = true
+	}
+	covered, total := 0, 0
+	for _, s := range fw.Repo.SuccessfulSessions() {
+		for tt := 0; tt < s.Steps(); tt++ {
+			state, err := s.StateAt(tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if label, ok := pred.PredictState(state); ok {
+				covered++
+				if !names[label] {
+					t.Fatalf("predicted unknown measure %q", label)
+				}
+			}
+		}
+	}
+	if total == 0 || covered == 0 {
+		t.Fatalf("predictions: %d/%d", covered, total)
+	}
+}
+
+func TestTrainPredictorRequiresAnalysis(t *testing.T) {
+	fw := &Framework{}
+	if _, err := fw.TrainPredictor(DefaultMeasureSet(), Normalized, PredictorConfig{N: 2}); err == nil {
+		t.Error("training without analysis must fail")
+	}
+}
+
+func TestTrainPredictorEmptyTrainingSet(t *testing.T) {
+	fw := testFramework(t)
+	_, err := fw.TrainPredictor(DefaultMeasureSet(), Normalized, PredictorConfig{
+		N: 2, K: 3, ThetaDelta: 0.25, ThetaI: 1e9,
+	})
+	if err == nil {
+		t.Error("absurd θ_I must produce an empty-training-set error")
+	}
+}
+
+func TestDefaultPredictorConfigs(t *testing.T) {
+	rb := DefaultPredictorConfig(ReferenceBased)
+	nm := DefaultPredictorConfig(Normalized)
+	if rb.N != 3 || rb.ThetaI != 0.92 {
+		t.Errorf("RB defaults = %+v (Table 4)", rb)
+	}
+	if nm.N != 2 || nm.ThetaI != 0.7 {
+		t.Errorf("Normalized defaults = %+v (Table 4)", nm)
+	}
+}
+
+func TestPredictorMeasureLookup(t *testing.T) {
+	fw := testFramework(t)
+	pred, err := fw.TrainPredictor(DefaultMeasureSet(), Normalized, PredictorConfig{N: 2, K: 3, ThetaDelta: 0.3, ThetaI: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred.Measure("variance"); err != nil {
+		t.Errorf("variance lookup: %v", err)
+	}
+	if _, err := pred.Measure("deviation"); err == nil {
+		t.Error("deviation is not in the default set")
+	}
+	if got := pred.MeasureSet().Names(); len(got) != 4 {
+		t.Errorf("measure set = %v", got)
+	}
+	if pred.Config().K != 3 {
+		t.Error("config accessor wrong")
+	}
+}
+
+func TestRecommendNext(t *testing.T) {
+	fw := testFramework(t)
+	pred, err := fw.TrainPredictor(DefaultMeasureSet(), Normalized, PredictorConfig{N: 2, K: 5, ThetaDelta: 0.5, ThetaI: -10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive a fresh session two steps in, then ask for recommendations.
+	tables := GenerateDatasets(NetlogConfig{Rows: 800})
+	s := NewSession("live", tables[0])
+	cands, ok, err := pred.RecommendNext(s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Skip("predictor abstained on the fresh session (acceptable)")
+	}
+	if len(cands) == 0 || len(cands) > 5 {
+		t.Fatalf("recommendations = %d", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Score > cands[i-1].Score {
+			t.Error("recommendations must be sorted by descending score")
+		}
+	}
+	if cands[0].MeasureName == "" || cands[0].Display == nil {
+		t.Error("recommendation incomplete")
+	}
+}
+
+func TestScoreAllAndExtractContext(t *testing.T) {
+	tables := GenerateDatasets(NetlogConfig{Rows: 600})
+	s := NewSession("x", tables[1])
+	if _, err := ScoreAll(s); err == nil {
+		t.Error("ScoreAll on an action-less session must fail")
+	}
+	// Apply one action via the engine-level API exposure.
+	if _, err := ExtractContext(s, 3); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.StateAt(0)
+	if err != nil || st.T != 0 {
+		t.Fatal("StateAt(0) failed")
+	}
+}
+
+func TestGenerateDatasets(t *testing.T) {
+	tables := GenerateDatasets(NetlogConfig{Rows: 300})
+	if len(tables) != len(netlog.Scenarios) {
+		t.Fatalf("datasets = %d", len(tables))
+	}
+	for _, tbl := range tables {
+		if tbl.NumRows() != 300 {
+			t.Errorf("%s rows = %d", tbl.Name(), tbl.NumRows())
+		}
+	}
+}
+
+func TestAllMeasureConfigurationsCount(t *testing.T) {
+	if got := len(AllMeasureConfigurations()); got != 16 {
+		t.Errorf("configurations = %d, want 16", got)
+	}
+	if got := len(BuiltinMeasures()); got != 8 {
+		t.Errorf("builtins = %d, want 8", got)
+	}
+}

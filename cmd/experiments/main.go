@@ -1,0 +1,88 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated REACT-IDA benchmark.
+//
+// Usage:
+//
+//	experiments [-run all|table2|fig2|fig3|correlations|churn|agreement|table3|table4|table5|fig4|fig5]
+//	            [-quick] [-sessions N] [-analysts N] [-rows N] [-reflimit N]
+//	            [-seed S] [-out FILE]
+//
+// The default (full) configuration matches REACT-IDA's scale: 56 analysts,
+// 454 sessions over four 3000-row network logs; -quick shrinks everything
+// for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/netlog"
+	"repro/internal/simulate"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "experiment to run: all or one of "+strings.Join(experiments.Names, ", "))
+		quick    = flag.Bool("quick", false, "small benchmark + coarse sweeps (fast smoke run)")
+		sessions = flag.Int("sessions", 454, "number of simulated sessions")
+		analysts = flag.Int("analysts", 56, "number of simulated analysts")
+		rows     = flag.Int("rows", 3000, "rows per network-log dataset")
+		refLimit = flag.Int("reflimit", 120, "reference-set size cap for Algorithm 1 (0 = full pools)")
+		seed     = flag.Uint64("seed", 20190326, "global random seed")
+		outPath  = flag.String("out", "", "also write the report to this file")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	cfg := simulate.Config{
+		Analysts:      *analysts,
+		Sessions:      *sessions,
+		Seed:          *seed,
+		DatasetConfig: netlog.Config{Rows: *rows},
+	}
+	if *quick {
+		cfg.Analysts = 10
+		cfg.Sessions = 80
+		cfg.DatasetConfig.Rows = 1200
+		if !flagSet("reflimit") {
+			*refLimit = 30
+		}
+	}
+
+	t0 := time.Now()
+	r, err := experiments.Setup(out, cfg, *refLimit, *quick)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	if err := r.Run(*run); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(out, "\ndone in %v\n", time.Since(t0).Round(time.Millisecond))
+}
+
+func flagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

@@ -1,0 +1,114 @@
+package repro_test
+
+import (
+	"fmt"
+	"sort"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+// tinyTable builds a deterministic 12-packet table for the examples.
+func tinyTable() *repro.Table {
+	b := dataset.NewBuilder("packets", dataset.Schema{
+		{Name: "protocol", Kind: dataset.KindString},
+		{Name: "hour", Kind: dataset.KindInt},
+	})
+	rows := []struct {
+		p string
+		h int64
+	}{
+		{"HTTP", 9}, {"HTTP", 10}, {"HTTP", 11}, {"HTTP", 21}, {"HTTP", 22},
+		{"HTTPS", 9}, {"HTTPS", 14}, {"DNS", 10}, {"DNS", 11}, {"DNS", 12},
+		{"SSH", 3}, {"SSH", 23},
+	}
+	for _, r := range rows {
+		b.Append(dataset.S(r.p), dataset.I(r.h))
+	}
+	return b.MustBuild()
+}
+
+// ExampleNewSession shows the core loop: apply actions, inspect displays.
+func ExampleNewSession() {
+	s := repro.NewSession("demo", tinyTable())
+	if _, err := s.Apply(repro.GroupCount("protocol")); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	d := s.Current().Display
+	fmt.Printf("groups=%d aggregated=%v\n", d.NumRows(), d.Aggregated)
+
+	if err := s.BackTo(s.Root()); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if _, err := s.Apply(repro.Filter(
+		repro.Eq("protocol", repro.Str("HTTP")),
+		repro.Gt("hour", repro.Int(19)),
+	)); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("after-hours HTTP packets=%d\n", s.Current().Display.NumRows())
+	// Output:
+	// groups=4 aggregated=true
+	// after-hours HTTP packets=2
+}
+
+// ExampleScoreAll scores a display under every built-in measure.
+func ExampleScoreAll() {
+	s := repro.NewSession("demo", tinyTable())
+	if _, err := s.Apply(repro.GroupCount("protocol")); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	scores, err := repro.ScoreAll(s)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	names := make([]string, 0, len(scores))
+	for n := range scores {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println(len(names), "measures, including compaction_gain =", scores["compaction_gain"])
+	// Output:
+	// 8 measures, including compaction_gain = 3
+}
+
+// ExampleParseQuery shows the SQL front-end decomposing a query into
+// analysis actions.
+func ExampleParseQuery() {
+	table, actions, err := repro.ParseQuery(
+		"SELECT protocol, COUNT(*) FROM packets WHERE hour > 19 GROUP BY protocol")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("table:", table)
+	for _, a := range actions {
+		fmt.Println("action:", a)
+	}
+	// Output:
+	// table: packets
+	// action: filter[hour > 19]
+	// action: group[protocol].count()
+}
+
+// ExampleExtractContext extracts the paper's n-context of a session state.
+func ExampleExtractContext() {
+	s := repro.NewSession("demo", tinyTable())
+	if _, err := s.Apply(repro.GroupCount("protocol")); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ctx, err := repro.ExtractContext(s, 3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("covers %d elements at t=%d\n", ctx.Size, ctx.T)
+	// Output:
+	// covers 3 elements at t=1
+}

@@ -1,0 +1,103 @@
+// Cybersession replays the paper's running example (Section 1, Figure 1):
+// Clarice, a cyber-security analyst, hunts for a back-door communication
+// channel in network traffic. Each of her three steps produces a display
+// that a *different* interestingness facet champions — the observation
+// that motivates dynamic measure selection.
+//
+// Raw scores live on incomparable scales (Compaction Gain is in the
+// thousands, Simpson in [0,1]), so the example first fits the paper's
+// Normalized comparison (Box-Cox + z-score, Algorithm 2) on a simulated
+// session log, then reports each step's *relative* scores, whose argmax is
+// the dominant measure i*(q).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	// Fit the normalizer on a simulated log (the cheap, Normalized-only
+	// offline pass).
+	fmt.Println("fitting the score normalizer on a simulated session log...")
+	fw, err := repro.GenerateBenchmark(repro.SimulatorConfig{
+		Sessions:      120,
+		Analysts:      16,
+		DatasetConfig: repro.NetlogConfig{Rows: 3000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fw.RunOfflineAnalysis(repro.AnalysisOptions{SkipReference: true}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Clarice's dataset is the benchmark's beaconing log.
+	tbl := fw.Repo.RootDisplay("netlog-beacon").Table
+	fmt.Printf("\nClarice loads %s: %d packets, columns %v\n", tbl.Name(), tbl.NumRows(), tbl.Schema().Names())
+	s := repro.NewSession("clarice", tbl)
+
+	// q1: how much traffic does each protocol carry?
+	if _, err := s.Apply(repro.GroupCount("protocol")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== q1: group by protocol ==")
+	fmt.Println(s.Current().Display.Table)
+	report(fw, s)
+
+	// Back to the raw log; isolate after-hours HTTP.
+	if err := s.BackTo(s.Root()); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s.Apply(repro.Filter(
+		repro.Eq("protocol", repro.Str("HTTP")),
+		repro.Gt("hour", repro.Int(18)),
+		repro.Le("length", repro.Int(128)),
+	)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== q2: filter protocol=HTTP AND hour>18 AND length<=128 -> %d packets ==\n", s.Current().Display.NumRows())
+	report(fw, s)
+
+	// q3: where is the suspicious slice going?
+	if _, err := s.Apply(repro.GroupCount("dst_ip")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== q3: group the slice by dst_ip -> %d destinations ==\n", s.Current().Display.NumRows())
+	report(fw, s)
+
+	fmt.Println("\nThe dominant measure flips at every step — interestingness in IDA is")
+	fmt.Println("dynamic, which is exactly what the paper's predictive model learns to")
+	fmt.Println("anticipate from n-contexts. (Which facet wins each step depends on the")
+	fmt.Println("log the normalizer was fitted on; the paper's illustration had")
+	fmt.Println("Diversity -> Peculiarity -> Conciseness.)")
+}
+
+var classOf = func() map[string]string {
+	m := map[string]string{}
+	for _, msr := range repro.BuiltinMeasures() {
+		m[msr.Name()] = msr.Class().String()
+	}
+	return m
+}()
+
+// report prints the latest action's normalized scores and dominant measure.
+func report(fw *repro.Framework, s *repro.Session) {
+	z, err := fw.NormalizedScores(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, 0, len(z))
+	for n := range z {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return z[names[i]] > z[names[j]] })
+	fmt.Println("relative (normalized) interestingness:")
+	for _, n := range names {
+		fmt.Printf("  %-16s %+7.2f  (%s)\n", n, z[n], classOf[n])
+	}
+	fmt.Printf("dominant measure i*(q): %s — facet %s\n", names[0], classOf[names[0]])
+}

@@ -1,0 +1,65 @@
+// Offline_analysis runs both interestingness comparison methods of
+// Section 3.1 over a simulated session log and reports how they behave:
+// per-class dominant-measure frequencies, within-session churn, and the
+// agreement between the two methods — the Section 4.1 findings in
+// miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/measures"
+	"repro/internal/netlog"
+	"repro/internal/offline"
+	"repro/internal/simulate"
+)
+
+func main() {
+	fmt.Println("simulating a session log...")
+	repo, err := simulate.Generate(simulate.Config{
+		Sessions:      140,
+		Analysts:      16,
+		DatasetConfig: netlog.Config{Rows: 1500},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := repo.ComputeStats()
+	fmt.Printf("%d sessions / %d actions over %d datasets\n\n", st.Sessions, st.Actions, st.Datasets)
+
+	fmt.Println("running the offline interestingness analysis (both methods)...")
+	a, err := offline.Analyze(repo, offline.Options{RefLimit: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	I := measures.DefaultSet()
+	w := os.Stdout
+	for _, m := range offline.Methods {
+		fmt.Fprintf(w, "\n--- %s comparison ---\n", m)
+		freq := offline.ClassFrequency(a, I, m)
+		for _, c := range measures.Classes {
+			fmt.Fprintf(w, "  dominant %-12s %6.1f%%\n", c.String(), 100*freq[c])
+		}
+		ch := offline.Churn(a, I, m)
+		fmt.Fprintf(w, "  the dominant measure changes every %.2f steps (paper: 2.2)\n", ch.StepsPerChange)
+	}
+
+	ag, err := offline.Agreement(a, I)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmethods agree exactly on %.1f%% of actions (paper: 68%%)\n", 100*ag.Rate)
+	fmt.Printf("chi-square independence test: stat=%.1f df=%d ln(p)=%.1f — strongly dependent\n",
+		ag.ChiSquare.Statistic, ag.ChiSquare.DF, ag.ChiSquare.LogPValue)
+
+	rep := offline.Correlations(a)
+	fmt.Printf("\nscore correlations: same-class %.3f vs cross-class %.3f (paper: 0.543 vs 0.071)\n",
+		rep.SameClass, rep.CrossClass)
+	fmt.Println("=> picking one measure per class yields a near-independent configuration I")
+
+	fmt.Printf("\noffline cost per action: reference-based %v vs normalized %v\n",
+		a.RefTimings.PerAction().Total(), a.NormTimings.PerAction().Total())
+}

@@ -1,0 +1,68 @@
+// Recommend demonstrates the online use-case the paper targets: a trained
+// predictor watches a live analysis session, selects the interestingness
+// measure that best matches the analyst's current context, and ranks
+// candidate next actions by it — the "analysis recommender" integration
+// sketched in the paper's introduction and Section 6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Train on a simulated session log (the REACT-IDA stand-in).
+	fmt.Println("generating benchmark and training the predictor (takes ~a minute)...")
+	fw, err := repro.GenerateBenchmark(repro.SimulatorConfig{
+		Sessions:      160,
+		Analysts:      20,
+		DatasetConfig: repro.NetlogConfig{Rows: 2000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The Normalized comparison method is ~50x cheaper offline and the
+	// predictor only needs its labels.
+	if err := fw.RunOfflineAnalysis(repro.AnalysisOptions{SkipReference: true}); err != nil {
+		log.Fatal(err)
+	}
+	pred, err := fw.TrainPredictor(repro.DefaultMeasureSet(), repro.Normalized,
+		repro.DefaultPredictorConfig(repro.Normalized))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d labeled n-contexts\n\n", pred.TrainingSize())
+
+	// A new analyst starts exploring the port-scan log.
+	tables := repro.GenerateDatasets(repro.NetlogConfig{Rows: 2000, Seed: 777})
+	live := repro.NewSession("live-analyst", tables[0])
+	if _, err := live.Apply(repro.GroupCount("protocol")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("analyst's first step: group by protocol")
+	fmt.Println(live.Current().Display.Table)
+
+	if _, err := live.Apply(repro.Filter(repro.Gt("count", repro.Float(100)))); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("analyst's second step: keep the heavy protocols")
+
+	// Ask the predictor what is interesting *now* and what to do next.
+	recs, ok, err := pred.RecommendNext(live, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		fmt.Println("the predictor abstained: no sufficiently similar past context")
+		fmt.Println("(tighten θ_δ / grow the training log to increase coverage)")
+		return
+	}
+	fmt.Printf("\npredicted interestingness measure for this context: %s\n", recs[0].MeasureName)
+	fmt.Println("top recommended next actions under it:")
+	for i, rec := range recs {
+		fmt.Printf("  %d. %-55s score=%.4f -> %d rows\n",
+			i+1, rec.Action.String(), rec.Score, rec.Display.NumRows())
+	}
+}

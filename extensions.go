@@ -1,0 +1,127 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/effectiveness"
+	"repro/internal/feedback"
+	"repro/internal/knn"
+	"repro/internal/measures"
+	"repro/internal/query"
+	"repro/internal/querylog"
+	"repro/internal/session"
+)
+
+// This file exposes the framework's extension surfaces: the SQL front-end
+// and query-log session reconstruction (paper §2.1 footnote 2), the
+// analyst-effectiveness meta-task (§1), subjective belief-based measures
+// (§5) and the user-feedback loop (§6).
+
+// Re-exported extension types.
+type (
+	// QueryLogEntry is one flat SQL query-log line.
+	QueryLogEntry = querylog.Entry
+	// ReconstructOptions configures query-log session reconstruction.
+	ReconstructOptions = querylog.Options
+	// ReconstructReport summarizes a reconstruction run.
+	ReconstructReport = querylog.Report
+
+	// SessionScore is one session's effectiveness summary.
+	SessionScore = effectiveness.SessionScore
+	// EffectivenessSeparation reports successful-vs-unsuccessful
+	// separation with a permutation-test p-value.
+	EffectivenessSeparation = effectiveness.Separation
+
+	// Belief is one subjective expectation about a column distribution.
+	Belief = measures.Belief
+	// BeliefBase is a user's expectation set.
+	BeliefBase = measures.BeliefBase
+	// SurprisingnessMeasure is the belief-violation Peculiarity measure.
+	SurprisingnessMeasure = measures.SurprisingnessMeasure
+
+	// FeedbackReweighter personalizes predictions from accept/reject
+	// feedback.
+	FeedbackReweighter = feedback.Reweighter
+)
+
+// ParseQuery parses one SQL query of the supported dialect into the
+// dataset it targets and the IDA actions it decomposes into.
+func ParseQuery(sql string) (table string, actions []*Action, err error) {
+	st, err := query.Parse(sql)
+	if err != nil {
+		return "", nil, err
+	}
+	return st.Table, st.Actions, nil
+}
+
+// FormatQuery renders actions back into the SQL dialect (the inverse of
+// ParseQuery for filter-chain + optional-aggregate shapes).
+func FormatQuery(table string, actions []*Action) (string, error) {
+	return query.Format(table, actions)
+}
+
+// ParseQueryLog reads a tab-separated flat query log (RFC3339 time, user,
+// SQL per line).
+func ParseQueryLog(r io.Reader) ([]QueryLogEntry, error) { return querylog.ParseLog(r) }
+
+// ReconstructSessions rebuilds session trees from a flat query log and
+// adds them to the repository (which must already hold the referenced
+// datasets).
+func ReconstructSessions(repo *Repository, entries []QueryLogEntry, opts ReconstructOptions) (ReconstructReport, error) {
+	return querylog.Reconstruct(repo, entries, opts)
+}
+
+// ExportQueryLogOptions configures ExportQueryLog.
+type ExportQueryLogOptions = querylog.ExportOptions
+
+// ExportQueryLog flattens recorded sessions into a query log. Steps the
+// flat dialect cannot express (HAVING-style filters over aggregates) fail,
+// or are skipped and counted when opts.SkipInexpressible is set.
+func ExportQueryLog(repo *Repository, opts ExportQueryLogOptions) (entries []QueryLogEntry, skipped int, err error) {
+	return querylog.Export(repo, opts)
+}
+
+// EffectivenessScores computes the per-session interestingness-trajectory
+// scores of the analyst-effectiveness meta-task. RunOfflineAnalysis must
+// have been called.
+func (f *Framework) EffectivenessScores(I MeasureSet, method Method, threshold float64) ([]SessionScore, error) {
+	if f.Analysis == nil {
+		return nil, fmt.Errorf("repro: EffectivenessScores requires RunOfflineAnalysis first")
+	}
+	return effectiveness.ScoreSessions(f.Analysis, I, method, threshold), nil
+}
+
+// EffectivenessSeparationReport tests whether successful sessions score
+// higher than unsuccessful ones (permutation test).
+func EffectivenessSeparationReport(scores []SessionScore, permutations int, seed uint64) (EffectivenessSeparation, error) {
+	return effectiveness.Compare(scores, permutations, seed)
+}
+
+// NewFeedbackReweighter builds a feedback loop with the given learning
+// rate (0 < rate < 1; 0 picks the default 0.2).
+func NewFeedbackReweighter(rate float64) *FeedbackReweighter { return feedback.New(rate) }
+
+// PredictStateWithFeedback predicts like PredictState but rescales the
+// vote masses through the user's feedback reweighter first.
+func (p *Predictor) PredictStateWithFeedback(st State, fb *FeedbackReweighter) (measureName string, ok bool) {
+	ctx := session.Extract(st, p.cfg.N)
+	pred := p.clf.Predict(ctx)
+	if fb != nil {
+		pred = fb.Rescore(pred)
+	}
+	return pred.Label, pred.Covered
+}
+
+// LearnBeliefsFromDataset calibrates a belief base to a dataset's overall
+// shape, so Surprisingness behaves as an expectation-aware deviation
+// measure for that user.
+func LearnBeliefsFromDataset(t *Table, maxCardinality int, confidence float64) (*BeliefBase, error) {
+	s := NewSession("beliefs", t)
+	return measures.LearnBeliefs(&measures.Context{Display: s.Root().Display}, maxCardinality, confidence)
+}
+
+// PredictWithVotes exposes the full prediction detail (votes, neighbor
+// list, coverage) for one n-context, for applications that render
+// explanations or feed the feedback loop.
+func (p *Predictor) PredictWithVotes(ctx *NContext) knn.Prediction { return p.clf.Predict(ctx) }

@@ -1,0 +1,129 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// WriteCSV encodes the table as CSV. The first header row carries column
+// names, the second carries column kinds ("#kinds:" prefix in first cell)
+// so that ReadCSV can reconstruct the schema losslessly.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	schema := t.Schema()
+	if err := cw.Write(schema.Names()); err != nil {
+		return fmt.Errorf("dataset: write csv header: %w", err)
+	}
+	kinds := make([]string, len(schema))
+	for i, f := range schema {
+		kinds[i] = f.Kind.String()
+	}
+	if len(kinds) > 0 {
+		kinds[0] = "#kinds:" + kinds[0]
+	}
+	if err := cw.Write(kinds); err != nil {
+		return fmt.Errorf("dataset: write csv kinds: %w", err)
+	}
+	row := make([]string, len(schema))
+	for i := 0; i < t.NumRows(); i++ {
+		for j := range schema {
+			row[j] = t.Cell(i, j).String()
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a table written by WriteCSV. The name parameter becomes
+// the table name. If the second row is not a "#kinds:" row, all columns are
+// treated as strings.
+func ReadCSV(r io.Reader, name string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: read csv: empty input")
+	}
+	header := records[0]
+	body := records[1:]
+	schema := make(Schema, len(header))
+	for i, h := range header {
+		schema[i] = Field{Name: h, Kind: KindString}
+	}
+	if len(body) > 0 && len(body[0]) > 0 && strings.HasPrefix(body[0][0], "#kinds:") {
+		kindRow := body[0]
+		body = body[1:]
+		if len(kindRow) != len(header) {
+			return nil, fmt.Errorf("dataset: read csv: kinds row has %d fields, header has %d", len(kindRow), len(header))
+		}
+		for i, ks := range kindRow {
+			if i == 0 {
+				ks = strings.TrimPrefix(ks, "#kinds:")
+			}
+			k, err := ParseKind(ks)
+			if err != nil {
+				return nil, err
+			}
+			schema[i].Kind = k
+		}
+	}
+	b := NewBuilder(name, schema)
+	vals := make([]Value, len(schema))
+	for ri, rec := range body {
+		if len(rec) != len(schema) {
+			return nil, fmt.Errorf("dataset: read csv: row %d has %d fields, want %d", ri, len(rec), len(schema))
+		}
+		for j, cell := range rec {
+			v, err := ParseValue(schema[j].Kind, cell)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: read csv: row %d col %q: %w", ri, schema[j].Name, err)
+			}
+			vals[j] = v
+		}
+		b.Append(vals...)
+	}
+	return b.Build()
+}
+
+// SaveCSV writes the table to a file path.
+func SaveCSV(path string, t *Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: save csv: %w", err)
+	}
+	defer f.Close()
+	if err := WriteCSV(f, t); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCSV reads a table from a file path; the base name (without extension)
+// becomes the table name unless name is non-empty.
+func LoadCSV(path, name string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load csv: %w", err)
+	}
+	defer f.Close()
+	if name == "" {
+		name = strings.TrimSuffix(baseName(path), ".csv")
+	}
+	return ReadCSV(f, name)
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

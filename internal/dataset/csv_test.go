@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	b := NewBuilder("rt", Schema{
+		{Name: "name", Kind: KindString},
+		{Name: "n", Kind: KindInt},
+		{Name: "x", Kind: KindFloat},
+		{Name: "when", Kind: KindTime},
+	})
+	ts := time.Date(2019, 3, 26, 9, 0, 0, 0, time.UTC)
+	b.Append(S("alpha, with comma"), I(1), F(1.5), T(ts))
+	b.Append(S(`quoted "text"`), I(-2), F(0.001), T(ts.Add(time.Hour)))
+	orig := b.MustBuild()
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Schema().Equal(orig.Schema()) {
+		t.Fatalf("schema changed: %v vs %v", back.Schema(), orig.Schema())
+	}
+	if back.NumRows() != orig.NumRows() {
+		t.Fatalf("rows = %d, want %d", back.NumRows(), orig.NumRows())
+	}
+	for i := 0; i < orig.NumRows(); i++ {
+		for j := 0; j < orig.NumCols(); j++ {
+			if !back.Cell(i, j).Equal(orig.Cell(i, j)) {
+				t.Errorf("cell (%d,%d): %v vs %v", i, j, back.Cell(i, j), orig.Cell(i, j))
+			}
+		}
+	}
+}
+
+func TestReadCSVWithoutKindsRow(t *testing.T) {
+	in := "a,b\nx,1\ny,2\n"
+	tbl, err := ReadCSV(strings.NewReader(in), "plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	// Without a kinds row everything is a string.
+	if tbl.ColumnByName("b").Kind != KindString {
+		t.Error("kind should default to string")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "x"); err == nil {
+		t.Error("empty input should fail")
+	}
+	bad := "a\n#kinds:bogus\n1\n"
+	if _, err := ReadCSV(strings.NewReader(bad), "x"); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	badCell := "a\n#kinds:int\nnotanint\n"
+	if _, err := ReadCSV(strings.NewReader(badCell), "x"); err == nil {
+		t.Error("bad cell should fail")
+	}
+}
+
+func TestSaveLoadCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mini.csv")
+	b := NewBuilder("mini", Schema{{Name: "v", Kind: KindInt}})
+	b.Append(I(10))
+	b.Append(I(20))
+	orig := b.MustBuild()
+	if err := SaveCSV(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "mini" {
+		t.Errorf("name from path = %q, want mini", back.Name())
+	}
+	if back.NumRows() != 2 || !back.Cell(1, 0).Equal(I(20)) {
+		t.Errorf("loaded content wrong")
+	}
+	if _, err := LoadCSV(filepath.Join(dir, "absent.csv"), ""); err == nil {
+		t.Error("loading a missing file should fail")
+	}
+}

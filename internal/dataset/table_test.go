@@ -1,0 +1,152 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+func packetsTable(t *testing.T) *Table {
+	t.Helper()
+	b := NewBuilder("packets", Schema{
+		{Name: "protocol", Kind: KindString},
+		{Name: "length", Kind: KindInt},
+		{Name: "score", Kind: KindFloat},
+	})
+	rows := []struct {
+		p string
+		l int64
+		s float64
+	}{
+		{"HTTP", 100, 0.5},
+		{"HTTP", 200, 0.25},
+		{"DNS", 60, 0.75},
+		{"SSH", 400, 0.1},
+		{"HTTP", 150, 0.9},
+	}
+	for _, r := range rows {
+		b.Append(S(r.p), I(r.l), F(r.s))
+	}
+	return b.MustBuild()
+}
+
+func TestBuilderAndAccessors(t *testing.T) {
+	tbl := packetsTable(t)
+	if tbl.NumRows() != 5 || tbl.NumCols() != 3 {
+		t.Fatalf("got %dx%d, want 5x3", tbl.NumRows(), tbl.NumCols())
+	}
+	if tbl.Name() != "packets" {
+		t.Errorf("name = %q", tbl.Name())
+	}
+	if got := tbl.Cell(2, 0); !got.Equal(S("DNS")) {
+		t.Errorf("Cell(2,0) = %v", got)
+	}
+	row := tbl.Row(3)
+	if len(row) != 3 || !row[1].Equal(I(400)) {
+		t.Errorf("Row(3) = %v", row)
+	}
+	if c := tbl.ColumnByName("nope"); c != nil {
+		t.Error("ColumnByName(nope) should be nil")
+	}
+	if tbl.ColumnByName("length").Kind != KindInt {
+		t.Error("length column should be int")
+	}
+}
+
+func TestBuilderSchemaMismatch(t *testing.T) {
+	b := NewBuilder("bad", Schema{{Name: "a", Kind: KindInt}})
+	b.Append(S("oops"))
+	if _, err := b.Build(); err == nil {
+		t.Fatal("kind mismatch must fail Build")
+	}
+	b2 := NewBuilder("bad2", Schema{{Name: "a", Kind: KindInt}})
+	b2.Append(I(1), I(2))
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("arity mismatch must fail Build")
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := packetsTable(t).Schema()
+	if s.Index("length") != 1 || s.Index("zzz") != -1 {
+		t.Error("Schema.Index wrong")
+	}
+	if got := s.Names(); strings.Join(got, ",") != "protocol,length,score" {
+		t.Errorf("Names() = %v", got)
+	}
+	if !s.Equal(packetsTable(t).Schema()) {
+		t.Error("identical schemas must be Equal")
+	}
+	other := Schema{{Name: "protocol", Kind: KindString}}
+	if s.Equal(other) {
+		t.Error("different schemas must not be Equal")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	tbl := packetsTable(t)
+	sub := tbl.Select([]int{4, 0})
+	if sub.NumRows() != 2 {
+		t.Fatalf("select rows = %d", sub.NumRows())
+	}
+	if !sub.Cell(0, 1).Equal(I(150)) || !sub.Cell(1, 1).Equal(I(100)) {
+		t.Errorf("select preserved wrong rows: %v %v", sub.Cell(0, 1), sub.Cell(1, 1))
+	}
+	if !sub.Schema().Equal(tbl.Schema()) {
+		t.Error("select must preserve schema")
+	}
+	empty := tbl.Select(nil)
+	if empty.NumRows() != 0 {
+		t.Error("empty select should have 0 rows")
+	}
+}
+
+func TestValueCounts(t *testing.T) {
+	tbl := packetsTable(t)
+	counts := tbl.ValueCounts("protocol")
+	if len(counts) != 3 {
+		t.Fatalf("distinct protocols = %d, want 3", len(counts))
+	}
+	if !counts[0].Value.Equal(S("HTTP")) || counts[0].Count != 3 {
+		t.Errorf("top count = %v x%d, want HTTP x3", counts[0].Value, counts[0].Count)
+	}
+	// Ties (DNS=1, SSH=1) must order deterministically by value.
+	if !counts[1].Value.Equal(S("DNS")) || !counts[2].Value.Equal(S("SSH")) {
+		t.Errorf("tie order: %v, %v", counts[1].Value, counts[2].Value)
+	}
+	if got := tbl.ValueCounts("missing"); got != nil {
+		t.Error("ValueCounts on missing column should be nil")
+	}
+}
+
+func TestDistinctValues(t *testing.T) {
+	tbl := packetsTable(t)
+	vals := tbl.DistinctValues("protocol", 0)
+	if len(vals) != 3 {
+		t.Fatalf("distinct = %v", vals)
+	}
+	// First-seen order.
+	if !vals[0].Equal(S("HTTP")) || !vals[1].Equal(S("DNS")) {
+		t.Errorf("order = %v", vals)
+	}
+	if got := tbl.DistinctValues("protocol", 2); len(got) != 2 {
+		t.Errorf("limit ignored: %v", got)
+	}
+}
+
+func TestTableString(t *testing.T) {
+	s := packetsTable(t).String()
+	if !strings.Contains(s, "packets (5 rows)") || !strings.Contains(s, "HTTP") {
+		t.Errorf("String() preview missing content:\n%s", s)
+	}
+}
+
+func TestColumnValueRoundTrip(t *testing.T) {
+	tbl := packetsTable(t)
+	col := tbl.ColumnByName("score")
+	if col.Len() != 5 {
+		t.Fatalf("col len = %d", col.Len())
+	}
+	if got := col.Value(2); !got.Equal(F(0.75)) {
+		t.Errorf("col.Value(2) = %v", got)
+	}
+}

@@ -1,0 +1,216 @@
+// Package dataset provides an in-memory, typed, columnar relational table
+// used as the data substrate for interactive data analysis (IDA).
+//
+// A Table holds a fixed Schema of named, typed columns and a row count.
+// Tables are immutable once built through a Builder; analysis actions
+// (filters, group-and-aggregate) produce new Tables.
+//
+// The package is deliberately self-contained (stdlib only) so that the
+// IDA engine, the interestingness measures, and the session simulator can
+// share one representation of "a display's data".
+package dataset
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Kind enumerates the supported column types.
+type Kind uint8
+
+const (
+	// KindString is a categorical/text column.
+	KindString Kind = iota
+	// KindInt is a 64-bit integer column.
+	KindInt
+	// KindFloat is a 64-bit floating point column.
+	KindFloat
+	// KindTime is a timestamp column (stored as UTC nanoseconds).
+	KindTime
+)
+
+// String returns the lowercase name of the kind ("string", "int", ...).
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindTime:
+		return "time"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a kind name produced by Kind.String back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "string":
+		return KindString, nil
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	case "time":
+		return KindTime, nil
+	default:
+		return 0, fmt.Errorf("dataset: unknown kind %q", s)
+	}
+}
+
+// Value is a dynamically typed cell value. The zero Value is the string "".
+//
+// Exactly one of the payload fields is meaningful, selected by Kind.
+type Value struct {
+	Kind Kind
+	Str  string
+	Int  int64
+	Flt  float64
+	// TimeNS is a UTC timestamp in nanoseconds since the Unix epoch.
+	TimeNS int64
+}
+
+// S returns a string Value.
+func S(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// I returns an integer Value.
+func I(i int64) Value { return Value{Kind: KindInt, Int: i} }
+
+// F returns a float Value.
+func F(f float64) Value { return Value{Kind: KindFloat, Flt: f} }
+
+// T returns a time Value.
+func T(t time.Time) Value { return Value{Kind: KindTime, TimeNS: t.UTC().UnixNano()} }
+
+// Time returns the value as a time.Time. It is only meaningful for KindTime.
+func (v Value) Time() time.Time { return time.Unix(0, v.TimeNS).UTC() }
+
+// Float coerces the value to a float64 for numeric computations.
+// Strings parse as 0 unless they are numeric literals.
+func (v Value) Float() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.Int)
+	case KindFloat:
+		return v.Flt
+	case KindTime:
+		return float64(v.TimeNS)
+	case KindString:
+		f, err := strconv.ParseFloat(v.Str, 64)
+		if err != nil {
+			return 0
+		}
+		return f
+	default:
+		return 0
+	}
+}
+
+// String renders the value for display and CSV round-tripping.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindString:
+		return v.Str
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Flt, 'g', -1, 64)
+	case KindTime:
+		return v.Time().Format(time.RFC3339Nano)
+	default:
+		return ""
+	}
+}
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(o Value) bool { return v.Kind == o.Kind && v.Compare(o) == 0 }
+
+// Compare orders two values. Values of different kinds order by kind;
+// within a kind the natural order of the payload applies.
+// The result is -1, 0 or +1.
+func (v Value) Compare(o Value) int {
+	if v.Kind != o.Kind {
+		// Numeric kinds compare cross-kind by their float coercion so a
+		// filter literal like I(80) matches a float column value 80.0.
+		if isNumeric(v.Kind) && isNumeric(o.Kind) {
+			return cmpFloat(v.Float(), o.Float())
+		}
+		if v.Kind < o.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case KindString:
+		switch {
+		case v.Str < o.Str:
+			return -1
+		case v.Str > o.Str:
+			return 1
+		}
+		return 0
+	case KindInt:
+		return cmpInt(v.Int, o.Int)
+	case KindFloat:
+		return cmpFloat(v.Flt, o.Flt)
+	case KindTime:
+		return cmpInt(v.TimeNS, o.TimeNS)
+	default:
+		return 0
+	}
+}
+
+func isNumeric(k Kind) bool { return k == KindInt || k == KindFloat }
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// ParseValue parses the string form of a value of the given kind,
+// inverting Value.String.
+func ParseValue(kind Kind, s string) (Value, error) {
+	switch kind {
+	case KindString:
+		return S(s), nil
+	case KindInt:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("dataset: parse int %q: %w", s, err)
+		}
+		return I(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("dataset: parse float %q: %w", s, err)
+		}
+		return F(f), nil
+	case KindTime:
+		t, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return Value{}, fmt.Errorf("dataset: parse time %q: %w", s, err)
+		}
+		return T(t), nil
+	default:
+		return Value{}, fmt.Errorf("dataset: unknown kind %v", kind)
+	}
+}

@@ -1,0 +1,171 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindString: "string",
+		KindInt:    "int",
+		KindFloat:  "float",
+		KindTime:   "time",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+		back, err := ParseKind(want)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", want, err)
+		}
+		if back != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", want, back, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) should fail")
+	}
+}
+
+func TestValueConstructorsAndString(t *testing.T) {
+	ts := time.Date(2018, 3, 1, 8, 30, 0, 0, time.UTC)
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{S("HTTP"), "HTTP"},
+		{I(-42), "-42"},
+		{F(3.5), "3.5"},
+		{T(ts), "2018-03-01T08:30:00Z"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.v.Kind, got, c.want)
+		}
+	}
+}
+
+func TestValueFloatCoercion(t *testing.T) {
+	if got := I(7).Float(); got != 7 {
+		t.Errorf("I(7).Float() = %v", got)
+	}
+	if got := F(2.25).Float(); got != 2.25 {
+		t.Errorf("F(2.25).Float() = %v", got)
+	}
+	if got := S("12.5").Float(); got != 12.5 {
+		t.Errorf(`S("12.5").Float() = %v`, got)
+	}
+	if got := S("not a number").Float(); got != 0 {
+		t.Errorf("non-numeric string coerced to %v, want 0", got)
+	}
+}
+
+func TestValueCompareWithinKind(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{S("a"), S("b"), -1},
+		{S("b"), S("a"), 1},
+		{S("a"), S("a"), 0},
+		{I(1), I(2), -1},
+		{I(5), I(5), 0},
+		{F(1.5), F(0.5), 1},
+		{T(time.Unix(0, 100)), T(time.Unix(0, 200)), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareNumericCrossKind(t *testing.T) {
+	// A filter literal I(80) must match a float column value 80.0.
+	if got := I(80).Compare(F(80)); got != 0 {
+		t.Errorf("I(80).Compare(F(80)) = %d, want 0", got)
+	}
+	if got := F(79.5).Compare(I(80)); got != -1 {
+		t.Errorf("F(79.5).Compare(I(80)) = %d, want -1", got)
+	}
+	if !I(80).Equal(I(80)) {
+		t.Error("I(80) should Equal itself")
+	}
+	if I(80).Equal(S("80")) {
+		t.Error("int and string must not be Equal")
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return I(a).Compare(I(b)) == -I(b).Compare(I(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueCompareReflexive(t *testing.T) {
+	f := func(s string, i int64, fl float64) bool {
+		if math.IsNaN(fl) {
+			return true // NaN breaks reflexivity by IEEE semantics
+		}
+		return S(s).Compare(S(s)) == 0 && I(i).Compare(I(i)) == 0 && F(fl).Compare(F(fl)) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	ts := time.Date(2020, 6, 15, 12, 0, 0, 500, time.UTC)
+	values := []Value{S("hello, world"), I(-9e15), F(0.125), T(ts)}
+	for _, v := range values {
+		back, err := ParseValue(v.Kind, v.String())
+		if err != nil {
+			t.Fatalf("ParseValue(%v, %q): %v", v.Kind, v.String(), err)
+		}
+		if !back.Equal(v) {
+			t.Errorf("round trip %v -> %q -> %v", v, v.String(), back)
+		}
+	}
+}
+
+func TestParseValueRoundTripProperty(t *testing.T) {
+	f := func(i int64) bool {
+		v := I(i)
+		back, err := ParseValue(KindInt, v.String())
+		return err == nil && back.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	if _, err := ParseValue(KindInt, "abc"); err == nil {
+		t.Error("parsing 'abc' as int should fail")
+	}
+	if _, err := ParseValue(KindFloat, "x"); err == nil {
+		t.Error("parsing 'x' as float should fail")
+	}
+	if _, err := ParseValue(KindTime, "yesterday"); err == nil {
+		t.Error("parsing 'yesterday' as time should fail")
+	}
+}
+
+func TestTimeValueUTCNormalization(t *testing.T) {
+	loc := time.FixedZone("X", 3*3600)
+	local := time.Date(2020, 1, 1, 12, 0, 0, 0, loc)
+	v := T(local)
+	if !v.Time().Equal(local) {
+		t.Errorf("T() must preserve the instant: %v vs %v", v.Time(), local)
+	}
+	if v.Time().Location() != time.UTC {
+		t.Error("stored time must render in UTC")
+	}
+}

@@ -1,0 +1,124 @@
+package distance
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/session"
+)
+
+func TestAlignmentIdenticalSequences(t *testing.T) {
+	root := packetRoot(t)
+	s1 := sessionWith(t, root,
+		engine.NewFilter(engine.Predicate{Column: "protocol", Op: engine.OpEq, Operand: dataset.S("HTTP")}),
+		engine.NewGroupCount("dst_ip"),
+	)
+	s2 := sessionWith(t, root,
+		engine.NewFilter(engine.Predicate{Column: "protocol", Op: engine.OpEq, Operand: dataset.S("HTTP")}),
+		engine.NewGroupCount("dst_ip"),
+	)
+	m := AlignmentMetric{}
+	c1, c2 := ctxAtEnd(t, s1, 5), ctxAtEnd(t, s2, 5)
+	if d := m.Distance(c1, c2); d > 1e-9 {
+		t.Errorf("identical action sequences distance = %v, want 0", d)
+	}
+	if d := m.Distance(c1, c1); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+}
+
+func TestAlignmentSimilarVsDifferent(t *testing.T) {
+	root := packetRoot(t)
+	base := sessionWith(t, root,
+		engine.NewFilter(engine.Predicate{Column: "protocol", Op: engine.OpEq, Operand: dataset.S("HTTP")}),
+		engine.NewGroupCount("dst_ip"),
+	)
+	similar := sessionWith(t, root,
+		engine.NewFilter(engine.Predicate{Column: "protocol", Op: engine.OpEq, Operand: dataset.S("HTTPS")}),
+		engine.NewGroupCount("dst_ip"),
+	)
+	different := sessionWith(t, root,
+		engine.NewGroupCount("hour"),
+	)
+	m := AlignmentMetric{}
+	cb, cs, cd := ctxAtEnd(t, base, 5), ctxAtEnd(t, similar, 5), ctxAtEnd(t, different, 5)
+	ds, dd := m.Distance(cb, cs), m.Distance(cb, cd)
+	if ds >= dd {
+		t.Errorf("similar sequences (%v) should be closer than different ones (%v)", ds, dd)
+	}
+}
+
+func TestAlignmentSymmetryAndRange(t *testing.T) {
+	root := packetRoot(t)
+	sessions := []*session.Session{
+		sessionWith(t, root, engine.NewGroupCount("protocol")),
+		sessionWith(t, root, engine.NewGroupCount("dst_ip"), engine.NewFilter(engine.Predicate{Column: "count", Op: engine.OpGt, Operand: dataset.F(1)})),
+		sessionWith(t, root, engine.NewFilter(engine.Predicate{Column: "hour", Op: engine.OpGt, Operand: dataset.I(10)})),
+	}
+	m := AlignmentMetric{}
+	var ctxs []*session.Context
+	for _, s := range sessions {
+		ctxs = append(ctxs, ctxAtEnd(t, s, 5))
+	}
+	for i := range ctxs {
+		for j := range ctxs {
+			d1, d2 := m.Distance(ctxs[i], ctxs[j]), m.Distance(ctxs[j], ctxs[i])
+			if math.Abs(d1-d2) > 1e-12 {
+				t.Fatalf("asymmetric: %v vs %v", d1, d2)
+			}
+			if d1 < 0 || d1 > 1 {
+				t.Fatalf("out of range: %v", d1)
+			}
+		}
+	}
+}
+
+func TestAlignmentRootOnlyContexts(t *testing.T) {
+	root := packetRoot(t)
+	s1 := session.New("a", "pkts", root)
+	s2 := session.New("b", "pkts", root)
+	st1, _ := s1.StateAt(0)
+	st2, _ := s2.StateAt(0)
+	m := AlignmentMetric{}
+	c1, c2 := session.Extract(st1, 3), session.Extract(st2, 3)
+	// Same root display: distance 0 via the display fallback.
+	if d := m.Distance(c1, c2); d != 0 {
+		t.Errorf("same-root t=0 contexts distance = %v", d)
+	}
+	// Action-less vs action-ful: maximal.
+	withAction := ctxAtEnd(t, sessionWith(t, root, engine.NewGroupCount("protocol")), 3)
+	if d := m.Distance(c1, withAction); d != 1 {
+		t.Errorf("empty-vs-nonempty = %v, want 1", d)
+	}
+}
+
+func TestAlignmentLocality(t *testing.T) {
+	// A long prefix of junk must not erase a perfect local match (the
+	// "local" in local alignment).
+	root := packetRoot(t)
+	long := sessionWith(t, root,
+		engine.NewGroupCount("hour"),
+	)
+	if err := long.BackTo(long.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := long.Apply(engine.NewFilter(engine.Predicate{Column: "protocol", Op: engine.OpEq, Operand: dataset.S("HTTP")})); err != nil {
+		t.Fatal(err)
+	}
+	short := sessionWith(t, root,
+		engine.NewFilter(engine.Predicate{Column: "protocol", Op: engine.OpEq, Operand: dataset.S("HTTP")}),
+	)
+	m := AlignmentMetric{}
+	cl, cs := ctxAtEnd(t, long, 7), ctxAtEnd(t, short, 3)
+	if d := m.Distance(cl, cs); d > 0.2 {
+		t.Errorf("local match should dominate: %v", d)
+	}
+}
+
+func TestAlignmentPluggableIntoKNNName(t *testing.T) {
+	if (AlignmentMetric{}).Name() != "sequence-alignment" {
+		t.Error("metric name wrong")
+	}
+}

@@ -1,0 +1,209 @@
+// Package distance implements the session similarity notion used by the
+// paper's kNN model: an ordered-tree edit distance between n-contexts
+// (following the metric of Milo & Somech, KDD 2018) with two ground
+// metrics — one comparing individual analysis actions by syntax and one
+// comparing displays by content.
+package distance
+
+import (
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/session"
+)
+
+// ActionDistance compares two actions' syntax on a [0, 1] scale: 0 for
+// identical actions, 1 for actions of different types; within a type it
+// blends column overlap, operator agreement and operand/aggregate
+// agreement.
+func ActionDistance(a, b *engine.Action) float64 {
+	switch {
+	case a == nil && b == nil:
+		return 0
+	case a == nil || b == nil:
+		return 1
+	case a.Type != b.Type:
+		return 1
+	}
+	switch a.Type {
+	case engine.ActionFilter:
+		return filterDistance(a, b)
+	case engine.ActionGroup:
+		return groupDistance(a, b)
+	case engine.ActionTopK:
+		return topKDistance(a, b)
+	default:
+		return 0
+	}
+}
+
+func topKDistance(a, b *engine.Action) float64 {
+	d := 0.0
+	if a.SortColumn != b.SortColumn {
+		d += 0.6
+	}
+	if a.Ascending != b.Ascending {
+		d += 0.2
+	}
+	if a.K != b.K {
+		// Log-scale gap between the cut-offs, capped at the remaining
+		// budget.
+		gap := math.Abs(math.Log(float64(maxInt(a.K, 1))) - math.Log(float64(maxInt(b.K, 1))))
+		d += math.Min(0.2, 0.2*gap/math.Log(100))
+	}
+	return d
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func filterDistance(a, b *engine.Action) float64 {
+	colD := 1 - jaccard(a.Columns(), b.Columns())
+	// Operator and operand agreement over best-effort predicate pairing
+	// (predicates paired by column).
+	opAgree, operandAgree, pairs := 0.0, 0.0, 0
+	for _, pa := range a.Predicates {
+		for _, pb := range b.Predicates {
+			if pa.Column != pb.Column {
+				continue
+			}
+			pairs++
+			if pa.Op == pb.Op {
+				opAgree++
+			}
+			if pa.Operand.Equal(pb.Operand) {
+				operandAgree++
+			}
+		}
+	}
+	opD, operandD := 1.0, 1.0
+	if pairs > 0 {
+		opD = 1 - opAgree/float64(pairs)
+		operandD = 1 - operandAgree/float64(pairs)
+	}
+	return 0.5*colD + 0.25*opD + 0.25*operandD
+}
+
+func groupDistance(a, b *engine.Action) float64 {
+	d := 0.0
+	if a.GroupBy != b.GroupBy {
+		d += 0.5
+	}
+	if a.Agg != b.Agg {
+		d += 0.25
+	}
+	if a.AggColumn != b.AggColumn {
+		d += 0.25
+	}
+	return d
+}
+
+func jaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	set := make(map[string]uint8, len(a)+len(b))
+	for _, s := range a {
+		set[s] |= 1
+	}
+	for _, s := range b {
+		set[s] |= 2
+	}
+	inter, union := 0, 0
+	for _, bits := range set {
+		union++
+		if bits == 3 {
+			inter++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// DisplayDistance compares two displays' content on a [0, 1] scale. It
+// blends (a) schema overlap, (b) the log-scale row-count gap, (c) the
+// total-variation distance between the value histograms of shared columns,
+// and (d) aggregation-shape agreement.
+func DisplayDistance(a, b *engine.Display) float64 {
+	switch {
+	case a == nil && b == nil:
+		return 0
+	case a == nil || b == nil:
+		return 1
+	}
+	pa, pb := a.GetProfile(), b.GetProfile()
+
+	schemaD := 1 - jaccard(columnNames(pa), columnNames(pb))
+
+	rowD := 0.0
+	ra, rb := float64(a.NumRows()), float64(b.NumRows())
+	if ra > 0 && rb > 0 {
+		rowD = math.Abs(math.Log(ra)-math.Log(rb)) / math.Log(1e6)
+		if rowD > 1 {
+			rowD = 1
+		}
+	} else if ra != rb {
+		rowD = 1
+	}
+
+	contentD, shared := 0.0, 0
+	for i := range pa.Columns {
+		ca := &pa.Columns[i]
+		cb := pb.Column(ca.Name)
+		if cb == nil {
+			continue
+		}
+		shared++
+		contentD += totalVariation(ca.TopFreq, cb.TopFreq)
+	}
+	if shared > 0 {
+		contentD /= float64(shared)
+	} else {
+		contentD = 1
+	}
+
+	aggD := 0.0
+	if a.Aggregated != b.Aggregated {
+		aggD = 1
+	} else if a.Aggregated && a.GroupColumn != b.GroupColumn {
+		aggD = 0.5
+	}
+
+	return 0.25*schemaD + 0.15*rowD + 0.4*contentD + 0.2*aggD
+}
+
+func columnNames(p *engine.Profile) []string {
+	out := make([]string, len(p.Columns))
+	for i, c := range p.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// totalVariation is half the L1 distance between two frequency maps,
+// a [0, 1] distance between discrete distributions.
+func totalVariation(a, b map[string]float64) float64 {
+	d := 0.0
+	for k, va := range a {
+		d += math.Abs(va - b[k])
+	}
+	for k, vb := range b {
+		if _, ok := a[k]; !ok {
+			d += vb
+		}
+	}
+	return d / 2
+}
+
+// NodeDistance is the relabel cost between two context nodes: an equal
+// blend of the action and display ground metrics (a root node's missing
+// incoming action compares as nil).
+func NodeDistance(a, b *session.CtxNode) float64 {
+	return 0.5*ActionDistance(a.Action, b.Action) + 0.5*DisplayDistance(a.Display, b.Display)
+}

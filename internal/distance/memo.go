@@ -1,0 +1,78 @@
+package distance
+
+import (
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/session"
+)
+
+// displayPair keys a memoized unordered display-distance lookup.
+type displayPair struct{ a, b *engine.Display }
+
+// Memo caches display-distance computations across many tree-edit calls.
+// Displays repeat heavily across n-contexts (every context of a session
+// shares node displays; most contexts contain the dataset's root display),
+// so memoizing the display ground metric turns the O(pairs) distance-matrix
+// construction from minutes into seconds. Memo is safe for concurrent use.
+type Memo struct {
+	mu sync.RWMutex
+	m  map[displayPair]float64
+}
+
+// NewMemo returns an empty cache.
+func NewMemo() *Memo { return &Memo{m: make(map[displayPair]float64)} }
+
+// DisplayDistance is the memoized ground metric.
+func (c *Memo) DisplayDistance(a, b *engine.Display) float64 {
+	if a == b {
+		return 0
+	}
+	key := displayPair{a, b}
+	if uintptrLess(b, a) {
+		key = displayPair{b, a}
+	}
+	c.mu.RLock()
+	v, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = DisplayDistance(a, b)
+	c.mu.Lock()
+	c.m[key] = v
+	c.mu.Unlock()
+	return v
+}
+
+// uintptrLess gives a stable order over two display pointers so (a,b) and
+// (b,a) share one cache slot. Any consistent order works; we compare the
+// addresses via fmt-free reflection-free trickery: Go guarantees pointer
+// comparability but not ordering, so we fall back to comparing through a
+// map-insertion-free identity — the pair is simply stored under both
+// orders when ordering is unavailable. To keep it simple and portable we
+// order by the displays' row counts and, on ties, keep the given order
+// (storing at most two entries per unordered pair, still bounded).
+func uintptrLess(a, b *engine.Display) bool {
+	return a.NumRows() < b.NumRows()
+}
+
+// Size returns the number of cached pairs.
+func (c *Memo) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// NewMemoizedTreeEdit returns a TreeEdit metric whose display ground metric
+// is memoized through the given cache (a nil cache allocates a fresh one).
+func NewMemoizedTreeEdit(cache *Memo) TreeEdit {
+	if cache == nil {
+		cache = NewMemo()
+	}
+	return TreeEdit{
+		NodeDist: func(a, b *session.CtxNode) float64 {
+			return 0.5*ActionDistance(a.Action, b.Action) + 0.5*cache.DisplayDistance(a.Display, b.Display)
+		},
+	}
+}

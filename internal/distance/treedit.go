@@ -1,0 +1,216 @@
+package distance
+
+import (
+	"repro/internal/session"
+)
+
+// Metric computes a distance between two n-contexts. Implementations must
+// be safe for concurrent use.
+type Metric interface {
+	Distance(a, b *session.Context) float64
+	Name() string
+}
+
+// TreeEdit is the paper's context distance: the Zhang-Shasha ordered-tree
+// edit distance where deleting or inserting a node costs 1 and relabeling
+// costs the blended ground distance between the nodes (actions + displays),
+// normalized by the combined tree size so results fall in [0, 1].
+type TreeEdit struct {
+	// InsDelCost is the insert/delete unit cost; 0 means 1.
+	InsDelCost float64
+	// NodeDist overrides the relabel ground metric; nil means
+	// NodeDistance. Memoized variants (see NewMemoized) plug in here.
+	NodeDist func(a, b *session.CtxNode) float64
+}
+
+// Name implements Metric.
+func (TreeEdit) Name() string { return "tree-edit" }
+
+// Distance implements Metric.
+func (m TreeEdit) Distance(a, b *session.Context) float64 {
+	ta, tb := flatten(a), flatten(b)
+	switch {
+	case len(ta.nodes) == 0 && len(tb.nodes) == 0:
+		return 0
+	case len(ta.nodes) == 0:
+		return 1
+	case len(tb.nodes) == 0:
+		return 1
+	}
+	unit := m.InsDelCost
+	if unit <= 0 {
+		unit = 1
+	}
+	nd := m.NodeDist
+	if nd == nil {
+		nd = NodeDistance
+	}
+	raw := zhangShasha(ta, tb, unit, nd)
+	// Max possible cost: delete everything in a, insert everything in b.
+	max := unit * float64(len(ta.nodes)+len(tb.nodes))
+	if max == 0 {
+		return 0
+	}
+	d := raw / max
+	if d > 1 {
+		d = 1
+	}
+	return d
+}
+
+// flatTree is a postorder flattening of a context tree, with the leftmost
+// leaf descendant index of every node and the keyroots — the inputs to the
+// Zhang-Shasha dynamic program.
+type flatTree struct {
+	nodes    []*session.CtxNode // postorder, 0-based
+	leftmost []int              // leftmost[i] = postorder index of leftmost leaf of subtree i
+	keyroots []int
+}
+
+func flatten(c *session.Context) *flatTree {
+	ft := &flatTree{}
+	if c == nil || c.Root == nil {
+		return ft
+	}
+	var walk func(n *session.CtxNode) int // returns leftmost leaf index of n's subtree
+	walk = func(n *session.CtxNode) int {
+		lm := -1
+		for _, ch := range n.Children {
+			l := walk(ch)
+			if lm == -1 {
+				lm = l
+			}
+		}
+		idx := len(ft.nodes)
+		ft.nodes = append(ft.nodes, n)
+		if lm == -1 {
+			lm = idx
+		}
+		ft.leftmost = append(ft.leftmost, lm)
+		return lm
+	}
+	walk(c.Root)
+	// Keyroots: nodes with no parent, or that are not the leftmost child —
+	// equivalently the largest postorder index for each distinct leftmost
+	// value.
+	lastWithLeftmost := make(map[int]int)
+	for i, lm := range ft.leftmost {
+		lastWithLeftmost[lm] = i
+	}
+	for _, i := range lastWithLeftmost {
+		ft.keyroots = append(ft.keyroots, i)
+	}
+	sortInts(ft.keyroots)
+	return ft
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// zhangShasha computes the unnormalized tree edit distance.
+func zhangShasha(ta, tb *flatTree, unit float64, nd func(a, b *session.CtxNode) float64) float64 {
+	n, m := len(ta.nodes), len(tb.nodes)
+	td := make([][]float64, n)
+	for i := range td {
+		td[i] = make([]float64, m)
+	}
+
+	// Forest-distance scratch; sized (n+1) x (m+1).
+	fd := make([][]float64, n+1)
+	for i := range fd {
+		fd[i] = make([]float64, m+1)
+	}
+
+	for _, i := range ta.keyroots {
+		for _, j := range tb.keyroots {
+			treeDist(ta, tb, i, j, unit, nd, td, fd)
+		}
+	}
+	return td[n-1][m-1]
+}
+
+func treeDist(ta, tb *flatTree, i, j int, unit float64, nd func(a, b *session.CtxNode) float64, td, fd [][]float64) {
+	li, lj := ta.leftmost[i], tb.leftmost[j]
+	// fd indices are offsets: fd[a][b] = distance between forests
+	// ta[li..li+a-1] and tb[lj..lj+b-1].
+	ni, nj := i-li+1, j-lj+1
+
+	fd[0][0] = 0
+	for a := 1; a <= ni; a++ {
+		fd[a][0] = fd[a-1][0] + unit
+	}
+	for b := 1; b <= nj; b++ {
+		fd[0][b] = fd[0][b-1] + unit
+	}
+	for a := 1; a <= ni; a++ {
+		for b := 1; b <= nj; b++ {
+			ia := li + a - 1 // node index in ta
+			jb := lj + b - 1 // node index in tb
+			if ta.leftmost[ia] == li && tb.leftmost[jb] == lj {
+				// Both forests are trees rooted at ia / jb.
+				rel := nd(ta.nodes[ia], tb.nodes[jb])
+				fd[a][b] = min3(
+					fd[a-1][b]+unit,
+					fd[a][b-1]+unit,
+					fd[a-1][b-1]+rel,
+				)
+				td[ia][jb] = fd[a][b]
+			} else {
+				fd[a][b] = min3(
+					fd[a-1][b]+unit,
+					fd[a][b-1]+unit,
+					fd[ta.leftmost[ia]-li][tb.leftmost[jb]-lj]+td[ia][jb],
+				)
+			}
+		}
+	}
+}
+
+func min3(a, b, c float64) float64 {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LastActionMetric is the ablation metric: it ignores the context's tree
+// structure and compares only the most recent action and display. It
+// stands in for "flat" baselines when evaluating how much the tree
+// structure contributes.
+type LastActionMetric struct{}
+
+// Name implements Metric.
+func (LastActionMetric) Name() string { return "last-action" }
+
+// Distance implements Metric.
+func (LastActionMetric) Distance(a, b *session.Context) float64 {
+	na, nb := newestNode(a), newestNode(b)
+	switch {
+	case na == nil && nb == nil:
+		return 0
+	case na == nil || nb == nil:
+		return 1
+	}
+	return NodeDistance(na, nb)
+}
+
+func newestNode(c *session.Context) *session.CtxNode {
+	if c == nil {
+		return nil
+	}
+	var best *session.CtxNode
+	for _, n := range c.Nodes() {
+		if best == nil || n.Step > best.Step {
+			best = n
+		}
+	}
+	return best
+}

@@ -1,0 +1,178 @@
+// Package effectiveness implements the analysis "meta task" the paper's
+// introduction motivates: using the interestingness framework to evaluate
+// analysts' effectiveness. A session whose actions consistently achieve
+// high relative interestingness (under whichever measure dominates each
+// step) reflects purposeful analysis; the package scores sessions on that
+// trajectory and tests whether successful sessions separate from
+// unsuccessful ones.
+package effectiveness
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/measures"
+	"repro/internal/offline"
+	"repro/internal/stats"
+)
+
+// SessionScore summarizes one session's interestingness trajectory.
+type SessionScore struct {
+	SessionID  string
+	Analyst    string
+	Successful bool
+	// Trajectory is the per-action maximal relative interestingness (the
+	// dominant measure's relative score), in step order.
+	Trajectory []float64
+	// Mean is the trajectory average — the session's effectiveness score.
+	Mean float64
+	// FracInteresting is the fraction of actions whose dominant relative
+	// score clears the threshold used for the report.
+	FracInteresting float64
+}
+
+// ScoreSessions computes effectiveness scores for every session in the
+// analysis under one comparison method and measure configuration;
+// threshold feeds FracInteresting (use the method's θ_I scale).
+func ScoreSessions(a *offline.Analysis, I measures.Set, method offline.Method, threshold float64) []SessionScore {
+	var out []SessionScore
+	for _, s := range a.Repo.Sessions() {
+		sc := SessionScore{SessionID: s.ID, Analyst: s.Analyst, Successful: s.Successful}
+		interesting := 0
+		for _, n := range s.Nodes()[1:] {
+			ns := a.ByNode(n)
+			if ns == nil {
+				continue
+			}
+			labels, best := ns.Dominant(I, method)
+			if len(labels) == 0 {
+				continue
+			}
+			sc.Trajectory = append(sc.Trajectory, best)
+			if best >= threshold {
+				interesting++
+			}
+		}
+		if len(sc.Trajectory) == 0 {
+			continue
+		}
+		sc.Mean = stats.Mean(sc.Trajectory)
+		sc.FracInteresting = float64(interesting) / float64(len(sc.Trajectory))
+		out = append(out, sc)
+	}
+	return out
+}
+
+// Separation reports how successful and unsuccessful sessions differ on
+// the effectiveness score.
+type Separation struct {
+	SuccessfulN    int
+	UnsuccessfulN  int
+	SuccessfulMean float64
+	UnsuccessMean  float64
+	// Diff = SuccessfulMean - UnsuccessMean.
+	Diff float64
+	// PValue is a two-sided permutation-test p-value for the mean
+	// difference (the probability of a |difference| at least this large
+	// under random relabeling).
+	PValue float64
+	// Permutations is how many relabelings were drawn.
+	Permutations int
+}
+
+// Compare runs the permutation test on session effectiveness scores.
+// permutations <= 0 defaults to 2000; seed makes the test deterministic.
+func Compare(scores []SessionScore, permutations int, seed uint64) (Separation, error) {
+	if permutations <= 0 {
+		permutations = 2000
+	}
+	var succ, fail []float64
+	for _, s := range scores {
+		if s.Successful {
+			succ = append(succ, s.Mean)
+		} else {
+			fail = append(fail, s.Mean)
+		}
+	}
+	if len(succ) == 0 || len(fail) == 0 {
+		return Separation{}, fmt.Errorf("effectiveness: need both successful and unsuccessful sessions (have %d / %d)", len(succ), len(fail))
+	}
+	sep := Separation{
+		SuccessfulN:    len(succ),
+		UnsuccessfulN:  len(fail),
+		SuccessfulMean: stats.Mean(succ),
+		UnsuccessMean:  stats.Mean(fail),
+		Permutations:   permutations,
+	}
+	sep.Diff = sep.SuccessfulMean - sep.UnsuccessMean
+
+	all := append(append([]float64(nil), succ...), fail...)
+	nSucc := len(succ)
+	rng := stats.NewRNG(seed + 0xEFFEC7)
+	extreme := 0
+	obs := abs(sep.Diff)
+	for p := 0; p < permutations; p++ {
+		perm := rng.Perm(len(all))
+		var a, b float64
+		for i, idx := range perm {
+			if i < nSucc {
+				a += all[idx]
+			} else {
+				b += all[idx]
+			}
+		}
+		diff := a/float64(nSucc) - b/float64(len(all)-nSucc)
+		if abs(diff) >= obs {
+			extreme++
+		}
+	}
+	// +1 smoothing keeps the p-value away from an impossible zero.
+	sep.PValue = (float64(extreme) + 1) / (float64(permutations) + 1)
+	return sep, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Rank orders sessions by effectiveness (best first); ties break by id
+// for determinism.
+func Rank(scores []SessionScore) []SessionScore {
+	out := append([]SessionScore(nil), scores...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mean != out[j].Mean {
+			return out[i].Mean > out[j].Mean
+		}
+		return out[i].SessionID < out[j].SessionID
+	})
+	return out
+}
+
+// AnalystReport aggregates effectiveness per analyst.
+type AnalystReport struct {
+	Analyst  string
+	Sessions int
+	Mean     float64
+}
+
+// ByAnalyst aggregates scores per analyst, sorted by descending mean.
+func ByAnalyst(scores []SessionScore) []AnalystReport {
+	agg := map[string][]float64{}
+	for _, s := range scores {
+		agg[s.Analyst] = append(agg[s.Analyst], s.Mean)
+	}
+	var out []AnalystReport
+	for a, ms := range agg {
+		out = append(out, AnalystReport{Analyst: a, Sessions: len(ms), Mean: stats.Mean(ms)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Mean != out[j].Mean {
+			return out[i].Mean > out[j].Mean
+		}
+		return out[i].Analyst < out[j].Analyst
+	})
+	return out
+}

@@ -1,0 +1,129 @@
+package effectiveness
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/measures"
+	"repro/internal/netlog"
+	"repro/internal/offline"
+	"repro/internal/simulate"
+)
+
+var (
+	once sync.Once
+	anal *offline.Analysis
+	err  error
+)
+
+func analysis(t *testing.T) *offline.Analysis {
+	t.Helper()
+	once.Do(func() {
+		r, e := simulate.Generate(simulate.Config{
+			Analysts:      8,
+			Sessions:      48,
+			SuccessRate:   0.5,
+			Seed:          17,
+			DatasetConfig: netlog.Config{Rows: 900},
+		})
+		if e != nil {
+			err = e
+			return
+		}
+		anal, err = offline.Analyze(r, offline.Options{SkipReference: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return anal
+}
+
+func TestScoreSessionsCoversAllScorable(t *testing.T) {
+	a := analysis(t)
+	scores := ScoreSessions(a, measures.DefaultSet(), offline.Normalized, 0.7)
+	if len(scores) == 0 {
+		t.Fatal("no session scores")
+	}
+	for _, s := range scores {
+		if len(s.Trajectory) == 0 {
+			t.Fatalf("session %s has empty trajectory", s.SessionID)
+		}
+		if s.FracInteresting < 0 || s.FracInteresting > 1 {
+			t.Errorf("session %s frac = %v", s.SessionID, s.FracInteresting)
+		}
+	}
+	// Every session with actions should be scored under Normalized
+	// (which always yields a dominant measure).
+	if len(scores) != len(a.Repo.Sessions()) {
+		t.Errorf("scored %d of %d sessions", len(scores), len(a.Repo.Sessions()))
+	}
+}
+
+func TestCompareSuccessfulVsUnsuccessful(t *testing.T) {
+	a := analysis(t)
+	scores := ScoreSessions(a, measures.DefaultSet(), offline.Normalized, 0.7)
+	sep, err := Compare(scores, 500, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep.SuccessfulN == 0 || sep.UnsuccessfulN == 0 {
+		t.Fatal("split degenerate")
+	}
+	if sep.PValue <= 0 || sep.PValue > 1 {
+		t.Errorf("p-value = %v", sep.PValue)
+	}
+	// The sign of the difference is a property of the analysed log, not
+	// of the machinery (the paper proposes this as a future meta-task,
+	// without an evaluated claim); assert internal consistency and log
+	// the separation for inspection.
+	if got := sep.SuccessfulMean - sep.UnsuccessMean; got != sep.Diff {
+		t.Errorf("diff bookkeeping wrong: %v vs %v", got, sep.Diff)
+	}
+	t.Logf("effectiveness separation: success %.3f vs failure %.3f (diff %.3f, p=%.4f)",
+		sep.SuccessfulMean, sep.UnsuccessMean, sep.Diff, sep.PValue)
+}
+
+func TestCompareDeterminism(t *testing.T) {
+	a := analysis(t)
+	scores := ScoreSessions(a, measures.DefaultSet(), offline.Normalized, 0.7)
+	s1, err := Compare(scores, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Compare(scores, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.PValue != s2.PValue {
+		t.Error("same seed must give the same p-value")
+	}
+}
+
+func TestCompareNeedsBothClasses(t *testing.T) {
+	onlySucc := []SessionScore{{Successful: true, Mean: 1}, {Successful: true, Mean: 2}}
+	if _, err := Compare(onlySucc, 100, 1); err == nil {
+		t.Error("single-class comparison must fail")
+	}
+}
+
+func TestRankAndByAnalyst(t *testing.T) {
+	scores := []SessionScore{
+		{SessionID: "b", Analyst: "x", Mean: 0.5},
+		{SessionID: "a", Analyst: "y", Mean: 0.9},
+		{SessionID: "c", Analyst: "x", Mean: 0.7},
+	}
+	ranked := Rank(scores)
+	if ranked[0].SessionID != "a" || ranked[2].SessionID != "b" {
+		t.Errorf("rank order = %v, %v, %v", ranked[0].SessionID, ranked[1].SessionID, ranked[2].SessionID)
+	}
+	byA := ByAnalyst(scores)
+	if len(byA) != 2 {
+		t.Fatalf("analysts = %d", len(byA))
+	}
+	if byA[0].Analyst != "y" {
+		t.Errorf("top analyst = %s", byA[0].Analyst)
+	}
+	if byA[1].Sessions != 2 {
+		t.Errorf("x sessions = %d", byA[1].Sessions)
+	}
+}

@@ -1,0 +1,348 @@
+// Package engine implements the IDA execution substrate: analysis actions
+// (filter, group-and-aggregate) over dataset.Table values, and the Display
+// type representing the "results screen" a user examines after each action
+// (Section 2.1 of the paper).
+//
+// The engine mirrors the action vocabulary of the REACT-UI platform the
+// paper's session log was collected on: data filtering, grouping and
+// aggregation.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// ActionType distinguishes the supported analysis actions.
+type ActionType uint8
+
+const (
+	// ActionFilter selects the rows of the parent display that satisfy a
+	// predicate over one column.
+	ActionFilter ActionType = iota
+	// ActionGroup groups the parent display's rows by one column and
+	// aggregates a second column (or counts rows).
+	ActionGroup
+	// ActionBack is a pure navigation step: the user backtracks to an
+	// earlier display and continues from there. It produces no new data
+	// and is represented in session trees by branching, but keeping the
+	// type lets logs round-trip UI events faithfully.
+	ActionBack
+	// ActionTopK keeps the K rows with the largest (or smallest) values
+	// of one column — the "top 10 hosts by traffic" idiom of modern
+	// analysis UIs, and SQL's ORDER BY ... LIMIT.
+	ActionTopK
+)
+
+// String returns the action type's log name.
+func (t ActionType) String() string {
+	switch t {
+	case ActionFilter:
+		return "filter"
+	case ActionGroup:
+		return "group"
+	case ActionBack:
+		return "back"
+	case ActionTopK:
+		return "topk"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(t))
+	}
+}
+
+// ParseActionType inverts ActionType.String.
+func ParseActionType(s string) (ActionType, error) {
+	switch s {
+	case "filter":
+		return ActionFilter, nil
+	case "group":
+		return ActionGroup, nil
+	case "back":
+		return ActionBack, nil
+	case "topk":
+		return ActionTopK, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown action type %q", s)
+	}
+}
+
+// CompareOp is a filter comparison operator.
+type CompareOp uint8
+
+const (
+	OpEq CompareOp = iota
+	OpNeq
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpContains
+)
+
+// String returns the operator's log syntax.
+func (o CompareOp) String() string {
+	switch o {
+	case OpEq:
+		return "=="
+	case OpNeq:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpContains:
+		return "contains"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// ParseCompareOp inverts CompareOp.String.
+func ParseCompareOp(s string) (CompareOp, error) {
+	switch s {
+	case "==":
+		return OpEq, nil
+	case "!=":
+		return OpNeq, nil
+	case "<":
+		return OpLt, nil
+	case "<=":
+		return OpLe, nil
+	case ">":
+		return OpGt, nil
+	case ">=":
+		return OpGe, nil
+	case "contains":
+		return OpContains, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown compare op %q", s)
+	}
+}
+
+// AggFunc is an aggregate function for group actions.
+type AggFunc uint8
+
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the aggregate's log name.
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(a))
+	}
+}
+
+// ParseAggFunc inverts AggFunc.String.
+func ParseAggFunc(s string) (AggFunc, error) {
+	switch s {
+	case "count":
+		return AggCount, nil
+	case "sum":
+		return AggSum, nil
+	case "avg":
+		return AggAvg, nil
+	case "min":
+		return AggMin, nil
+	case "max":
+		return AggMax, nil
+	default:
+		return 0, fmt.Errorf("engine: unknown aggregate %q", s)
+	}
+}
+
+// Predicate is a single-column comparison used by filter actions. A filter
+// action may conjoin several predicates (e.g. the running example's
+// "protocol = HTTP AND time not in business hours").
+type Predicate struct {
+	Column  string
+	Op      CompareOp
+	Operand dataset.Value
+}
+
+// String renders the predicate in log syntax, e.g. `protocol == "HTTP"`.
+func (p Predicate) String() string {
+	if p.Operand.Kind == dataset.KindString {
+		return fmt.Sprintf("%s %s %q", p.Column, p.Op, p.Operand.Str)
+	}
+	return fmt.Sprintf("%s %s %s", p.Column, p.Op, p.Operand)
+}
+
+// Matches reports whether the value satisfies the predicate.
+func (p Predicate) Matches(v dataset.Value) bool {
+	switch p.Op {
+	case OpEq:
+		return v.Compare(p.Operand) == 0
+	case OpNeq:
+		return v.Compare(p.Operand) != 0
+	case OpLt:
+		return v.Compare(p.Operand) < 0
+	case OpLe:
+		return v.Compare(p.Operand) <= 0
+	case OpGt:
+		return v.Compare(p.Operand) > 0
+	case OpGe:
+		return v.Compare(p.Operand) >= 0
+	case OpContains:
+		return strings.Contains(v.String(), p.Operand.String())
+	default:
+		return false
+	}
+}
+
+// Action is one analysis step. Exactly the fields relevant to Type are set:
+// Predicates for ActionFilter; GroupBy/Agg/AggColumn for ActionGroup.
+type Action struct {
+	Type ActionType
+
+	// Predicates are conjoined for a filter action.
+	Predicates []Predicate
+
+	// GroupBy is the grouping column for a group action.
+	GroupBy string
+	// Agg is the aggregate function applied per group.
+	Agg AggFunc
+	// AggColumn is the aggregated column; empty for AggCount.
+	AggColumn string
+
+	// SortColumn, K and Ascending configure a top-k action: keep the K
+	// rows with the largest SortColumn values (smallest when Ascending).
+	SortColumn string
+	K          int
+	Ascending  bool
+}
+
+// NewFilter builds a filter action from one or more predicates.
+func NewFilter(preds ...Predicate) *Action {
+	return &Action{Type: ActionFilter, Predicates: preds}
+}
+
+// NewGroupCount builds a group action counting rows per group.
+func NewGroupCount(groupBy string) *Action {
+	return &Action{Type: ActionGroup, GroupBy: groupBy, Agg: AggCount}
+}
+
+// NewGroupAgg builds a group action aggregating aggColumn per group.
+func NewGroupAgg(groupBy string, agg AggFunc, aggColumn string) *Action {
+	return &Action{Type: ActionGroup, GroupBy: groupBy, Agg: agg, AggColumn: aggColumn}
+}
+
+// NewTopK builds a top-k action keeping the k rows with the largest values
+// of column (smallest when ascending).
+func NewTopK(column string, k int, ascending bool) *Action {
+	return &Action{Type: ActionTopK, SortColumn: column, K: k, Ascending: ascending}
+}
+
+// String renders the action in log syntax, the format also used by the
+// action ground metric of the session distance.
+func (a *Action) String() string {
+	switch a.Type {
+	case ActionFilter:
+		parts := make([]string, len(a.Predicates))
+		for i, p := range a.Predicates {
+			parts[i] = p.String()
+		}
+		return "filter[" + strings.Join(parts, " && ") + "]"
+	case ActionGroup:
+		if a.Agg == AggCount {
+			return fmt.Sprintf("group[%s].count()", a.GroupBy)
+		}
+		return fmt.Sprintf("group[%s].%s(%s)", a.GroupBy, a.Agg, a.AggColumn)
+	case ActionBack:
+		return "back[]"
+	case ActionTopK:
+		dir := "desc"
+		if a.Ascending {
+			dir = "asc"
+		}
+		return fmt.Sprintf("topk[%s %s %d]", a.SortColumn, dir, a.K)
+	default:
+		return "unknown[]"
+	}
+}
+
+// Columns returns the set of column names the action touches, used by the
+// action ground metric.
+func (a *Action) Columns() []string {
+	switch a.Type {
+	case ActionFilter:
+		out := make([]string, 0, len(a.Predicates))
+		seen := map[string]bool{}
+		for _, p := range a.Predicates {
+			if !seen[p.Column] {
+				seen[p.Column] = true
+				out = append(out, p.Column)
+			}
+		}
+		return out
+	case ActionGroup:
+		if a.AggColumn != "" && a.AggColumn != a.GroupBy {
+			return []string{a.GroupBy, a.AggColumn}
+		}
+		return []string{a.GroupBy}
+	case ActionTopK:
+		return []string{a.SortColumn}
+	default:
+		return nil
+	}
+}
+
+// Equal reports structural equality of two actions.
+func (a *Action) Equal(b *Action) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Type != b.Type {
+		return false
+	}
+	switch a.Type {
+	case ActionFilter:
+		if len(a.Predicates) != len(b.Predicates) {
+			return false
+		}
+		for i := range a.Predicates {
+			pa, pb := a.Predicates[i], b.Predicates[i]
+			if pa.Column != pb.Column || pa.Op != pb.Op || !pa.Operand.Equal(pb.Operand) {
+				return false
+			}
+		}
+		return true
+	case ActionGroup:
+		return a.GroupBy == b.GroupBy && a.Agg == b.Agg && a.AggColumn == b.AggColumn
+	case ActionTopK:
+		return a.SortColumn == b.SortColumn && a.K == b.K && a.Ascending == b.Ascending
+	default:
+		return true
+	}
+}
+
+// Clone returns a deep copy of the action.
+func (a *Action) Clone() *Action {
+	if a == nil {
+		return nil
+	}
+	cp := *a
+	cp.Predicates = append([]Predicate(nil), a.Predicates...)
+	return &cp
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestActionTypeRoundTrip(t *testing.T) {
+	for _, at := range []ActionType{ActionFilter, ActionGroup, ActionBack} {
+		back, err := ParseActionType(at.String())
+		if err != nil || back != at {
+			t.Errorf("round trip %v: %v, %v", at, back, err)
+		}
+	}
+	if _, err := ParseActionType("zap"); err == nil {
+		t.Error("unknown type must fail")
+	}
+}
+
+func TestCompareOpRoundTrip(t *testing.T) {
+	ops := []CompareOp{OpEq, OpNeq, OpLt, OpLe, OpGt, OpGe, OpContains}
+	for _, op := range ops {
+		back, err := ParseCompareOp(op.String())
+		if err != nil || back != op {
+			t.Errorf("round trip %v: %v, %v", op, back, err)
+		}
+	}
+	if _, err := ParseCompareOp("~"); err == nil {
+		t.Error("unknown op must fail")
+	}
+}
+
+func TestAggFuncRoundTrip(t *testing.T) {
+	aggs := []AggFunc{AggCount, AggSum, AggAvg, AggMin, AggMax}
+	for _, a := range aggs {
+		back, err := ParseAggFunc(a.String())
+		if err != nil || back != a {
+			t.Errorf("round trip %v: %v, %v", a, back, err)
+		}
+	}
+	if _, err := ParseAggFunc("median"); err == nil {
+		t.Error("unknown agg must fail")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	f := NewFilter(
+		Predicate{Column: "protocol", Op: OpEq, Operand: dataset.S("HTTP")},
+		Predicate{Column: "hour", Op: OpGt, Operand: dataset.I(19)},
+	)
+	want := `filter[protocol == "HTTP" && hour > 19]`
+	if got := f.String(); got != want {
+		t.Errorf("filter string = %q, want %q", got, want)
+	}
+	g := NewGroupCount("protocol")
+	if got := g.String(); got != "group[protocol].count()" {
+		t.Errorf("group string = %q", got)
+	}
+	ga := NewGroupAgg("dst_ip", AggSum, "length")
+	if got := ga.String(); got != "group[dst_ip].sum(length)" {
+		t.Errorf("group-agg string = %q", got)
+	}
+}
+
+func TestActionColumns(t *testing.T) {
+	f := NewFilter(
+		Predicate{Column: "a", Op: OpEq, Operand: dataset.I(1)},
+		Predicate{Column: "a", Op: OpLt, Operand: dataset.I(5)},
+		Predicate{Column: "b", Op: OpGt, Operand: dataset.I(0)},
+	)
+	if got := f.Columns(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("filter columns = %v", got)
+	}
+	g := NewGroupAgg("g", AggAvg, "v")
+	if got := g.Columns(); len(got) != 2 {
+		t.Errorf("group columns = %v", got)
+	}
+	gSame := NewGroupAgg("g", AggAvg, "g")
+	if got := gSame.Columns(); len(got) != 1 {
+		t.Errorf("self-agg columns = %v", got)
+	}
+}
+
+func TestActionEqualAndClone(t *testing.T) {
+	a := NewFilter(Predicate{Column: "x", Op: OpEq, Operand: dataset.S("v")})
+	b := NewFilter(Predicate{Column: "x", Op: OpEq, Operand: dataset.S("v")})
+	if !a.Equal(b) {
+		t.Error("identical filters must be Equal")
+	}
+	c := NewFilter(Predicate{Column: "x", Op: OpNeq, Operand: dataset.S("v")})
+	if a.Equal(c) {
+		t.Error("different ops must not be Equal")
+	}
+	if a.Equal(NewGroupCount("x")) {
+		t.Error("different types must not be Equal")
+	}
+	g1, g2 := NewGroupAgg("g", AggSum, "v"), NewGroupAgg("g", AggSum, "v")
+	if !g1.Equal(g2) {
+		t.Error("identical groups must be Equal")
+	}
+
+	cp := a.Clone()
+	if !cp.Equal(a) {
+		t.Error("clone must be Equal to original")
+	}
+	cp.Predicates[0].Column = "mutated"
+	if a.Predicates[0].Column != "x" {
+		t.Error("clone must be deep: mutating it changed the original")
+	}
+	var nilA *Action
+	if nilA.Clone() != nil {
+		t.Error("nil clone should be nil")
+	}
+	if !nilA.Equal(nil) {
+		t.Error("nil equals nil")
+	}
+}
+
+func TestPredicateMatches(t *testing.T) {
+	p := Predicate{Column: "x", Op: OpContains, Operand: dataset.S("10.0")}
+	if !p.Matches(dataset.S("10.0.0.7")) {
+		t.Error("contains should match")
+	}
+	if p.Matches(dataset.S("192.168.1.1")) {
+		t.Error("contains should not match")
+	}
+	ge := Predicate{Column: "x", Op: OpGe, Operand: dataset.I(5)}
+	if !ge.Matches(dataset.I(5)) || ge.Matches(dataset.I(4)) {
+		t.Error("Ge boundary wrong")
+	}
+}

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestEnumerateActionsCoversTypes(t *testing.T) {
+	root := trafficDisplay(t)
+	cands := EnumerateActions(root, EnumerateOptions{})
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	var groups, filters int
+	for _, a := range cands {
+		switch a.Type {
+		case ActionGroup:
+			groups++
+		case ActionFilter:
+			filters++
+		}
+	}
+	if groups == 0 || filters == 0 {
+		t.Errorf("candidates unbalanced: %d groups, %d filters", groups, filters)
+	}
+}
+
+func TestEnumerateActionsAllExecutableOrDegenerate(t *testing.T) {
+	root := trafficDisplay(t)
+	cands := EnumerateActions(root, EnumerateOptions{IncludeAggregates: true})
+	for _, a := range cands {
+		_, err := Execute(root, a)
+		// ErrEmptyResult is acceptable (quantile edges); anything else is
+		// an enumeration bug.
+		if err != nil && err != ErrEmptyResult {
+			t.Errorf("candidate %s failed: %v", a, err)
+		}
+	}
+}
+
+func TestEnumerateActionsAggregateOption(t *testing.T) {
+	root := trafficDisplay(t)
+	without := EnumerateActions(root, EnumerateOptions{})
+	with := EnumerateActions(root, EnumerateOptions{IncludeAggregates: true})
+	if len(with) <= len(without) {
+		t.Errorf("IncludeAggregates should add candidates: %d vs %d", len(with), len(without))
+	}
+	foundSum := false
+	for _, a := range with {
+		if a.Type == ActionGroup && a.Agg == AggSum {
+			foundSum = true
+		}
+	}
+	if !foundSum {
+		t.Error("no sum aggregate candidate")
+	}
+}
+
+func TestEnumerateActionsSkipsHighCardinalityGroups(t *testing.T) {
+	b := dataset.NewBuilder("wide", dataset.Schema{
+		{Name: "id", Kind: dataset.KindString},
+		{Name: "class", Kind: dataset.KindString},
+	})
+	for i := 0; i < 300; i++ {
+		b.Append(dataset.S(string(rune('a'+i%26))+string(rune('a'+(i/26)%26))+string(rune('0'+i%10))), dataset.S("c"))
+	}
+	d := NewRootDisplay(b.MustBuild())
+	cands := EnumerateActions(d, EnumerateOptions{MaxCategoricalCardinality: 30})
+	for _, a := range cands {
+		if a.Type == ActionGroup && a.GroupBy == "id" {
+			t.Fatalf("high-cardinality column enumerated as group target: %s", a)
+		}
+	}
+}
+
+func TestEnumerateActionsOnAggregatedDisplay(t *testing.T) {
+	root := trafficDisplay(t)
+	agg, err := Execute(root, NewGroupCount("protocol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := EnumerateActions(agg, EnumerateOptions{})
+	if len(cands) == 0 {
+		t.Fatal("aggregated display should still have candidates")
+	}
+	// The synthetic count column supports numeric filters but must not be
+	// a regroup target.
+	for _, a := range cands {
+		if a.Type == ActionGroup && a.GroupBy == agg.ValueColumn {
+			t.Errorf("regrouping by the aggregate column: %s", a)
+		}
+	}
+}
+
+func TestEnumerateDeterminism(t *testing.T) {
+	root := trafficDisplay(t)
+	a := EnumerateActions(root, EnumerateOptions{IncludeAggregates: true})
+	b := EnumerateActions(root, EnumerateOptions{IncludeAggregates: true})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("candidate %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEnumerateFilterValueCap(t *testing.T) {
+	root := trafficDisplay(t)
+	cands := EnumerateActions(root, EnumerateOptions{MaxFilterValuesPerColumn: 1})
+	perColumn := map[string]int{}
+	for _, a := range cands {
+		if a.Type == ActionFilter && a.Predicates[0].Op == OpEq {
+			perColumn[a.Predicates[0].Column]++
+		}
+	}
+	for col, n := range perColumn {
+		if n > 1 {
+			t.Errorf("column %s has %d equality filters, cap is 1", col, n)
+		}
+	}
+}

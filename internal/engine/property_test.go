@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+// randomTable builds a deterministic table from fuzz inputs: a categorical
+// column with small alphabet and a numeric column.
+func randomTable(cats []uint8, nums []int16) *dataset.Table {
+	n := len(cats)
+	if len(nums) < n {
+		n = len(nums)
+	}
+	b := dataset.NewBuilder("fuzz", dataset.Schema{
+		{Name: "cat", Kind: dataset.KindString},
+		{Name: "num", Kind: dataset.KindInt},
+	})
+	for i := 0; i < n; i++ {
+		b.Append(dataset.S(string(rune('a'+int(cats[i])%5))), dataset.I(int64(nums[i])))
+	}
+	return b.MustBuild()
+}
+
+// TestFilterSubsetProperty: a filter result is always a subset of its
+// parent (row count and value domain).
+func TestFilterSubsetProperty(t *testing.T) {
+	f := func(cats []uint8, nums []int16, pivot int16) bool {
+		tbl := randomTable(cats, nums)
+		if tbl.NumRows() == 0 {
+			return true
+		}
+		root := NewRootDisplay(tbl)
+		d, err := Execute(root, NewFilter(Predicate{Column: "num", Op: OpGt, Operand: dataset.I(int64(pivot))}))
+		if err == ErrEmptyResult {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		if d.NumRows() > tbl.NumRows() {
+			return false
+		}
+		// Every surviving row satisfies the predicate.
+		col := d.Table.ColumnByName("num")
+		for i := 0; i < col.Len(); i++ {
+			if col.Ints[i] <= int64(pivot) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupCountMassProperty: group counts always sum to the parent's row
+// count, and the group count never exceeds the number of rows.
+func TestGroupCountMassProperty(t *testing.T) {
+	f := func(cats []uint8, nums []int16) bool {
+		tbl := randomTable(cats, nums)
+		if tbl.NumRows() == 0 {
+			return true
+		}
+		root := NewRootDisplay(tbl)
+		d, err := Execute(root, NewGroupCount("cat"))
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range d.AggValues() {
+			sum += v
+		}
+		return int(sum) == tbl.NumRows() && d.NumRows() <= tbl.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroupAvgBoundsProperty: per-group averages always lie within the
+// parent column's [min, max].
+func TestGroupAvgBoundsProperty(t *testing.T) {
+	f := func(cats []uint8, nums []int16) bool {
+		tbl := randomTable(cats, nums)
+		if tbl.NumRows() == 0 {
+			return true
+		}
+		var lo, hi int64
+		col := tbl.ColumnByName("num")
+		for i := 0; i < col.Len(); i++ {
+			v := col.Ints[i]
+			if i == 0 || v < lo {
+				lo = v
+			}
+			if i == 0 || v > hi {
+				hi = v
+			}
+		}
+		root := NewRootDisplay(tbl)
+		d, err := Execute(root, NewGroupAgg("cat", AggAvg, "num"))
+		if err != nil {
+			return false
+		}
+		for _, v := range d.AggValues() {
+			if v < float64(lo)-1e-9 || v > float64(hi)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFilterIdempotentProperty: applying the same equality filter twice
+// changes nothing the second time.
+func TestFilterIdempotentProperty(t *testing.T) {
+	f := func(cats []uint8, nums []int16, pick uint8) bool {
+		tbl := randomTable(cats, nums)
+		if tbl.NumRows() == 0 {
+			return true
+		}
+		root := NewRootDisplay(tbl)
+		target := dataset.S(string(rune('a' + int(pick)%5)))
+		a := NewFilter(Predicate{Column: "cat", Op: OpEq, Operand: target})
+		d1, err := Execute(root, a)
+		if err == ErrEmptyResult {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		d2, err := Execute(d1, a)
+		if err != nil {
+			return false
+		}
+		return d1.NumRows() == d2.NumRows()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestExecuteTopKDescending(t *testing.T) {
+	root := trafficDisplay(t)
+	d, err := Execute(root, NewTopK("length", 3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", d.NumRows())
+	}
+	col := d.Table.ColumnByName("length")
+	// Largest three lengths of the fixture: 9000, 410, 400.
+	want := []int64{9000, 410, 400}
+	for i, w := range want {
+		if col.Ints[i] != w {
+			t.Errorf("row %d length = %d, want %d", i, col.Ints[i], w)
+		}
+	}
+	if d.Aggregated {
+		t.Error("top-k of a raw display stays raw")
+	}
+	if d.CoveredRows != 3 || d.OriginRows != 8 {
+		t.Errorf("covered/origin = %d/%d", d.CoveredRows, d.OriginRows)
+	}
+}
+
+func TestExecuteTopKAscending(t *testing.T) {
+	root := trafficDisplay(t)
+	d, err := Execute(root, NewTopK("length", 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := d.Table.ColumnByName("length")
+	if col.Ints[0] != 60 || col.Ints[1] != 150 {
+		t.Errorf("bottom-2 lengths = %v, %v", col.Ints[0], col.Ints[1])
+	}
+}
+
+func TestExecuteTopKKLargerThanTable(t *testing.T) {
+	root := trafficDisplay(t)
+	d, err := Execute(root, NewTopK("length", 99, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRows() != root.Table.NumRows() {
+		t.Errorf("k > rows should keep everything: %d", d.NumRows())
+	}
+}
+
+func TestExecuteTopKOverAggregatedDisplay(t *testing.T) {
+	root := trafficDisplay(t)
+	agg, err := Execute(root, NewGroupCount("protocol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Execute(agg, NewTopK("count", 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Aggregated || d.GroupColumn != "protocol" || d.ValueColumn != "count" {
+		t.Error("top-k must preserve the aggregation shape")
+	}
+	if d.NumRows() != 2 {
+		t.Fatalf("rows = %d", d.NumRows())
+	}
+	// HTTP (4) and HTTPS (2) are the two biggest protocol groups.
+	if got := d.Table.Cell(0, 0).Str; got != "HTTP" {
+		t.Errorf("top group = %q, want HTTP", got)
+	}
+	vals := d.AggValues()
+	if len(vals) != 2 || vals[0] != 4 {
+		t.Errorf("agg values = %v", vals)
+	}
+}
+
+func TestExecuteTopKErrors(t *testing.T) {
+	root := trafficDisplay(t)
+	if _, err := Execute(root, NewTopK("ghost", 3, false)); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("unknown column: %v", err)
+	}
+	if _, err := Execute(root, NewTopK("length", 0, false)); err == nil {
+		t.Error("k = 0 must fail")
+	}
+}
+
+func TestExecuteTopKStableTies(t *testing.T) {
+	b := dataset.NewBuilder("ties", dataset.Schema{
+		{Name: "id", Kind: dataset.KindInt},
+		{Name: "v", Kind: dataset.KindInt},
+	})
+	for i := 0; i < 6; i++ {
+		b.Append(dataset.I(int64(i)), dataset.I(7)) // all values tie
+	}
+	root := NewRootDisplay(b.MustBuild())
+	d1, err := Execute(root, NewTopK("v", 3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Execute(root, NewTopK("v", 3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		a := d1.Table.Cell(i, 0)
+		bb := d2.Table.Cell(i, 0)
+		if !a.Equal(bb) {
+			t.Fatal("tied top-k must be deterministic")
+		}
+		// Stable sort keeps original order within the tie.
+		if !a.Equal(dataset.I(int64(i))) {
+			t.Errorf("tie order broken at %d: %v", i, a)
+		}
+	}
+}
+
+func TestTopKActionPlumbing(t *testing.T) {
+	a := NewTopK("length", 10, false)
+	if a.String() != "topk[length desc 10]" {
+		t.Errorf("String = %q", a.String())
+	}
+	asc := NewTopK("length", 5, true)
+	if asc.String() != "topk[length asc 5]" {
+		t.Errorf("String = %q", asc.String())
+	}
+	if got := a.Columns(); len(got) != 1 || got[0] != "length" {
+		t.Errorf("Columns = %v", got)
+	}
+	if !a.Equal(NewTopK("length", 10, false)) {
+		t.Error("identical top-k must be Equal")
+	}
+	if a.Equal(asc) || a.Equal(NewTopK("length", 11, false)) {
+		t.Error("different top-k must not be Equal")
+	}
+	cp := a.Clone()
+	if !cp.Equal(a) {
+		t.Error("clone broken")
+	}
+	if tt, err := ParseActionType("topk"); err != nil || tt != ActionTopK {
+		t.Error("type round trip broken")
+	}
+}
+
+func TestEnumerateTopKOption(t *testing.T) {
+	root := trafficDisplay(t)
+	without := EnumerateActions(root, EnumerateOptions{})
+	with := EnumerateActions(root, EnumerateOptions{IncludeTopK: true, TopKSizes: []int{3}})
+	for _, a := range without {
+		if a.Type == ActionTopK {
+			t.Fatal("top-k must be off by default")
+		}
+	}
+	found := false
+	for _, a := range with {
+		if a.Type == ActionTopK {
+			found = true
+			if a.K != 3 {
+				t.Errorf("k = %d", a.K)
+			}
+			if _, err := Execute(root, a); err != nil {
+				t.Errorf("candidate %s failed: %v", a, err)
+			}
+		}
+	}
+	if !found {
+		t.Error("IncludeTopK produced no candidates")
+	}
+}

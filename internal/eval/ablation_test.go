@@ -1,0 +1,166 @@
+package eval
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/measures"
+	"repro/internal/offline"
+	"repro/internal/stats"
+)
+
+// The ablations promised in DESIGN.md §5. They are tests (not benches)
+// because their interesting output is quality, not time; each logs its
+// comparison so `go test -v` doubles as the ablation report.
+
+// TestAblationTreeStructureVsFlatMetric compares the paper's tree edit
+// distance against a flat "last action only" metric in the kNN model.
+func TestAblationTreeStructureVsFlatMetric(t *testing.T) {
+	a := smallAnalysis(t)
+	I := measures.DefaultSet()
+	cfg := KNNConfig{K: 3, ThetaDelta: 0.2, ThetaI: 0}
+	tree := BuildEvalSet(a, I, offline.Normalized, 5, distance.TreeEdit{})
+	flat := BuildEvalSet(a, I, offline.Normalized, 5, distance.LastActionMetric{})
+	mt := tree.EvaluateKNN(cfg)
+	mf := flat.EvaluateKNN(cfg)
+	t.Logf("tree-edit: %s", mt)
+	t.Logf("last-action: %s", mf)
+	rnd := tree.EvaluateRandom(0, 9)
+	if mt.Accuracy <= rnd.Accuracy {
+		t.Errorf("tree metric (%v) should beat RANDOM (%v)", mt.Accuracy, rnd.Accuracy)
+	}
+	// The flat metric is a legitimate but weaker signal; it must at least
+	// remain a working classifier.
+	if mf.Predictions == 0 {
+		t.Error("flat metric made no predictions")
+	}
+}
+
+// TestAblationAlignmentVsTreeEdit compares the tree-edit context distance
+// against the Aligon-style local sequence alignment metric — the paper's
+// two cited similarity notions, both pluggable into the kNN model.
+func TestAblationAlignmentVsTreeEdit(t *testing.T) {
+	a := smallAnalysis(t)
+	I := measures.DefaultSet()
+	cfg := KNNConfig{K: 3, ThetaDelta: 0.2, ThetaI: 0}
+	tree := BuildEvalSet(a, I, offline.Normalized, 5, distance.TreeEdit{})
+	align := BuildEvalSet(a, I, offline.Normalized, 5, distance.AlignmentMetric{})
+	mt := tree.EvaluateKNN(cfg)
+	ma := align.EvaluateKNN(cfg)
+	t.Logf("tree-edit:          %s", mt)
+	t.Logf("sequence-alignment: %s", ma)
+	rnd := align.EvaluateRandom(0, 3)
+	if ma.Predictions > 0 && ma.Accuracy <= rnd.Accuracy {
+		t.Errorf("alignment metric (%v) should beat RANDOM (%v)", ma.Accuracy, rnd.Accuracy)
+	}
+}
+
+// TestAblationThetaIFiltering checks the effect of discarding globally
+// non-interesting samples (the paper's Figure-5 θ_I effect).
+func TestAblationThetaIFiltering(t *testing.T) {
+	a := smallAnalysis(t)
+	es := BuildEvalSet(a, measures.DefaultSet(), offline.Normalized, 2, nil)
+	unfiltered := es.EvaluateKNN(KNNConfig{K: 3, ThetaDelta: 0.2, ThetaI: math.Inf(-1)})
+	filtered := es.EvaluateKNN(KNNConfig{K: 3, ThetaDelta: 0.2, ThetaI: 0.7})
+	t.Logf("θ_I=-inf: %s", unfiltered)
+	t.Logf("θ_I=0.7:  %s", filtered)
+	if filtered.Samples >= unfiltered.Samples {
+		t.Error("θ_I must discard samples")
+	}
+}
+
+// TestAblationTieHandling compares keeping all tied dominant labels (the
+// paper's choice) against keeping only the first.
+func TestAblationTieHandling(t *testing.T) {
+	a := smallAnalysis(t)
+	I := measures.DefaultSet()
+	keep := offline.BuildTrainingSet(a, I, offline.TrainingOptions{
+		N: 2, Method: offline.ReferenceBased, ThetaI: math.Inf(-1), SuccessfulOnly: true,
+	})
+	drop := offline.BuildTrainingSet(a, I, offline.TrainingOptions{
+		N: 2, Method: offline.ReferenceBased, ThetaI: math.Inf(-1), SuccessfulOnly: true, DropTies: true,
+	})
+	ties, multi := 0, 0
+	for i := range keep {
+		if len(keep[i].Labels) > 1 {
+			ties++
+		}
+		if len(drop[i].Labels) > 1 {
+			multi++
+		}
+	}
+	t.Logf("samples=%d tied-with-keep=%d tied-with-drop=%d", len(keep), ties, multi)
+	if len(keep) != len(drop) {
+		t.Error("tie handling must not change the sample count")
+	}
+	// Dropping ties can only reduce per-sample label counts before the
+	// duplicate-context merge (the merge may reintroduce ties).
+	if multi > ties {
+		t.Error("DropTies increased tie incidence")
+	}
+}
+
+// TestAblationNormalizationStage1 compares Algorithm 2's Box-Cox stage
+// against a z-score-only pipeline: how often do the two produce the same
+// dominant measure, and how much skew does stage 1 actually remove?
+func TestAblationNormalizationStage1(t *testing.T) {
+	a := smallAnalysis(t)
+	I := measures.DefaultSet()
+
+	// z-only standardization per measure.
+	type zparams struct{ mean, std float64 }
+	zOnly := map[string]zparams{}
+	for _, m := range I {
+		var series []float64
+		for _, ns := range a.Nodes {
+			series = append(series, ns.Raw[m.Name()])
+		}
+		_, mean, std := stats.ZScores(series)
+		zOnly[m.Name()] = zparams{mean, std}
+	}
+
+	agree, total := 0, 0
+	for _, ns := range a.Nodes {
+		// Dominant under Box-Cox+z (the framework's labels).
+		bcLabels, _ := ns.Dominant(I, offline.Normalized)
+		// Dominant under z-only.
+		best, bestV := "", math.Inf(-1)
+		for _, m := range I {
+			p := zOnly[m.Name()]
+			v := stats.ZScore(ns.Raw[m.Name()], p.mean, p.std)
+			if v > bestV {
+				best, bestV = m.Name(), v
+			}
+		}
+		total++
+		sort.Strings(bcLabels)
+		for _, l := range bcLabels {
+			if l == best {
+				agree++
+				break
+			}
+		}
+	}
+	rate := float64(agree) / float64(total)
+	t.Logf("box-cox+z vs z-only dominant agreement: %.3f over %d actions", rate, total)
+	if rate < 0.3 || rate > 1.0 {
+		t.Errorf("agreement %v out of plausible range", rate)
+	}
+
+	// Skew reduction evidence on the most skewed raw series (CG).
+	var cg []float64
+	for _, ns := range a.Nodes {
+		cg = append(cg, ns.Raw["compaction_gain"])
+	}
+	transformed, _, err := stats.BoxCoxTransform(cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawSkew, bcSkew := stats.Skewness(cg), stats.Skewness(transformed)
+	t.Logf("compaction_gain skewness: raw %.2f -> box-cox %.2f", rawSkew, bcSkew)
+	if math.Abs(bcSkew) > math.Abs(rawSkew) {
+		t.Errorf("box-cox increased |skewness| (%v -> %v)", rawSkew, bcSkew)
+	}
+}

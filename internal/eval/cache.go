@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"sync"
+
+	"repro/internal/distance"
+	"repro/internal/measures"
+	"repro/internal/offline"
+)
+
+// DistanceCache shares pairwise context-distance matrices across EvalSets.
+// The samples of an EvalSet depend on (repository, n, method) but NOT on
+// the measure configuration I — BuildTrainingSet with θ_I = -∞ keeps every
+// labeled state in deterministic order — so the 16-configuration sweeps of
+// Table 5 / Figures 4-5 can reuse one matrix per (n, method) instead of
+// recomputing hundreds of thousands of tree edit distances per
+// configuration.
+type DistanceCache struct {
+	// Metric is the underlying context metric (shared display memo
+	// included when built via NewDistanceCache).
+	Metric distance.Metric
+
+	mu sync.Mutex
+	m  map[cacheKey]*cachedDistances
+}
+
+type cacheKey struct {
+	n      int
+	method offline.Method
+}
+
+type cachedDistances struct {
+	dist      [][]float64
+	neighbors [][]int32
+	signature []*offline.Sample // used only for a cheap alignment check
+}
+
+// NewDistanceCache builds a cache around a memoized tree edit metric.
+func NewDistanceCache() *DistanceCache {
+	return &DistanceCache{
+		Metric: distance.NewMemoizedTreeEdit(nil),
+		m:      make(map[cacheKey]*cachedDistances),
+	}
+}
+
+// distancesFor returns (possibly cached) pairwise distances and sorted
+// neighbor lists for the samples of one (n, method) slot. If a cached
+// entry's sample count mismatches (which would mean the caller's training
+// set diverged), it is recomputed rather than trusted.
+func (c *DistanceCache) distancesFor(n int, method offline.Method, samples []*offline.Sample) ([][]float64, [][]int32) {
+	if c == nil {
+		metric := distance.NewMemoizedTreeEdit(nil)
+		d := PairwiseDistances(samples, metric)
+		return d, sortNeighbors(d)
+	}
+	key := cacheKey{n: n, method: method}
+	c.mu.Lock()
+	entry := c.m[key]
+	c.mu.Unlock()
+	if entry != nil && len(entry.signature) == len(samples) {
+		ok := true
+		for i := range samples {
+			// Contexts are freshly extracted per training set, so compare
+			// by originating state instead of pointer identity.
+			if entry.signature[i].State != samples[i].State {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return entry.dist, entry.neighbors
+		}
+	}
+	d := PairwiseDistances(samples, c.Metric)
+	nb := sortNeighbors(d)
+	c.mu.Lock()
+	c.m[key] = &cachedDistances{dist: d, neighbors: nb, signature: samples}
+	c.mu.Unlock()
+	return d, nb
+}
+
+// BuildEvalSetCached is BuildEvalSet with distance-matrix sharing.
+func BuildEvalSetCached(a *offline.Analysis, I measures.Set, method offline.Method, n int, cache *DistanceCache) *EvalSet {
+	es := buildSamplesOnly(a, I, method, n)
+	es.Dist, es.neighbors = cache.distancesFor(n, method, es.Samples)
+	return es
+}

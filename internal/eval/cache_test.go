@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/measures"
+	"repro/internal/offline"
+)
+
+func TestDistanceCacheSharesAcrossConfigurations(t *testing.T) {
+	a := smallAnalysis(t)
+	cache := NewDistanceCache()
+	configs := measures.AllConfigurations()[:3]
+	var first *EvalSet
+	for i, I := range configs {
+		es := BuildEvalSetCached(a, I, offline.Normalized, 2, cache)
+		if i == 0 {
+			first = es
+			continue
+		}
+		if len(es.Samples) != len(first.Samples) {
+			t.Fatalf("sample counts differ across configs: %d vs %d", len(es.Samples), len(first.Samples))
+		}
+		// The distance matrix must be the exact cached instance.
+		if &es.Dist[0] != &first.Dist[0] {
+			t.Fatal("distance matrix not shared")
+		}
+	}
+}
+
+func TestDistanceCacheSeparatesMethodsAndN(t *testing.T) {
+	a := smallAnalysis(t)
+	cache := NewDistanceCache()
+	I := measures.DefaultSet()
+	e1 := BuildEvalSetCached(a, I, offline.Normalized, 2, cache)
+	e2 := BuildEvalSetCached(a, I, offline.Normalized, 5, cache)
+	if len(e1.Dist) == len(e2.Dist) && &e1.Dist[0] == &e2.Dist[0] {
+		t.Fatal("different n must not share a matrix")
+	}
+	e3 := BuildEvalSetCached(a, I, offline.ReferenceBased, 2, cache)
+	if len(e3.Samples) == len(e1.Samples) && &e3.Dist[0] == &e1.Dist[0] {
+		// Sharing across methods would require identical sample sets;
+		// Reference-Based drops actions without reference verdicts, so
+		// the signature check must have rejected reuse unless the sets
+		// truly coincide — verify alignment if it did share.
+		for i := range e3.Samples {
+			if e3.Samples[i].State != e1.Samples[i].State {
+				t.Fatal("cross-method sharing with misaligned samples")
+			}
+		}
+	}
+}
+
+func TestCachedMatchesUncached(t *testing.T) {
+	a := smallAnalysis(t)
+	I := measures.DefaultSet()
+	cached := BuildEvalSetCached(a, I, offline.Normalized, 3, NewDistanceCache())
+	plain := BuildEvalSet(a, I, offline.Normalized, 3, nil)
+	if len(cached.Samples) != len(plain.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(cached.Samples), len(plain.Samples))
+	}
+	for i := range plain.Dist {
+		for j := range plain.Dist[i] {
+			if math.Abs(plain.Dist[i][j]-cached.Dist[i][j]) > 1e-12 {
+				t.Fatalf("distance (%d,%d) differs: %v vs %v", i, j, plain.Dist[i][j], cached.Dist[i][j])
+			}
+		}
+	}
+	m1 := plain.EvaluateKNN(KNNConfig{K: 3, ThetaDelta: 0.2, ThetaI: 0})
+	m2 := cached.EvaluateKNN(KNNConfig{K: 3, ThetaDelta: 0.2, ThetaI: 0})
+	if m1.Accuracy != m2.Accuracy || m1.Coverage != m2.Coverage {
+		t.Errorf("cached evaluation differs: %v vs %v", m1, m2)
+	}
+}
+
+func TestNilCacheFallback(t *testing.T) {
+	a := smallAnalysis(t)
+	var nilCache *DistanceCache
+	samples := buildSamplesOnly(a, measures.DefaultSet(), offline.Normalized, 2).Samples
+	d, nb := nilCache.distancesFor(2, offline.Normalized, samples)
+	if len(d) != len(samples) || len(nb) != len(samples) {
+		t.Fatal("nil cache fallback broken")
+	}
+}

@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/measures"
+	"repro/internal/offline"
+)
+
+func TestConfusionHandWorked(t *testing.T) {
+	classes := []string{"a", "b"}
+	outcomes := []Outcome{
+		o("a", true, "a"),      // diagonal a
+		o("b", true, "a"),      // truth a predicted b
+		o("b", true, "b"),      // diagonal b
+		o("", false, "b"),      // abstained with truth b
+		o("a", true, "b", "a"), // tied truth, correct -> attributed to a
+	}
+	cm := NewConfusion(outcomes, classes)
+	if cm.Counts[0][0] != 2 { // a->a: first and the tied one
+		t.Errorf("a->a = %d, want 2", cm.Counts[0][0])
+	}
+	if cm.Counts[0][1] != 1 {
+		t.Errorf("a->b = %d, want 1", cm.Counts[0][1])
+	}
+	if cm.Counts[1][1] != 1 {
+		t.Errorf("b->b = %d, want 1", cm.Counts[1][1])
+	}
+	if cm.Abstained[1] != 1 {
+		t.Errorf("abstained[b] = %d, want 1", cm.Abstained[1])
+	}
+	if cm.Total() != 4 || cm.Diagonal() != 3 {
+		t.Errorf("total=%d diagonal=%d", cm.Total(), cm.Diagonal())
+	}
+	out := cm.String()
+	if !strings.Contains(out, "truth\\pred") || !strings.Contains(out, "abstain") {
+		t.Errorf("render missing headers:\n%s", out)
+	}
+}
+
+func TestConfusionIgnoresUnknownLabels(t *testing.T) {
+	cm := NewConfusion([]Outcome{
+		o("zzz", true, "a"),
+		o("a", true, "zzz"),
+		o("a", true),
+	}, []string{"a"})
+	if cm.Total() != 0 {
+		t.Errorf("unknown labels must not be tallied, total = %d", cm.Total())
+	}
+}
+
+func TestEvaluateKNNDetailedConsistency(t *testing.T) {
+	es := BuildEvalSet(smallAnalysis(t), measures.DefaultSet(), offline.Normalized, 2, nil)
+	cfg := KNNConfig{K: 3, ThetaDelta: 0.2, ThetaI: 0}
+	m, outcomes, cm := es.EvaluateKNNDetailed(cfg)
+	plain := es.EvaluateKNN(cfg)
+	if m.Accuracy != plain.Accuracy || m.Coverage != plain.Coverage {
+		t.Error("detailed metrics differ from plain")
+	}
+	if len(outcomes) != m.Samples {
+		t.Errorf("outcomes = %d, samples = %d", len(outcomes), m.Samples)
+	}
+	// The confusion diagonal must equal the correct count.
+	if cm.Diagonal() != m.Correct {
+		t.Errorf("diagonal %d != correct %d", cm.Diagonal(), m.Correct)
+	}
+	if cm.Total() != m.Predictions {
+		t.Errorf("confusion total %d != predictions %d", cm.Total(), m.Predictions)
+	}
+}

@@ -1,0 +1,166 @@
+package eval
+
+import (
+	"sort"
+
+	"repro/internal/measures"
+	"repro/internal/offline"
+)
+
+// GridSpec enumerates the hyper-parameter grid of the paper's Table 4.
+type GridSpec struct {
+	// Ns are the n-context sizes (paper: 1..11).
+	Ns []int
+	// Ks are the kNN sizes (paper: 1..40).
+	Ks []int
+	// ThetaDeltas are the distance thresholds (paper: [0, 0.5]).
+	ThetaDeltas []float64
+	// ThetaIs are the interestingness thresholds; their scale depends on
+	// the comparison method ([0,1] for Reference-Based, [-2.5, 2.5] for
+	// Normalized).
+	ThetaIs []float64
+}
+
+// DefaultGrid returns a moderate grid (a few hundred points) that exposes
+// every Figure-5 trend quickly; FullGrid mirrors the paper's >50K search.
+func DefaultGrid(method offline.Method) GridSpec {
+	g := GridSpec{
+		Ns:          []int{1, 2, 3, 5, 7, 9, 11},
+		Ks:          []int{1, 3, 5, 9, 15, 25, 40},
+		ThetaDeltas: []float64{0.05, 0.1, 0.2, 0.3, 0.5},
+	}
+	if method == offline.ReferenceBased {
+		g.ThetaIs = []float64{0, 0.5, 0.7, 0.92}
+	} else {
+		g.ThetaIs = []float64{-2.5, 0, 0.7, 1.5}
+	}
+	return g
+}
+
+// FullGrid returns a grid comparable in size to the paper's 50K settings.
+func FullGrid(method offline.Method) GridSpec {
+	g := GridSpec{}
+	for n := 1; n <= 11; n++ {
+		g.Ns = append(g.Ns, n)
+	}
+	for k := 1; k <= 40; k += 2 {
+		g.Ks = append(g.Ks, k)
+	}
+	for d := 0.025; d <= 0.5001; d += 0.025 {
+		g.ThetaDeltas = append(g.ThetaDeltas, d)
+	}
+	if method == offline.ReferenceBased {
+		for t := 0.0; t <= 1.0001; t += 0.08 {
+			g.ThetaIs = append(g.ThetaIs, t)
+		}
+	} else {
+		for t := -2.5; t <= 2.5001; t += 0.4 {
+			g.ThetaIs = append(g.ThetaIs, t)
+		}
+	}
+	return g
+}
+
+// Size returns the number of grid points.
+func (g GridSpec) Size() int {
+	return len(g.Ns) * len(g.Ks) * len(g.ThetaDeltas) * len(g.ThetaIs)
+}
+
+// GridPoint is one evaluated configuration.
+type GridPoint struct {
+	N          int
+	K          int
+	ThetaDelta float64
+	ThetaI     float64
+	Metrics    Metrics
+}
+
+// GridSearch evaluates every grid point of one (I, method) pair with the
+// LOOCV kNN evaluator. EvalSets are built once per n and shared across the
+// inner (k, θ_δ, θ_I) sweep; pass a DistanceCache to additionally share
+// distance matrices with other sweeps (nil allocates a private one).
+func GridSearch(a *offline.Analysis, I measures.Set, method offline.Method, g GridSpec, cache *DistanceCache) []GridPoint {
+	if cache == nil {
+		cache = NewDistanceCache()
+	}
+	var out []GridPoint
+	for _, n := range g.Ns {
+		es := BuildEvalSetCached(a, I, method, n, cache)
+		for _, k := range g.Ks {
+			for _, td := range g.ThetaDeltas {
+				for _, ti := range g.ThetaIs {
+					m := es.EvaluateKNN(KNNConfig{K: k, ThetaDelta: td, ThetaI: ti})
+					out = append(out, GridPoint{N: n, K: k, ThetaDelta: td, ThetaI: ti, Metrics: m})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SkylineMinSupport is the minimal number of evaluated samples a grid
+// point needs to join the skyline. Without a floor, an extreme θ_I that
+// keeps a handful of trivially-predictable samples posts a degenerate
+// accuracy=coverage=1 point that dominates the whole frontier — an
+// artifact a 757-action log (the paper's) never exhibits but small
+// simulated logs can.
+const SkylineMinSupport = 30
+
+// Skyline returns the Pareto frontier of the grid points with respect to
+// (coverage, accuracy), per the paper's dominance definition: a point with
+// coverage x and accuracy y is dominated if another point has coverage
+// >= x and accuracy > y. The result is sorted by ascending coverage.
+func Skyline(points []GridPoint) []GridPoint {
+	// Only points with predictions and non-degenerate support are
+	// meaningful.
+	minSupport := SkylineMinSupport
+	maxSamples := 0
+	for _, p := range points {
+		if p.Metrics.Samples > maxSamples {
+			maxSamples = p.Metrics.Samples
+		}
+	}
+	if maxSamples < minSupport {
+		minSupport = maxSamples
+	}
+	var cands []GridPoint
+	for _, p := range points {
+		if p.Metrics.Predictions > 0 && p.Metrics.Samples >= minSupport {
+			cands = append(cands, p)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Metrics.Coverage != cands[j].Metrics.Coverage {
+			return cands[i].Metrics.Coverage > cands[j].Metrics.Coverage
+		}
+		return cands[i].Metrics.Accuracy > cands[j].Metrics.Accuracy
+	})
+	var sky []GridPoint
+	bestAcc := -1.0
+	for _, p := range cands {
+		if p.Metrics.Accuracy > bestAcc {
+			sky = append(sky, p)
+			bestAcc = p.Metrics.Accuracy
+		}
+	}
+	// Ascending coverage for plotting.
+	sort.Slice(sky, func(i, j int) bool { return sky[i].Metrics.Coverage < sky[j].Metrics.Coverage })
+	return sky
+}
+
+// BestByF1TimesCoverage picks a default configuration from a skyline: the
+// point maximizing accuracy·coverage (a balanced operating point like the
+// defaults the paper chose from its skyline).
+func BestByF1TimesCoverage(sky []GridPoint) (GridPoint, bool) {
+	if len(sky) == 0 {
+		return GridPoint{}, false
+	}
+	best := sky[0]
+	bestV := best.Metrics.Accuracy * best.Metrics.Coverage
+	for _, p := range sky[1:] {
+		if v := p.Metrics.Accuracy * p.Metrics.Coverage; v > bestV {
+			best, bestV = p, v
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,163 @@
+// Package eval implements the paper's predictive evaluation machinery
+// (Section 4.2): Leave-One-Out cross validation of the I-kNN model and the
+// RANDOM / Best-SM / I-SVM baselines, the accuracy / macro-precision /
+// macro-recall / macro-F1 / coverage metrics, hyper-parameter grid search,
+// and the coverage-vs-accuracy skyline (Pareto frontier) of Figure 4.
+package eval
+
+import (
+	"fmt"
+)
+
+// Outcome records one prediction against its ground-truth labels.
+type Outcome struct {
+	// Predicted is the model's label ("" when it abstained).
+	Predicted string
+	// Actual are the ground-truth dominant measure(s); a prediction
+	// matching any tied label counts as correct.
+	Actual []string
+	// Covered is false when the model abstained.
+	Covered bool
+}
+
+// Correct reports whether the prediction matches any true label.
+func (o Outcome) Correct() bool {
+	if !o.Covered {
+		return false
+	}
+	for _, a := range o.Actual {
+		if a == o.Predicted {
+			return true
+		}
+	}
+	return false
+}
+
+// Metrics are the paper's five evaluation metrics.
+type Metrics struct {
+	// Accuracy is correct / covered predictions.
+	Accuracy float64
+	// MacroPrecision / MacroRecall / MacroF1 are macro-averaged over the
+	// label classes, skipping classes whose denominator is zero (which
+	// matches the paper's reported Best-SM numbers: its macro-precision
+	// equals its accuracy and its macro-recall is 1/|I|).
+	MacroPrecision float64
+	MacroRecall    float64
+	MacroF1        float64
+	// Coverage is covered / total samples.
+	Coverage float64
+
+	// Samples, Predictions and Correct are the raw tallies.
+	Samples     int
+	Predictions int
+	Correct     int
+}
+
+// String renders the metrics like a Table-5 row.
+func (m Metrics) String() string {
+	return fmt.Sprintf("acc=%.3f macroP=%.3f macroR=%.3f macroF1=%.3f cov=%.3f (n=%d)",
+		m.Accuracy, m.MacroPrecision, m.MacroRecall, m.MacroF1, m.Coverage, m.Samples)
+}
+
+// Compute derives Metrics from a batch of outcomes over the label universe
+// classes (the measure names of I).
+func Compute(outcomes []Outcome, classes []string) Metrics {
+	var m Metrics
+	m.Samples = len(outcomes)
+	if m.Samples == 0 {
+		return m
+	}
+	tp := make(map[string]int, len(classes))
+	predicted := make(map[string]int, len(classes))
+	actual := make(map[string]int, len(classes))
+	for _, o := range outcomes {
+		if !o.Covered {
+			continue
+		}
+		m.Predictions++
+		predicted[o.Predicted]++
+		// Attribute the sample to one actual class: the predicted label
+		// when it is among the (possibly tied) truths, else the primary
+		// truth. This keeps per-class recall well defined under ties.
+		target := ""
+		if len(o.Actual) > 0 {
+			target = o.Actual[0]
+		}
+		if o.Correct() {
+			target = o.Predicted
+			tp[o.Predicted]++
+			m.Correct++
+		}
+		if target != "" {
+			actual[target]++
+		}
+	}
+	if m.Predictions > 0 {
+		m.Accuracy = float64(m.Correct) / float64(m.Predictions)
+	}
+	m.Coverage = float64(m.Predictions) / float64(m.Samples)
+
+	var pSum, rSum float64
+	pn, rn := 0, 0
+	var f1Sum float64
+	f1n := 0
+	for _, c := range classes {
+		var p, r float64
+		havePrec := predicted[c] > 0
+		haveRec := actual[c] > 0
+		if havePrec {
+			p = float64(tp[c]) / float64(predicted[c])
+			pSum += p
+			pn++
+		}
+		if haveRec {
+			r = float64(tp[c]) / float64(actual[c])
+			rSum += r
+			rn++
+		}
+		if havePrec || haveRec {
+			f1 := 0.0
+			if p+r > 0 {
+				f1 = 2 * p * r / (p + r)
+			}
+			f1Sum += f1
+			f1n++
+		}
+	}
+	if pn > 0 {
+		m.MacroPrecision = pSum / float64(pn)
+	}
+	if rn > 0 {
+		m.MacroRecall = rSum / float64(rn)
+	}
+	if f1n > 0 {
+		m.MacroF1 = f1Sum / float64(f1n)
+	}
+	return m
+}
+
+// Average averages a batch of Metrics (e.g. over the 16 measure
+// configurations, as the paper's Table 5 does).
+func Average(ms []Metrics) Metrics {
+	var out Metrics
+	if len(ms) == 0 {
+		return out
+	}
+	for _, m := range ms {
+		out.Accuracy += m.Accuracy
+		out.MacroPrecision += m.MacroPrecision
+		out.MacroRecall += m.MacroRecall
+		out.MacroF1 += m.MacroF1
+		out.Coverage += m.Coverage
+		out.Samples += m.Samples
+		out.Predictions += m.Predictions
+		out.Correct += m.Correct
+	}
+	n := float64(len(ms))
+	out.Accuracy /= n
+	out.MacroPrecision /= n
+	out.MacroRecall /= n
+	out.MacroF1 /= n
+	out.Coverage /= n
+	return out
+}

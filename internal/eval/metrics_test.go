@@ -1,0 +1,111 @@
+package eval
+
+import (
+	"math"
+	"testing"
+)
+
+func o(pred string, covered bool, actual ...string) Outcome {
+	return Outcome{Predicted: pred, Actual: actual, Covered: covered}
+}
+
+func TestOutcomeCorrect(t *testing.T) {
+	if !o("a", true, "a").Correct() {
+		t.Error("exact match must be correct")
+	}
+	if !o("a", true, "b", "a").Correct() {
+		t.Error("matching any tied label must be correct")
+	}
+	if o("a", true, "b").Correct() {
+		t.Error("mismatch must be incorrect")
+	}
+	if o("a", false, "a").Correct() {
+		t.Error("abstention is never correct")
+	}
+}
+
+func TestComputeHandWorked(t *testing.T) {
+	classes := []string{"a", "b"}
+	outcomes := []Outcome{
+		o("a", true, "a"), // TP for a
+		o("a", true, "b"), // FP for a, FN for b
+		o("b", true, "b"), // TP for b
+		o("b", true, "b"), // TP for b
+		o("", false, "a"), // abstained
+	}
+	m := Compute(outcomes, classes)
+	if m.Samples != 5 || m.Predictions != 4 || m.Correct != 3 {
+		t.Fatalf("tallies = %+v", m)
+	}
+	if math.Abs(m.Accuracy-0.75) > 1e-12 {
+		t.Errorf("accuracy = %v, want 0.75", m.Accuracy)
+	}
+	if math.Abs(m.Coverage-0.8) > 1e-12 {
+		t.Errorf("coverage = %v, want 0.8", m.Coverage)
+	}
+	// precision(a) = 1/2, precision(b) = 2/2 -> macroP = 0.75.
+	if math.Abs(m.MacroPrecision-0.75) > 1e-12 {
+		t.Errorf("macroP = %v, want 0.75", m.MacroPrecision)
+	}
+	// recall(a) = 1/1, recall(b) = 2/3 -> macroR = 5/6.
+	if math.Abs(m.MacroRecall-5.0/6.0) > 1e-9 {
+		t.Errorf("macroR = %v, want %v", m.MacroRecall, 5.0/6.0)
+	}
+	// f1(a) = 2·(0.5·1)/(1.5) = 2/3; f1(b) = 2·(1·2/3)/(5/3) = 0.8.
+	wantF1 := (2.0/3.0 + 0.8) / 2
+	if math.Abs(m.MacroF1-wantF1) > 1e-9 {
+		t.Errorf("macroF1 = %v, want %v", m.MacroF1, wantF1)
+	}
+}
+
+func TestComputeSkipsUndefinedClasses(t *testing.T) {
+	// Single-class predictor (the Best-SM pattern): macro-precision must
+	// equal its accuracy because classes never predicted are skipped.
+	classes := []string{"a", "b", "c", "d"}
+	outcomes := []Outcome{
+		o("a", true, "a"),
+		o("a", true, "a"),
+		o("a", true, "b"),
+		o("a", true, "c"),
+	}
+	m := Compute(outcomes, classes)
+	if math.Abs(m.MacroPrecision-m.Accuracy) > 1e-12 {
+		t.Errorf("single-class macroP %v should equal accuracy %v", m.MacroPrecision, m.Accuracy)
+	}
+	// recall: a=1 (2/2), b=0, c=0; d has no actuals -> skipped. macroR = 1/3.
+	if math.Abs(m.MacroRecall-1.0/3.0) > 1e-9 {
+		t.Errorf("macroR = %v, want 1/3", m.MacroRecall)
+	}
+}
+
+func TestComputeEmptyAndAllAbstained(t *testing.T) {
+	m := Compute(nil, []string{"a"})
+	if m.Samples != 0 || m.Accuracy != 0 {
+		t.Error("empty outcomes should zero out")
+	}
+	m = Compute([]Outcome{o("", false, "a")}, []string{"a"})
+	if m.Coverage != 0 || m.Accuracy != 0 {
+		t.Errorf("all-abstained metrics = %+v", m)
+	}
+}
+
+func TestAverage(t *testing.T) {
+	ms := []Metrics{
+		{Accuracy: 0.5, Coverage: 1, MacroF1: 0.4},
+		{Accuracy: 0.7, Coverage: 0.5, MacroF1: 0.6},
+	}
+	avg := Average(ms)
+	if math.Abs(avg.Accuracy-0.6) > 1e-12 || math.Abs(avg.Coverage-0.75) > 1e-12 {
+		t.Errorf("avg = %+v", avg)
+	}
+	if Average(nil).Accuracy != 0 {
+		t.Error("empty average should be zero")
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	s := Metrics{Accuracy: 0.73}.String()
+	if len(s) == 0 || s[:3] != "acc" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,140 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4) on the simulated REACT-IDA stand-in: Table 2
+// (running-example scores), Figure 2 (normalization histograms), Figure 3
+// (dominant-class frequencies), the in-text correlation / churn /
+// agreement statistics, Table 3 (offline running times), Table 4 (grid
+// search + default configurations), Table 5 (baseline comparison),
+// Figure 4 (coverage-accuracy skyline) and Figure 5 (hyper-parameter
+// effects). Each experiment writes a plain-text report to the runner's
+// writer; cmd/experiments wires this to stdout and report files.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/measures"
+	"repro/internal/offline"
+	"repro/internal/session"
+	"repro/internal/simulate"
+)
+
+// Runner holds the shared state of an experiments run.
+type Runner struct {
+	Repo     *session.Repository
+	Analysis *offline.Analysis
+	// Out receives the text reports.
+	Out io.Writer
+	// Quick trades fidelity for speed: fewer measure configurations,
+	// coarser grids, smaller SVM fold counts.
+	Quick bool
+	// Seed drives the evaluation randomness (RANDOM baseline, SVM folds).
+	Seed uint64
+
+	cache *eval.DistanceCache
+}
+
+// Setup generates the benchmark and runs the offline analysis. cfg
+// controls the simulator; refLimit caps reference sets (0 = full pools, at
+// REACT-IDA scale the average reference set held ~115 actions).
+func Setup(out io.Writer, cfg simulate.Config, refLimit int, quick bool) (*Runner, error) {
+	t0 := time.Now()
+	repo, err := simulate.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate benchmark: %w", err)
+	}
+	st := repo.ComputeStats()
+	fmt.Fprintf(out, "benchmark: %d sessions / %d actions (%d successful sessions / %d actions) over %d datasets, %d analysts [%v]\n",
+		st.Sessions, st.Actions, st.SuccessfulSessions, st.SuccessfulActions, st.Datasets, st.Analysts, time.Since(t0).Round(time.Millisecond))
+
+	t1 := time.Now()
+	a, err := offline.Analyze(repo, offline.Options{RefLimit: refLimit, Seed: cfg.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: offline analysis: %w", err)
+	}
+	fmt.Fprintf(out, "offline analysis: %d actions scored under both methods [%v]\n\n", len(a.Nodes), time.Since(t1).Round(time.Millisecond))
+	return NewRunner(repo, a, out, quick, cfg.Seed), nil
+}
+
+// NewRunner wraps an existing repository + analysis.
+func NewRunner(repo *session.Repository, a *offline.Analysis, out io.Writer, quick bool, seed uint64) *Runner {
+	return &Runner{Repo: repo, Analysis: a, Out: out, Quick: quick, Seed: seed, cache: eval.NewDistanceCache()}
+}
+
+// Configs returns the measure configurations averaged over: all 16, or 4
+// representative ones in quick mode.
+func (r *Runner) Configs() []measures.Set {
+	all := measures.AllConfigurations()
+	if !r.Quick {
+		return all
+	}
+	return []measures.Set{all[0], all[5], all[10], all[15]}
+}
+
+// Experiment names in canonical order.
+var Names = []string{
+	"table2", "fig2", "fig3", "correlations", "churn", "agreement",
+	"table3", "table4", "table5", "fig4", "fig5",
+}
+
+// Run dispatches one experiment by name ("all" runs everything).
+func (r *Runner) Run(name string) error {
+	switch name {
+	case "all":
+		for _, n := range Names {
+			if err := r.Run(n); err != nil {
+				return fmt.Errorf("experiments: %s: %w", n, err)
+			}
+		}
+		return nil
+	case "table2":
+		return r.Table2()
+	case "fig2":
+		return r.Fig2()
+	case "fig3":
+		return r.Fig3()
+	case "correlations":
+		return r.Correlations()
+	case "churn":
+		return r.Churn()
+	case "agreement":
+		return r.Agreement()
+	case "table3":
+		return r.Table3()
+	case "table4":
+		return r.Table4()
+	case "table5":
+		return r.Table5()
+	case "fig4":
+		return r.Fig4()
+	case "fig5":
+		return r.Fig5()
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (have %v, all)", name, Names)
+	}
+}
+
+func (r *Runner) section(title string) {
+	fmt.Fprintf(r.Out, "\n================================================================\n%s\n================================================================\n", title)
+}
+
+// writeClassFrequencies renders a class-frequency map in canonical class
+// order.
+func writeClassFrequencies(w io.Writer, freq map[measures.Class]float64) {
+	for _, c := range measures.Classes {
+		fmt.Fprintf(w, "  %-12s %6.3f\n", c.String(), freq[c])
+	}
+}
+
+// sortedKeys returns a map's keys sorted, for deterministic reports.
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

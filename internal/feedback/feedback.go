@@ -1,0 +1,164 @@
+// Package feedback implements the paper's closing future-work direction:
+// "incorporating user feedback and learning-to-rank models in our system".
+// A Reweighter maintains per-measure multipliers learned from accept /
+// reject signals on past predictions and rescales the kNN model's vote
+// masses online, personalizing the measure selection without retraining.
+package feedback
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/knn"
+)
+
+// Reweighter holds per-label multiplicative weights updated from feedback.
+// It is safe for concurrent use.
+type Reweighter struct {
+	mu      sync.Mutex
+	weights map[string]float64
+	rate    float64
+	floor   float64
+	ceil    float64
+}
+
+// New builds a reweighter. rate in (0, 1) is the multiplicative step per
+// feedback event (<=0 means 0.2); weights are clamped to [0.2, 5].
+func New(rate float64) *Reweighter {
+	if rate <= 0 || rate >= 1 {
+		rate = 0.2
+	}
+	return &Reweighter{
+		weights: make(map[string]float64),
+		rate:    rate,
+		floor:   0.2,
+		ceil:    5,
+	}
+}
+
+// Weight returns the current multiplier for a label (1 when untouched).
+func (r *Reweighter) Weight(label string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.weight(label)
+}
+
+func (r *Reweighter) weight(label string) float64 {
+	if w, ok := r.weights[label]; ok {
+		return w
+	}
+	return 1
+}
+
+// Accept records that the user found the predicted measure appropriate.
+func (r *Reweighter) Accept(label string) { r.update(label, 1+r.rate) }
+
+// Reject records that the prediction did not match the user's interest.
+func (r *Reweighter) Reject(label string) { r.update(label, 1-r.rate) }
+
+func (r *Reweighter) update(label string, factor float64) {
+	if label == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.weight(label) * factor
+	if w < r.floor {
+		w = r.floor
+	}
+	if w > r.ceil {
+		w = r.ceil
+	}
+	r.weights[label] = w
+}
+
+// Rescore applies the learned weights to a kNN prediction's vote masses
+// and recomputes the winning label (ties break lexicographically for
+// determinism). Abstentions pass through untouched.
+func (r *Reweighter) Rescore(p knn.Prediction) knn.Prediction {
+	if !p.Covered || len(p.Votes) == 0 {
+		return p
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	adjusted := make(map[string]float64, len(p.Votes))
+	for label, v := range p.Votes {
+		adjusted[label] = v * r.weight(label)
+	}
+	best := ""
+	for label := range adjusted {
+		if best == "" || adjusted[label] > adjusted[best] ||
+			(adjusted[label] == adjusted[best] && label < best) {
+			best = label
+		}
+	}
+	out := p
+	out.Votes = adjusted
+	out.Label = best
+	return out
+}
+
+// Snapshot returns the current weights sorted by label (for reports).
+func (r *Reweighter) Snapshot() []LabelWeight {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]LabelWeight, 0, len(r.weights))
+	for l, w := range r.weights {
+		out = append(out, LabelWeight{Label: l, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Label < out[j].Label })
+	return out
+}
+
+// LabelWeight pairs a measure label with its learned multiplier.
+type LabelWeight struct {
+	Label  string  `json:"label"`
+	Weight float64 `json:"weight"`
+}
+
+// persisted is the on-disk form.
+type persisted struct {
+	Rate    float64       `json:"rate"`
+	Weights []LabelWeight `json:"weights"`
+}
+
+// Save serializes the reweighter state as JSON.
+func (r *Reweighter) Save(w io.Writer) error {
+	r.mu.Lock()
+	p := persisted{Rate: r.rate}
+	for l, wt := range r.weights {
+		p.Weights = append(p.Weights, LabelWeight{Label: l, Weight: wt})
+	}
+	r.mu.Unlock()
+	sort.Slice(p.Weights, func(i, j int) bool { return p.Weights[i].Label < p.Weights[j].Label })
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(p); err != nil {
+		return fmt.Errorf("feedback: save: %w", err)
+	}
+	return nil
+}
+
+// Load restores a reweighter saved with Save.
+func Load(rd io.Reader) (*Reweighter, error) {
+	var p persisted
+	if err := json.NewDecoder(rd).Decode(&p); err != nil {
+		return nil, fmt.Errorf("feedback: load: %w", err)
+	}
+	r := New(p.Rate)
+	r.mu.Lock()
+	for _, lw := range p.Weights {
+		w := lw.Weight
+		if w < r.floor {
+			w = r.floor
+		}
+		if w > r.ceil {
+			w = r.ceil
+		}
+		r.weights[lw.Label] = w
+	}
+	r.mu.Unlock()
+	return r, nil
+}

@@ -1,0 +1,137 @@
+package feedback
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/knn"
+)
+
+func prediction(label string, votes map[string]float64) knn.Prediction {
+	return knn.Prediction{Label: label, Votes: votes, Covered: true}
+}
+
+func TestAcceptRejectMoveWeights(t *testing.T) {
+	r := New(0.2)
+	if w := r.Weight("variance"); w != 1 {
+		t.Fatalf("initial weight = %v", w)
+	}
+	r.Accept("variance")
+	if w := r.Weight("variance"); w <= 1 {
+		t.Errorf("accept should raise weight, got %v", w)
+	}
+	r.Reject("osf")
+	if w := r.Weight("osf"); w >= 1 {
+		t.Errorf("reject should lower weight, got %v", w)
+	}
+	r.Accept("") // no-op
+	if len(r.Snapshot()) != 2 {
+		t.Errorf("snapshot = %v", r.Snapshot())
+	}
+}
+
+func TestWeightsClamped(t *testing.T) {
+	r := New(0.5)
+	for i := 0; i < 50; i++ {
+		r.Accept("up")
+		r.Reject("down")
+	}
+	if w := r.Weight("up"); w > 5 {
+		t.Errorf("weight above ceiling: %v", w)
+	}
+	if w := r.Weight("down"); w < 0.2 {
+		t.Errorf("weight below floor: %v", w)
+	}
+}
+
+func TestRescoreFlipsPrediction(t *testing.T) {
+	r := New(0.3)
+	// The model narrowly prefers variance; the user keeps rejecting it.
+	p := prediction("variance", map[string]float64{"variance": 2.0, "osf": 1.8})
+	for i := 0; i < 3; i++ {
+		r.Reject("variance")
+	}
+	out := r.Rescore(p)
+	if out.Label != "osf" {
+		t.Errorf("after repeated rejections the runner-up should win, got %s (votes %v)", out.Label, out.Votes)
+	}
+	// Original prediction unchanged (value semantics).
+	if p.Label != "variance" {
+		t.Error("input prediction mutated")
+	}
+}
+
+func TestRescorePassesThroughAbstention(t *testing.T) {
+	r := New(0.3)
+	p := knn.Prediction{Covered: false}
+	if out := r.Rescore(p); out.Covered {
+		t.Error("abstention must pass through")
+	}
+}
+
+func TestRescoreDeterministicTieBreak(t *testing.T) {
+	r := New(0.3)
+	p := prediction("b", map[string]float64{"a": 1, "b": 1})
+	if out := r.Rescore(p); out.Label != "a" {
+		t.Errorf("tie should break lexically, got %s", out.Label)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := New(0.25)
+	r.Accept("variance")
+	r.Accept("variance")
+	r.Reject("schutz")
+	var buf bytes.Buffer
+	if err := r.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Weight("variance") != r.Weight("variance") || back.Weight("schutz") != r.Weight("schutz") {
+		t.Error("weights changed across save/load")
+	}
+	if _, err := Load(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("corrupt state must fail to load")
+	}
+}
+
+func TestConcurrentFeedback(t *testing.T) {
+	r := New(0.1)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if (i+j)%2 == 0 {
+					r.Accept("variance")
+				} else {
+					r.Reject("variance")
+				}
+				_ = r.Rescore(prediction("variance", map[string]float64{"variance": 1}))
+			}
+		}(i)
+	}
+	wg.Wait()
+	w := r.Weight("variance")
+	if w < 0.2 || w > 5 {
+		t.Errorf("weight out of bounds after concurrent updates: %v", w)
+	}
+}
+
+func TestDefaultRate(t *testing.T) {
+	r := New(0)
+	r.Accept("x")
+	if w := r.Weight("x"); w != 1.2 {
+		t.Errorf("default rate should be 0.2 (weight 1.2), got %v", w)
+	}
+	r2 := New(1.5)
+	r2.Accept("x")
+	if w := r2.Weight("x"); w != 1.2 {
+		t.Errorf("out-of-range rate should fall back to 0.2, got %v", w)
+	}
+}

@@ -1,0 +1,132 @@
+// Package knn implements the paper's I-kNN predictive model (Section 3.2):
+// given a session state's n-context, retrieve its k nearest labeled
+// n-contexts under the session distance metric, reject neighbors farther
+// than the distance threshold θ_δ, and majority-vote a dominant
+// interestingness measure. When no sufficiently similar neighbors exist
+// the model abstains, which is what produces the coverage-rate < 1
+// reported throughout Section 4.2.
+package knn
+
+import (
+	"sort"
+
+	"repro/internal/distance"
+	"repro/internal/offline"
+	"repro/internal/session"
+)
+
+// Neighbor pairs a training sample with its distance from a query context.
+type Neighbor struct {
+	Sample *offline.Sample
+	Dist   float64
+}
+
+// Prediction is the model's output for one query.
+type Prediction struct {
+	// Label is the predicted measure name; empty when the model abstains.
+	Label string
+	// Votes maps candidate labels to their (tie-weighted) vote mass.
+	Votes map[string]float64
+	// Neighbors are the voting neighbors, nearest first.
+	Neighbors []Neighbor
+	// Covered is false when the model abstained (no close-enough
+	// neighbors).
+	Covered bool
+}
+
+// Config holds the model hyper-parameters of the paper's Table 4.
+type Config struct {
+	// K is the number of nearest neighbors consulted.
+	K int
+	// ThetaDelta (θ_δ) is the maximal allowed neighbor distance; 0
+	// disables the threshold only if Unbounded is set.
+	ThetaDelta float64
+	// Unbounded ignores ThetaDelta entirely (used to force full
+	// coverage, like the skyline's rightmost configurations).
+	Unbounded bool
+}
+
+// Classifier is an instance-based (lazy) classifier over labeled
+// n-contexts.
+type Classifier struct {
+	cfg     Config
+	metric  distance.Metric
+	samples []*offline.Sample
+}
+
+// New builds a classifier from a labeled training set. A nil metric
+// defaults to the tree edit distance.
+func New(samples []*offline.Sample, metric distance.Metric, cfg Config) *Classifier {
+	if metric == nil {
+		metric = distance.TreeEdit{}
+	}
+	if cfg.K < 1 {
+		cfg.K = 1
+	}
+	return &Classifier{cfg: cfg, metric: metric, samples: samples}
+}
+
+// Samples returns the training set.
+func (c *Classifier) Samples() []*offline.Sample { return c.samples }
+
+// Predict classifies a query n-context.
+func (c *Classifier) Predict(query *session.Context) Prediction {
+	ns := make([]Neighbor, 0, len(c.samples))
+	for _, s := range c.samples {
+		d := c.metric.Distance(query, s.Context)
+		if !c.cfg.Unbounded && d > c.cfg.ThetaDelta {
+			continue
+		}
+		ns = append(ns, Neighbor{Sample: s, Dist: d})
+	}
+	return Vote(ns, c.cfg.K)
+}
+
+// Vote implements the majority vote over an eligible (threshold-filtered)
+// neighbor list: it keeps the k nearest, accumulates tie-weighted votes
+// per label, and returns the winner (ties broken by total closeness, then
+// lexicographically for determinism). An empty neighbor list abstains.
+func Vote(eligible []Neighbor, k int) Prediction {
+	if len(eligible) == 0 {
+		return Prediction{Covered: false}
+	}
+	sort.SliceStable(eligible, func(i, j int) bool { return eligible[i].Dist < eligible[j].Dist })
+	if k < 1 {
+		k = 1
+	}
+	if len(eligible) > k {
+		eligible = eligible[:k]
+	}
+	votes := make(map[string]float64, 4)
+	closeness := make(map[string]float64, 4)
+	for _, n := range eligible {
+		labels := n.Sample.Labels
+		if len(labels) == 0 {
+			continue
+		}
+		w := 1 / float64(len(labels))
+		for _, l := range labels {
+			votes[l] += w
+			closeness[l] += (1 - n.Dist) * w
+		}
+	}
+	if len(votes) == 0 {
+		return Prediction{Covered: false, Neighbors: eligible}
+	}
+	best := ""
+	for l := range votes {
+		if best == "" {
+			best = l
+			continue
+		}
+		switch {
+		case votes[l] > votes[best]:
+			best = l
+		case votes[l] == votes[best]:
+			if closeness[l] > closeness[best] || (closeness[l] == closeness[best] && l < best) {
+				best = l
+			}
+		}
+	}
+	return Prediction{Label: best, Votes: votes, Neighbors: eligible, Covered: true}
+}

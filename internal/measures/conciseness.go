@@ -1,0 +1,65 @@
+package measures
+
+import "math"
+
+// CompactionGainMeasure is the Conciseness measure "Compaction Gain" of
+// Table 1 (Chandola & Kumar): |O| / m, the ratio between the number of
+// tuples in the original dataset and the number of elements (rows) in the
+// display. A two-group summary of a 150k-packet log scores ~75k, exactly
+// as in the paper's Table 2 example. The score is unbounded; the offline
+// comparison methods remove the scale.
+type CompactionGainMeasure struct{}
+
+// Name implements Measure.
+func (CompactionGainMeasure) Name() string { return "compaction_gain" }
+
+// Class implements Measure.
+func (CompactionGainMeasure) Class() Class { return Conciseness }
+
+// Score implements Measure.
+func (CompactionGainMeasure) Score(ctx *Context) float64 {
+	d := ctx.Display
+	if d == nil || d.NumRows() == 0 {
+		return 0
+	}
+	return float64(d.OriginRows) / float64(d.NumRows())
+}
+
+// DefaultLogLengthCap is the constant c of the Log-Length measure: the log
+// of the largest display a human would still scan (10,000 rows).
+var DefaultLogLengthCap = math.Log(10_000)
+
+// LogLengthMeasure is the Conciseness measure "Log-Length" of Table 1
+// (following Rissanen's MDL principle):
+//
+//	1 - min(log m, c) / c
+//
+// where m is the display's row count and c a constant cap. It is 1 for a
+// single-row display and decays to 0 as the display approaches e^c rows.
+type LogLengthMeasure struct {
+	// Cap overrides DefaultLogLengthCap when > 0.
+	Cap float64
+}
+
+// Name implements Measure.
+func (LogLengthMeasure) Name() string { return "log_length" }
+
+// Class implements Measure.
+func (LogLengthMeasure) Class() Class { return Conciseness }
+
+// Score implements Measure.
+func (l LogLengthMeasure) Score(ctx *Context) float64 {
+	d := ctx.Display
+	if d == nil || d.NumRows() == 0 {
+		return 0
+	}
+	c := l.Cap
+	if c <= 0 {
+		c = DefaultLogLengthCap
+	}
+	lm := math.Log(float64(d.NumRows()))
+	if lm > c {
+		lm = c
+	}
+	return 1 - lm/c
+}

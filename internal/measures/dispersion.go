@@ -1,0 +1,94 @@
+package measures
+
+import "math"
+
+// SchutzMeasure is the Dispersion measure "Schutz" of Table 1:
+//
+//	Σ_{j=1..m} |p_j - q̄| / (2·m·q̄)      with q̄ = 1/m
+//
+// The sum is the Schutz coefficient of inequality (0 for a perfectly even
+// distribution, approaching 1 for total concentration). Since the paper
+// uses Dispersion to *favor displays consisting of relatively similar
+// elements* (footnote 4 notes that the inverse of an inequality score
+// serves as a dispersion score), the measure returns the complement
+// 1 - inequality, so an even display (the running example's two near-equal
+// IP groups, score 0.83) ranks high.
+type SchutzMeasure struct{}
+
+// Name implements Measure.
+func (SchutzMeasure) Name() string { return "schutz" }
+
+// Class implements Measure.
+func (SchutzMeasure) Class() Class { return Dispersion }
+
+// Score implements Measure.
+func (SchutzMeasure) Score(ctx *Context) float64 {
+	return meanOverDistributions(ctx, schutzOf)
+}
+
+func schutzOf(d Distribution) float64 {
+	m := len(d.P)
+	if m == 0 {
+		return 0
+	}
+	qbar := 1 / float64(m)
+	s := 0.0
+	for _, p := range d.P {
+		s += math.Abs(p - qbar)
+	}
+	// 2·m·q̄ = 2, so the inequality index is s/2 ∈ [0, 1-1/m].
+	return 1 - s/2
+}
+
+// MacArthurMeasure is the Dispersion measure "MacArthur" of Table 1,
+// following Hilderman & Hamilton: it mixes the observed distribution with
+// the uniform distribution and compares entropies,
+//
+//	M(p) = H((p+u)/2) - (H(p) + H(u)) / 2
+//
+// which is exactly the Jensen-Shannon divergence between p and the uniform
+// distribution u (base-2 logs, bounded by 1). M(p) = 0 when the display is
+// perfectly even. As with Schutz, the returned dispersion score is the
+// complement 1 - M(p), so higher = more even.
+type MacArthurMeasure struct{}
+
+// Name implements Measure.
+func (MacArthurMeasure) Name() string { return "macarthur" }
+
+// Class implements Measure.
+func (MacArthurMeasure) Class() Class { return Dispersion }
+
+// Score implements Measure.
+func (MacArthurMeasure) Score(ctx *Context) float64 {
+	return meanOverDistributions(ctx, macArthurOf)
+}
+
+func macArthurOf(d Distribution) float64 {
+	m := len(d.P)
+	if m == 0 {
+		return 0
+	}
+	u := 1 / float64(m)
+	var hMix, hP float64
+	for _, p := range d.P {
+		mix := (p + u) / 2
+		hMix -= xlog2(mix)
+		hP -= xlog2(p)
+	}
+	hU := math.Log2(float64(m))
+	jsd := hMix - (hP+hU)/2
+	if jsd < 0 {
+		jsd = 0
+	}
+	if jsd > 1 {
+		jsd = 1
+	}
+	return 1 - jsd
+}
+
+func xlog2(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x * math.Log2(x)
+}

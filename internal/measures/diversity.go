@@ -1,0 +1,66 @@
+package measures
+
+// VarianceMeasure is the Diversity measure "Variance" of Table 1:
+//
+//	Σ_{j=1..m} (p_j - q̄)² / (m - 1)      with q̄ = 1/m
+//
+// It is maximal when one group holds all the mass and 0 when the groups are
+// perfectly even. The raw score is rescaled by m so that displays with
+// different group counts remain comparable (the paper's offline analysis
+// removes residual scale bias anyway).
+type VarianceMeasure struct{}
+
+// Name implements Measure.
+func (VarianceMeasure) Name() string { return "variance" }
+
+// Class implements Measure.
+func (VarianceMeasure) Class() Class { return Diversity }
+
+// Score implements Measure.
+func (VarianceMeasure) Score(ctx *Context) float64 {
+	return meanOverDistributions(ctx, varianceOf)
+}
+
+func varianceOf(d Distribution) float64 {
+	m := len(d.P)
+	if m < 2 {
+		return 0
+	}
+	qbar := 1 / float64(m)
+	s := 0.0
+	for _, p := range d.P {
+		diff := p - qbar
+		s += diff * diff
+	}
+	raw := s / float64(m-1)
+	// Normalize by the maximum achievable value (all mass in one group):
+	// max = ((1-q̄)² + (m-1)q̄²) / (m-1) = (1 - 1/m) / (m-1) = 1/m.
+	return raw * float64(m)
+}
+
+// SimpsonMeasure is the Diversity measure "Simpson" of Table 1:
+//
+//	Σ_{j=1..m} p_j²
+//
+// (the Simpson/Herfindahl concentration index). It ranges from 1/m for a
+// uniform distribution to 1 when a single group dominates.
+type SimpsonMeasure struct{}
+
+// Name implements Measure.
+func (SimpsonMeasure) Name() string { return "simpson" }
+
+// Class implements Measure.
+func (SimpsonMeasure) Class() Class { return Diversity }
+
+// Score implements Measure.
+func (SimpsonMeasure) Score(ctx *Context) float64 {
+	return meanOverDistributions(ctx, simpsonOf)
+}
+
+func simpsonOf(d Distribution) float64 {
+	s := 0.0
+	for _, p := range d.P {
+		s += p * p
+	}
+	return s
+}

@@ -1,0 +1,143 @@
+package measures
+
+import "math"
+
+// This file extends Table 1 with four further measures from the Hilderman
+// & Hamilton catalogue, exercising the framework's claim that the measure
+// set "can be easily extended". They are not part of the paper's default
+// 16 configurations but register like any built-in:
+//
+//	r := measures.NewRegistry()
+//	r.Register(measures.ShannonMeasure{})
+
+// ShannonMeasure is the entropy-based Dispersion measure: the Shannon
+// entropy of the display's distribution normalized by its maximum log2(m),
+// so 1 means perfectly even and 0 means fully concentrated.
+type ShannonMeasure struct{}
+
+// Name implements Measure.
+func (ShannonMeasure) Name() string { return "shannon" }
+
+// Class implements Measure.
+func (ShannonMeasure) Class() Class { return Dispersion }
+
+// Score implements Measure.
+func (ShannonMeasure) Score(ctx *Context) float64 {
+	return meanOverDistributions(ctx, shannonOf)
+}
+
+func shannonOf(d Distribution) float64 {
+	m := len(d.P)
+	if m < 2 {
+		return 0
+	}
+	h := 0.0
+	for _, p := range d.P {
+		h -= xlog2(p)
+	}
+	return h / math.Log2(float64(m))
+}
+
+// GiniMeasure is the Gini-coefficient Diversity measure: the classic
+// inequality index of the display's distribution, 0 for perfectly even,
+// approaching 1 when one group holds all the mass. High inequality = high
+// diversity, matching the paper's Variance/Simpson semantics.
+type GiniMeasure struct{}
+
+// Name implements Measure.
+func (GiniMeasure) Name() string { return "gini" }
+
+// Class implements Measure.
+func (GiniMeasure) Class() Class { return Diversity }
+
+// Score implements Measure.
+func (GiniMeasure) Score(ctx *Context) float64 {
+	return meanOverDistributions(ctx, giniOf)
+}
+
+func giniOf(d Distribution) float64 {
+	m := len(d.P)
+	if m < 2 {
+		return 0
+	}
+	// Mean absolute difference formulation: G = Σ_i Σ_j |p_i-p_j| / (2m·Σp).
+	var sumDiff float64
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			sumDiff += math.Abs(d.P[i] - d.P[j])
+		}
+	}
+	// Σp = 1 by construction; the double sum counted each pair once.
+	return 2 * sumDiff / (2 * float64(m))
+	// = Σ_i Σ_j |p_i - p_j| / (2m)
+}
+
+// BergerParkerMeasure is the dominance-based Diversity measure: the
+// relative share of the largest group, max_j p_j ∈ (1/m, 1]. A display
+// dominated by one group scores 1.
+type BergerParkerMeasure struct{}
+
+// Name implements Measure.
+func (BergerParkerMeasure) Name() string { return "berger_parker" }
+
+// Class implements Measure.
+func (BergerParkerMeasure) Class() Class { return Diversity }
+
+// Score implements Measure.
+func (BergerParkerMeasure) Score(ctx *Context) float64 {
+	return meanOverDistributions(ctx, func(d Distribution) float64 {
+		best := 0.0
+		for _, p := range d.P {
+			if p > best {
+				best = p
+			}
+		}
+		return best
+	})
+}
+
+// McIntoshMeasure is the McIntosh evenness Dispersion measure:
+//
+//	(1 - sqrt(Σ p_j²)) / (1 - sqrt(1/m))
+//
+// which is 1 for a uniform display and 0 when one group holds everything.
+type McIntoshMeasure struct{}
+
+// Name implements Measure.
+func (McIntoshMeasure) Name() string { return "mcintosh" }
+
+// Class implements Measure.
+func (McIntoshMeasure) Class() Class { return Dispersion }
+
+// Score implements Measure.
+func (McIntoshMeasure) Score(ctx *Context) float64 {
+	return meanOverDistributions(ctx, mcIntoshOf)
+}
+
+func mcIntoshOf(d Distribution) float64 {
+	m := len(d.P)
+	if m < 2 {
+		return 0
+	}
+	sumSq := 0.0
+	for _, p := range d.P {
+		sumSq += p * p
+	}
+	den := 1 - math.Sqrt(1/float64(m))
+	if den <= 0 {
+		return 0
+	}
+	v := (1 - math.Sqrt(sumSq)) / den
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// ExtraMeasures returns the four extension measures.
+func ExtraMeasures() []Measure {
+	return []Measure{ShannonMeasure{}, GiniMeasure{}, BergerParkerMeasure{}, McIntoshMeasure{}}
+}

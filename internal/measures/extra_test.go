@@ -1,0 +1,112 @@
+package measures
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShannonEvenness(t *testing.T) {
+	m := ShannonMeasure{}
+	even := aggDisplay(t, []string{"a", "b", "c", "d"}, []float64{10, 10, 10, 10}, 40)
+	skewed := aggDisplay(t, []string{"a", "b", "c", "d"}, []float64{37, 1, 1, 1}, 40)
+	se, ss := m.Score(ctxOf(even)), m.Score(ctxOf(skewed))
+	if math.Abs(se-1) > 1e-9 {
+		t.Errorf("shannon uniform = %v, want 1", se)
+	}
+	if ss >= se {
+		t.Errorf("skewed %v should score below even %v", ss, se)
+	}
+	if got := m.Score(ctxOf(aggDisplay(t, []string{"a"}, []float64{5}, 5))); got != 0 {
+		t.Errorf("single group = %v", got)
+	}
+}
+
+func TestGiniInequality(t *testing.T) {
+	m := GiniMeasure{}
+	even := aggDisplay(t, []string{"a", "b"}, []float64{50, 50}, 100)
+	skewed := aggDisplay(t, []string{"a", "b"}, []float64{99, 1}, 100)
+	ge, gs := m.Score(ctxOf(even)), m.Score(ctxOf(skewed))
+	if math.Abs(ge) > 1e-9 {
+		t.Errorf("gini of even split = %v, want 0", ge)
+	}
+	if gs <= ge {
+		t.Errorf("gini: skewed %v should exceed even %v", gs, ge)
+	}
+	if gs > 1 {
+		t.Errorf("gini out of range: %v", gs)
+	}
+}
+
+func TestBergerParkerDominance(t *testing.T) {
+	m := BergerParkerMeasure{}
+	d := aggDisplay(t, []string{"a", "b", "c"}, []float64{80, 15, 5}, 100)
+	if got := m.Score(ctxOf(d)); math.Abs(got-0.8) > 1e-9 {
+		t.Errorf("berger-parker = %v, want 0.8", got)
+	}
+}
+
+func TestMcIntoshEvenness(t *testing.T) {
+	m := McIntoshMeasure{}
+	even := aggDisplay(t, []string{"a", "b", "c", "d"}, []float64{1, 1, 1, 1}, 4)
+	concentrated := aggDisplay(t, []string{"a", "b", "c", "d"}, []float64{100, 0, 0, 0}, 100)
+	me, mc := m.Score(ctxOf(even)), m.Score(ctxOf(concentrated))
+	if math.Abs(me-1) > 1e-9 {
+		t.Errorf("mcintosh uniform = %v, want 1", me)
+	}
+	if math.Abs(mc) > 1e-9 {
+		t.Errorf("mcintosh concentrated = %v, want 0", mc)
+	}
+}
+
+func TestExtraMeasuresRegister(t *testing.T) {
+	r := NewRegistry()
+	for _, m := range ExtraMeasures() {
+		if err := r.Register(m); err != nil {
+			t.Fatalf("register %s: %v", m.Name(), err)
+		}
+		back, err := r.Get(m.Name())
+		if err != nil || back.Name() != m.Name() {
+			t.Fatalf("lookup %s failed", m.Name())
+		}
+	}
+	if got := len(r.Names()); got != 12 {
+		t.Errorf("registry size = %d, want 12", got)
+	}
+	// The extension set stays class-consistent.
+	if len(r.ByClass(Diversity)) != 4 || len(r.ByClass(Dispersion)) != 4 {
+		t.Error("extra measures not classified as expected")
+	}
+}
+
+func TestExtraMeasuresBoundsProperty(t *testing.T) {
+	f := func(weights []uint16) bool {
+		if len(weights) < 2 || len(weights) > 48 {
+			return true
+		}
+		d := fuzzAggDisplay(weights)
+		ctx := &Context{Display: d}
+		for _, m := range ExtraMeasures() {
+			v := m.Score(ctx)
+			if v < -1e-9 || v > 1+1e-9 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShannonMcIntoshAgreeWithSchutzOnOrdering(t *testing.T) {
+	// All three dispersion measures must order a clearly-even display
+	// above a clearly-skewed one.
+	even := ctxOf(aggDisplay(t, []string{"a", "b", "c"}, []float64{33, 33, 34}, 100))
+	skew := ctxOf(aggDisplay(t, []string{"a", "b", "c"}, []float64{98, 1, 1}, 100))
+	for _, m := range []Measure{SchutzMeasure{}, MacArthurMeasure{}, ShannonMeasure{}, McIntoshMeasure{}} {
+		if m.Score(even) <= m.Score(skew) {
+			t.Errorf("%s does not prefer the even display", m.Name())
+		}
+	}
+}

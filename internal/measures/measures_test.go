@@ -1,0 +1,347 @@
+package measures
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// aggDisplay builds an aggregated display with the given group values,
+// wired to a synthetic origin size.
+func aggDisplay(t *testing.T, groups []string, values []float64, originRows int) *engine.Display {
+	t.Helper()
+	b := dataset.NewBuilder("agg", dataset.Schema{
+		{Name: "g", Kind: dataset.KindString},
+		{Name: "count", Kind: dataset.KindFloat},
+	})
+	for i := range groups {
+		b.Append(dataset.S(groups[i]), dataset.F(values[i]))
+	}
+	return &engine.Display{
+		Table:       b.MustBuild(),
+		Aggregated:  true,
+		GroupColumn: "g",
+		ValueColumn: "count",
+		OriginRows:  originRows,
+		CoveredRows: originRows,
+	}
+}
+
+func ctxOf(d *engine.Display) *Context { return &Context{Display: d} }
+
+func TestVarianceSkewedVsEven(t *testing.T) {
+	skewed := aggDisplay(t, []string{"a", "b", "c", "d"}, []float64{97, 1, 1, 1}, 100)
+	even := aggDisplay(t, []string{"a", "b", "c", "d"}, []float64{25, 25, 25, 25}, 100)
+	m := VarianceMeasure{}
+	vs, ve := m.Score(ctxOf(skewed)), m.Score(ctxOf(even))
+	if vs <= ve {
+		t.Errorf("variance: skewed %v should beat even %v", vs, ve)
+	}
+	if ve != 0 {
+		t.Errorf("variance of a uniform display = %v, want 0", ve)
+	}
+	// Degenerate single group.
+	single := aggDisplay(t, []string{"a"}, []float64{10}, 10)
+	if got := m.Score(ctxOf(single)); got != 0 {
+		t.Errorf("variance of single group = %v", got)
+	}
+}
+
+func TestSimpsonBounds(t *testing.T) {
+	m := SimpsonMeasure{}
+	even := aggDisplay(t, []string{"a", "b", "c", "d"}, []float64{1, 1, 1, 1}, 4)
+	if got := m.Score(ctxOf(even)); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("simpson uniform = %v, want 1/m", got)
+	}
+	concentrated := aggDisplay(t, []string{"a", "b"}, []float64{1000, 0}, 1000)
+	if got := m.Score(ctxOf(concentrated)); math.Abs(got-1) > 1e-9 {
+		t.Errorf("simpson concentrated = %v, want 1", got)
+	}
+}
+
+func TestSchutzPrefersEvenDisplays(t *testing.T) {
+	m := SchutzMeasure{}
+	even := aggDisplay(t, []string{"a", "b"}, []float64{51, 49}, 100)
+	skewed := aggDisplay(t, []string{"a", "b"}, []float64{95, 5}, 100)
+	se, ss := m.Score(ctxOf(even)), m.Score(ctxOf(skewed))
+	if se <= ss {
+		t.Errorf("schutz: even %v should beat skewed %v", se, ss)
+	}
+	if se < 0.9 {
+		t.Errorf("near-even two-group display should score high, got %v (paper's example: 0.83)", se)
+	}
+	perfect := aggDisplay(t, []string{"a", "b", "c"}, []float64{10, 10, 10}, 30)
+	if got := m.Score(ctxOf(perfect)); math.Abs(got-1) > 1e-9 {
+		t.Errorf("schutz perfect evenness = %v, want 1", got)
+	}
+}
+
+func TestMacArthurPrefersEvenDisplays(t *testing.T) {
+	m := MacArthurMeasure{}
+	even := aggDisplay(t, []string{"a", "b", "c"}, []float64{10, 10, 10}, 30)
+	skewed := aggDisplay(t, []string{"a", "b", "c"}, []float64{28, 1, 1}, 30)
+	se, ss := m.Score(ctxOf(even)), m.Score(ctxOf(skewed))
+	if math.Abs(se-1) > 1e-9 {
+		t.Errorf("macarthur uniform = %v, want 1", se)
+	}
+	if ss >= se {
+		t.Errorf("macarthur: skewed %v should be below even %v", ss, se)
+	}
+	if ss < 0 || ss > 1 {
+		t.Errorf("macarthur out of range: %v", ss)
+	}
+}
+
+func TestOSFDetectsOutlierGroup(t *testing.T) {
+	m := OSFMeasure{}
+	flat := aggDisplay(t, []string{"a", "b", "c", "d", "e"}, []float64{10, 11, 9, 10, 10}, 50)
+	spiky := aggDisplay(t, []string{"a", "b", "c", "d", "e"}, []float64{10, 11, 9, 10, 500}, 540)
+	sf, ss := m.Score(ctxOf(flat)), m.Score(ctxOf(spiky))
+	if ss <= sf {
+		t.Errorf("osf: spiky %v should beat flat %v", ss, sf)
+	}
+	if ss < 0.9 {
+		t.Errorf("a 50x outlier should score near 1, got %v", ss)
+	}
+	if got := m.Score(ctxOf(aggDisplay(t, []string{"a"}, []float64{5}, 5))); got != 0 {
+		t.Errorf("osf needs >= 2 elements, got %v", got)
+	}
+}
+
+func TestOSFOnRawDisplayUsesNumericColumns(t *testing.T) {
+	b := dataset.NewBuilder("raw", dataset.Schema{
+		{Name: "name", Kind: dataset.KindString},
+		{Name: "v", Kind: dataset.KindInt},
+	})
+	for i := 0; i < 20; i++ {
+		b.Append(dataset.S("x"), dataset.I(100))
+	}
+	b.Append(dataset.S("y"), dataset.I(100000))
+	d := engine.NewRootDisplay(b.MustBuild())
+	// With a constant majority the MAD degenerates to 0 and OSF falls
+	// back to the (outlier-inflated) standard deviation, so the score is
+	// strong but below the MAD-scaled ceiling.
+	if got := (OSFMeasure{}).Score(ctxOf(d)); got < 0.75 {
+		t.Errorf("raw-display outlier should score strongly, got %v", got)
+	}
+}
+
+func TestDeviationAgainstRoot(t *testing.T) {
+	// Root: balanced protocols. Filtered: only the rare one.
+	b := dataset.NewBuilder("pk", dataset.Schema{
+		{Name: "proto", Kind: dataset.KindString},
+	})
+	for i := 0; i < 90; i++ {
+		b.Append(dataset.S("HTTP"))
+	}
+	for i := 0; i < 10; i++ {
+		b.Append(dataset.S("SSH"))
+	}
+	root := engine.NewRootDisplay(b.MustBuild())
+	m := DeviationMeasure{}
+
+	// A filter isolating the rare protocol deviates strongly from d0.
+	rare, err := engine.Execute(root, engine.NewFilter(engine.Predicate{Column: "proto", Op: engine.OpEq, Operand: dataset.S("SSH")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A filter keeping the majority barely deviates.
+	common, err := engine.Execute(root, engine.NewFilter(engine.Predicate{Column: "proto", Op: engine.OpEq, Operand: dataset.S("HTTP")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := m.Score(&Context{Display: rare, Root: root})
+	dc := m.Score(&Context{Display: common, Root: root})
+	if dr <= dc {
+		t.Errorf("deviation: rare slice %v should beat common slice %v", dr, dc)
+	}
+	// The root itself deviates 0 from itself.
+	if got := m.Score(&Context{Display: root, Root: root}); got != 0 {
+		t.Errorf("deviation of root vs itself = %v", got)
+	}
+	// No root: no verdict.
+	if got := m.Score(&Context{Display: rare}); got != 0 {
+		t.Errorf("deviation without root = %v", got)
+	}
+}
+
+func TestDeviationAggregatedComparesGroupings(t *testing.T) {
+	b := dataset.NewBuilder("pk2", dataset.Schema{
+		{Name: "proto", Kind: dataset.KindString},
+		{Name: "hour", Kind: dataset.KindInt},
+	})
+	for i := 0; i < 80; i++ {
+		b.Append(dataset.S("HTTP"), dataset.I(int64(9+i%8)))
+	}
+	for i := 0; i < 20; i++ {
+		b.Append(dataset.S("SSH"), dataset.I(22))
+	}
+	root := engine.NewRootDisplay(b.MustBuild())
+	// Group the SSH slice by hour: its distribution (all 22) deviates
+	// hard from the root's hour distribution.
+	ssh, err := engine.Execute(root, engine.NewFilter(engine.Predicate{Column: "proto", Op: engine.OpEq, Operand: dataset.S("SSH")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sshByHour, err := engine.Execute(ssh, engine.NewGroupCount("hour"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allByHour, err := engine.Execute(root, engine.NewGroupCount("hour"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := DeviationMeasure{}
+	ds := m.Score(&Context{Display: sshByHour, Root: root})
+	da := m.Score(&Context{Display: allByHour, Root: root})
+	if ds <= da {
+		t.Errorf("deviation: anomalous grouping %v should beat root-identical grouping %v", ds, da)
+	}
+}
+
+func TestCompactionGain(t *testing.T) {
+	m := CompactionGainMeasure{}
+	two := aggDisplay(t, []string{"a", "b"}, []float64{75000, 75454 - 75000}, 150908)
+	if got := m.Score(ctxOf(two)); math.Abs(got-75454) > 1e-9 {
+		t.Errorf("CG = %v, want 75454 (the paper's q3 example)", got)
+	}
+	// More groups, same origin: lower score.
+	ten := aggDisplay(t, []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"},
+		[]float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, 150908)
+	if m.Score(ctxOf(ten)) >= m.Score(ctxOf(two)) {
+		t.Error("CG must decrease with display size")
+	}
+	if got := m.Score(&Context{}); got != 0 {
+		t.Errorf("CG of nil display = %v", got)
+	}
+}
+
+func TestLogLength(t *testing.T) {
+	m := LogLengthMeasure{}
+	one := aggDisplay(t, []string{"a"}, []float64{5}, 5)
+	if got := m.Score(ctxOf(one)); math.Abs(got-1) > 1e-9 {
+		t.Errorf("log-length of 1 row = %v, want 1", got)
+	}
+	big := make([]string, 10000)
+	vals := make([]float64, 10000)
+	for i := range big {
+		big[i] = "g" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26)) + string(rune('0'+i%10))
+		vals[i] = 1
+	}
+	// Use a raw table directly to avoid huge aggDisplay helper cost.
+	b := dataset.NewBuilder("big", dataset.Schema{{Name: "x", Kind: dataset.KindInt}})
+	for i := 0; i < 10000; i++ {
+		b.Append(dataset.I(int64(i)))
+	}
+	d := engine.NewRootDisplay(b.MustBuild())
+	if got := m.Score(ctxOf(d)); got > 1e-9 {
+		t.Errorf("log-length at the cap = %v, want ≈ 0", got)
+	}
+	// Custom cap.
+	m2 := LogLengthMeasure{Cap: math.Log(100)}
+	mid := aggDisplay(t, []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"},
+		[]float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}, 100)
+	if got := m2.Score(ctxOf(mid)); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("log-length(10 rows, cap=log 100) = %v, want 0.5", got)
+	}
+}
+
+func TestMonotonicConciseness(t *testing.T) {
+	// Log-Length must be monotonically non-increasing in display size.
+	m := LogLengthMeasure{}
+	prev := math.Inf(1)
+	for _, rows := range []int{1, 3, 10, 50, 400, 5000} {
+		b := dataset.NewBuilder("x", dataset.Schema{{Name: "v", Kind: dataset.KindInt}})
+		for i := 0; i < rows; i++ {
+			b.Append(dataset.I(int64(i)))
+		}
+		s := m.Score(ctxOf(engine.NewRootDisplay(b.MustBuild())))
+		if s > prev {
+			t.Fatalf("log-length not monotone at %d rows: %v > %v", rows, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestRunningExampleMeasurePreferences(t *testing.T) {
+	// Reconstructs the paper's Figure-1 story: a group-by with very
+	// uneven protocol counts is a Diversity display; a two-group,
+	// near-even summary covering the whole dataset is a Conciseness +
+	// Dispersion display.
+	q1 := aggDisplay(t, []string{"HTTP", "HTTPS", "DNS", "SSH", "SMTP"},
+		[]float64{120000, 25000, 5000, 700, 208}, 150908)
+	q3 := aggDisplay(t, []string{"64.56.87.233", "64.56.87.234"}, []float64{420, 380}, 150908)
+
+	variance := VarianceMeasure{}
+	schutz := SchutzMeasure{}
+	cg := CompactionGainMeasure{}
+
+	if variance.Score(ctxOf(q1)) <= variance.Score(ctxOf(q3)) {
+		t.Error("q1 (skewed protocols) should out-diversity q3")
+	}
+	if schutz.Score(ctxOf(q3)) <= schutz.Score(ctxOf(q1)) {
+		t.Error("q3 (near-even pair) should out-dispersion q1")
+	}
+	if cg.Score(ctxOf(q3)) <= cg.Score(ctxOf(q1)) {
+		t.Error("q3 (2 groups) should out-concise q1 (5 groups)")
+	}
+}
+
+func TestDistributionExtractionRawDisplay(t *testing.T) {
+	b := dataset.NewBuilder("raw", dataset.Schema{
+		{Name: "cat", Kind: dataset.KindString},
+		{Name: "num", Kind: dataset.KindFloat},
+	})
+	for i := 0; i < 50; i++ {
+		b.Append(dataset.S(string(rune('a'+i%3))), dataset.F(float64(i)))
+	}
+	d := engine.NewRootDisplay(b.MustBuild())
+	ctx := &Context{Display: d}
+	dists := ctx.Distributions()
+	if len(dists) != 2 {
+		t.Fatalf("distributions = %d, want 2 (one per column)", len(dists))
+	}
+	for _, dist := range dists {
+		sum := 0.0
+		for _, p := range dist.P {
+			if p < 0 {
+				t.Fatalf("negative probability in %s", dist.Column)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("distribution %s sums to %v", dist.Column, sum)
+		}
+	}
+	// The numeric column must be binned, not exploded.
+	for _, dist := range dists {
+		if dist.Column == "num" && len(dist.P) > 10 {
+			t.Errorf("numeric column has %d cells, want <= 10 bins", len(dist.P))
+		}
+	}
+	// Memoized: same slice on the second call.
+	if &ctx.Distributions()[0] != &dists[0] {
+		t.Error("Distributions must be memoized")
+	}
+}
+
+func TestNegativeAggregatesDoNotPoisonDistribution(t *testing.T) {
+	d := aggDisplay(t, []string{"a", "b", "c"}, []float64{-5, 10, 10}, 20)
+	ctx := ctxOf(d)
+	dists := ctx.Distributions()
+	if len(dists) != 1 {
+		t.Fatal("want one distribution")
+	}
+	sum := 0.0
+	for _, p := range dists[0].P {
+		if p < 0 {
+			t.Fatal("negative probability cell")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum = %v", sum)
+	}
+}

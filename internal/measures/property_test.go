@@ -1,0 +1,148 @@
+package measures
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// fuzzAggDisplay builds an aggregated display from fuzz weights.
+func fuzzAggDisplay(weights []uint16) *engine.Display {
+	b := dataset.NewBuilder("fz", dataset.Schema{
+		{Name: "g", Kind: dataset.KindString},
+		{Name: "count", Kind: dataset.KindFloat},
+	})
+	total := 0
+	for i, w := range weights {
+		v := float64(w%1000) + 1
+		total += int(v)
+		key := string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		b.Append(dataset.S(key), dataset.F(v))
+	}
+	return &engine.Display{
+		Table:       b.MustBuild(),
+		Aggregated:  true,
+		GroupColumn: "g",
+		ValueColumn: "count",
+		OriginRows:  total,
+		CoveredRows: total,
+	}
+}
+
+// TestBoundedMeasuresRangeProperty: the bounded measures always stay in
+// their documented ranges, on arbitrary aggregated displays.
+func TestBoundedMeasuresRangeProperty(t *testing.T) {
+	bounded := []struct {
+		m      Measure
+		lo, hi float64
+	}{
+		{SimpsonMeasure{}, 0, 1},
+		{SchutzMeasure{}, 0, 1},
+		{MacArthurMeasure{}, 0, 1},
+		{OSFMeasure{}, 0, 1},
+		{LogLengthMeasure{}, 0, 1},
+	}
+	f := func(weights []uint16) bool {
+		if len(weights) == 0 {
+			return true
+		}
+		if len(weights) > 64 {
+			weights = weights[:64]
+		}
+		d := fuzzAggDisplay(weights)
+		ctx := &Context{Display: d}
+		for _, b := range bounded {
+			v := b.m.Score(ctx)
+			if v < b.lo-1e-9 || v > b.hi+1e-9 {
+				return false
+			}
+		}
+		// Unbounded measures are at least non-negative.
+		if (VarianceMeasure{}).Score(ctx) < 0 {
+			return false
+		}
+		if (CompactionGainMeasure{}).Score(ctx) < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDiversityDispersionDualityProperty: on two-group displays, making
+// the split more uneven must not decrease diversity (Simpson) and must not
+// increase dispersion (Schutz) — the two facets move in opposite
+// directions.
+func TestDiversityDispersionDualityProperty(t *testing.T) {
+	f := func(skewSeed uint8) bool {
+		skewA := 50 + float64(skewSeed%50) // 50..99
+		skewB := skewA + 1 + float64(skewSeed%7)
+		if skewB >= 100 {
+			skewB = 99.5
+		}
+		if skewB <= skewA {
+			return true
+		}
+		mk := func(major float64) *Context {
+			return &Context{Display: fuzzAggDisplayFloat([]float64{major, 100 - major})}
+		}
+		cA, cB := mk(skewA), mk(skewB)
+		simpson := SimpsonMeasure{}
+		schutz := SchutzMeasure{}
+		if simpson.Score(cB) < simpson.Score(cA)-1e-9 {
+			return false
+		}
+		if schutz.Score(cB) > schutz.Score(cA)+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func fuzzAggDisplayFloat(vals []float64) *engine.Display {
+	b := dataset.NewBuilder("fz2", dataset.Schema{
+		{Name: "g", Kind: dataset.KindString},
+		{Name: "count", Kind: dataset.KindFloat},
+	})
+	total := 0.0
+	for i, v := range vals {
+		total += v
+		b.Append(dataset.S(string(rune('a'+i))), dataset.F(v))
+	}
+	return &engine.Display{
+		Table:       b.MustBuild(),
+		Aggregated:  true,
+		GroupColumn: "g",
+		ValueColumn: "count",
+		OriginRows:  int(total),
+		CoveredRows: int(total),
+	}
+}
+
+// TestScoreDeterminismProperty: scoring is a pure function of the display.
+func TestScoreDeterminismProperty(t *testing.T) {
+	f := func(weights []uint16) bool {
+		if len(weights) == 0 || len(weights) > 32 {
+			return true
+		}
+		d := fuzzAggDisplay(weights)
+		for _, m := range BuiltinMeasures() {
+			a := m.Score(&Context{Display: d})
+			b := m.Score(&Context{Display: d})
+			if a != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,167 @@
+package measures
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry maps measure names to implementations and supports registering
+// user-defined measures (the paper's model "can be easily extended to
+// support user-defined measures as well"). The zero value is unusable; use
+// NewRegistry, which preloads the eight Table-1 measures.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]Measure
+}
+
+// NewRegistry returns a registry preloaded with the eight built-in measures.
+func NewRegistry() *Registry {
+	r := &Registry{m: make(map[string]Measure)}
+	for _, m := range BuiltinMeasures() {
+		r.m[m.Name()] = m
+	}
+	return r
+}
+
+// Register adds (or replaces) a measure under its Name.
+func (r *Registry) Register(m Measure) error {
+	if m == nil || m.Name() == "" {
+		return fmt.Errorf("measures: register: nil measure or empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[m.Name()] = m
+	return nil
+}
+
+// Get returns the named measure.
+func (r *Registry) Get(name string) (Measure, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m, ok := r.m[name]
+	if !ok {
+		return nil, fmt.Errorf("measures: unknown measure %q", name)
+	}
+	return m, nil
+}
+
+// Names returns all registered names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.m))
+	for k := range r.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByClass returns the registered measures of one class, sorted by name.
+func (r *Registry) ByClass(c Class) []Measure {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Measure
+	for _, m := range r.m {
+		if m.Class() == c {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// BuiltinMeasures returns fresh instances of the eight Table-1 measures in
+// canonical (class, name) order.
+func BuiltinMeasures() []Measure {
+	return []Measure{
+		VarianceMeasure{},
+		SimpsonMeasure{},
+		SchutzMeasure{},
+		MacArthurMeasure{},
+		OSFMeasure{},
+		DeviationMeasure{},
+		CompactionGainMeasure{},
+		LogLengthMeasure{},
+	}
+}
+
+// Set is an ordered set of measures — the paper's I. The experiments use
+// sets containing exactly one measure per class so that no two members are
+// highly correlated (Section 4.1).
+type Set []Measure
+
+// Names returns the member names in order.
+func (s Set) Names() []string {
+	out := make([]string, len(s))
+	for i, m := range s {
+		out[i] = m.Name()
+	}
+	return out
+}
+
+// Index returns the position of the named member, or -1.
+func (s Set) Index(name string) int {
+	for i, m := range s {
+		if m.Name() == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the set as {a, b, c, d}.
+func (s Set) String() string {
+	return fmt.Sprintf("{%v}", s.Names())
+}
+
+// DefaultSet returns the canonical 4-measure configuration used as the
+// running default: Variance, Schutz, OSF, Compaction Gain — one measure
+// per class.
+func DefaultSet() Set {
+	return Set{VarianceMeasure{}, SchutzMeasure{}, OSFMeasure{}, CompactionGainMeasure{}}
+}
+
+// AllConfigurations enumerates the paper's 16 configurations of I: the
+// cartesian product of one measure per class over the eight built-ins
+// (2 diversity x 2 dispersion x 2 peculiarity x 2 conciseness).
+func AllConfigurations() []Set {
+	div := []Measure{VarianceMeasure{}, SimpsonMeasure{}}
+	dis := []Measure{SchutzMeasure{}, MacArthurMeasure{}}
+	pec := []Measure{OSFMeasure{}, DeviationMeasure{}}
+	con := []Measure{CompactionGainMeasure{}, LogLengthMeasure{}}
+	var out []Set
+	for _, a := range div {
+		for _, b := range dis {
+			for _, c := range pec {
+				for _, d := range con {
+					out = append(out, Set{a, b, c, d})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Func adapts a plain scoring function into a Measure, the hook for
+// user-defined measures.
+type Func struct {
+	MeasureName  string
+	MeasureClass Class
+	ScoreFunc    func(ctx *Context) float64
+}
+
+// Name implements Measure.
+func (f Func) Name() string { return f.MeasureName }
+
+// Class implements Measure.
+func (f Func) Class() Class { return f.MeasureClass }
+
+// Score implements Measure.
+func (f Func) Score(ctx *Context) float64 {
+	if f.ScoreFunc == nil {
+		return 0
+	}
+	return f.ScoreFunc(ctx)
+}

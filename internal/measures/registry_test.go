@@ -1,0 +1,125 @@
+package measures
+
+import (
+	"testing"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	if len(names) != 8 {
+		t.Fatalf("builtin count = %d, want 8", len(names))
+	}
+	for _, n := range names {
+		m, err := r.Get(n)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", n, err)
+		}
+		if m.Name() != n {
+			t.Errorf("name mismatch: %s vs %s", m.Name(), n)
+		}
+	}
+	if _, err := r.Get("nonexistent"); err == nil {
+		t.Error("unknown measure should fail")
+	}
+}
+
+func TestRegistryByClass(t *testing.T) {
+	r := NewRegistry()
+	for _, c := range Classes {
+		ms := r.ByClass(c)
+		if len(ms) != 2 {
+			t.Errorf("class %v has %d measures, want 2", c, len(ms))
+		}
+		for _, m := range ms {
+			if m.Class() != c {
+				t.Errorf("measure %s misclassified", m.Name())
+			}
+		}
+	}
+}
+
+func TestRegistryUserDefined(t *testing.T) {
+	r := NewRegistry()
+	custom := Func{
+		MeasureName:  "always_seven",
+		MeasureClass: Peculiarity,
+		ScoreFunc:    func(*Context) float64 { return 7 },
+	}
+	if err := r.Register(custom); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Get("always_seven")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := got.Score(&Context{}); s != 7 {
+		t.Errorf("custom score = %v", s)
+	}
+	if err := r.Register(nil); err == nil {
+		t.Error("nil registration should fail")
+	}
+	if err := r.Register(Func{}); err == nil {
+		t.Error("empty-name registration should fail")
+	}
+	// Func with nil ScoreFunc scores 0 rather than panicking.
+	if s := (Func{MeasureName: "noop"}).Score(&Context{}); s != 0 {
+		t.Errorf("nil ScoreFunc = %v", s)
+	}
+}
+
+func TestClassStringRoundTrip(t *testing.T) {
+	for _, c := range Classes {
+		back, err := ParseClass(c.String())
+		if err != nil || back != c {
+			t.Errorf("class round trip %v: %v, %v", c, back, err)
+		}
+	}
+	if _, err := ParseClass("Novelty"); err == nil {
+		t.Error("unknown class should fail")
+	}
+}
+
+func TestAllConfigurations(t *testing.T) {
+	configs := AllConfigurations()
+	if len(configs) != 16 {
+		t.Fatalf("configurations = %d, want 16 (the paper's count)", len(configs))
+	}
+	seen := map[string]bool{}
+	for _, I := range configs {
+		if len(I) != 4 {
+			t.Fatalf("config size = %d, want 4", len(I))
+		}
+		// One measure per class, in canonical class order.
+		for i, c := range Classes {
+			if I[i].Class() != c {
+				t.Errorf("config %v: position %d is %v, want %v", I.Names(), i, I[i].Class(), c)
+			}
+		}
+		key := I.String()
+		if seen[key] {
+			t.Errorf("duplicate configuration %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSetHelpers(t *testing.T) {
+	I := DefaultSet()
+	if len(I) != 4 {
+		t.Fatalf("default set size = %d", len(I))
+	}
+	if I.Index("osf") < 0 || I.Index("nothere") != -1 {
+		t.Error("Set.Index wrong")
+	}
+	if got := I.Names(); got[0] != "variance" {
+		t.Errorf("names = %v", got)
+	}
+}
+
+func TestScoreConvenience(t *testing.T) {
+	// Score() builds a throwaway context.
+	if got := Score(LogLengthMeasure{}, nil, nil, nil, nil); got != 0 {
+		t.Errorf("Score with nil display = %v", got)
+	}
+}

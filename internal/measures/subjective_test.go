@@ -1,0 +1,132 @@
+package measures
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+func protocolDisplay(t *testing.T, httpShare int) *engine.Display {
+	t.Helper()
+	b := dataset.NewBuilder("pk", dataset.Schema{{Name: "protocol", Kind: dataset.KindString}})
+	for i := 0; i < httpShare; i++ {
+		b.Append(dataset.S("HTTP"))
+	}
+	for i := 0; i < 100-httpShare; i++ {
+		b.Append(dataset.S("SSH"))
+	}
+	return engine.NewRootDisplay(b.MustBuild())
+}
+
+func TestSurprisingnessAgainstBeliefs(t *testing.T) {
+	// The user believes traffic is ~80% HTTP / 20% SSH.
+	base := NewBeliefBase(Belief{
+		Column:   "protocol",
+		Expected: map[string]float64{"HTTP": 0.8, "SSH": 0.2},
+	})
+	m := SurprisingnessMeasure{Beliefs: base}
+
+	matching := protocolDisplay(t, 80) // exactly as believed
+	violating := protocolDisplay(t, 5) // almost all SSH
+	sm := m.Score(&Context{Display: matching})
+	sv := m.Score(&Context{Display: violating})
+	if sm > 0.05 {
+		t.Errorf("belief-matching display surprisingness = %v, want ≈ 0", sm)
+	}
+	if sv <= sm {
+		t.Errorf("belief-violating display (%v) must out-surprise the matching one (%v)", sv, sm)
+	}
+}
+
+func TestSurprisingnessSubjectivity(t *testing.T) {
+	// Two users, opposite beliefs: the SAME display ranks differently.
+	d := protocolDisplay(t, 90)
+	userA := SurprisingnessMeasure{MeasureName: "surprise_a", Beliefs: NewBeliefBase(Belief{
+		Column: "protocol", Expected: map[string]float64{"HTTP": 0.9, "SSH": 0.1},
+	})}
+	userB := SurprisingnessMeasure{MeasureName: "surprise_b", Beliefs: NewBeliefBase(Belief{
+		Column: "protocol", Expected: map[string]float64{"HTTP": 0.1, "SSH": 0.9},
+	})}
+	sa := userA.Score(&Context{Display: d})
+	sb := userB.Score(&Context{Display: d})
+	if sb <= sa {
+		t.Errorf("user B (expecting SSH) should be more surprised: %v vs %v", sb, sa)
+	}
+	// Both register under distinct names.
+	r := NewRegistry()
+	if err := r.Register(userA); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(userB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Get("surprise_a"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSurprisingnessNoBeliefs(t *testing.T) {
+	d := protocolDisplay(t, 50)
+	if got := (SurprisingnessMeasure{}).Score(&Context{Display: d}); got != 0 {
+		t.Errorf("nil belief base should score 0, got %v", got)
+	}
+	base := NewBeliefBase(Belief{Column: "unrelated", Expected: map[string]float64{"x": 1}})
+	if got := (SurprisingnessMeasure{Beliefs: base}).Score(&Context{Display: d}); got != 0 {
+		t.Errorf("beliefs about absent columns should score 0, got %v", got)
+	}
+}
+
+func TestBeliefConfidenceWeighting(t *testing.T) {
+	d := protocolDisplay(t, 5)
+	confident := SurprisingnessMeasure{Beliefs: NewBeliefBase(Belief{
+		Column: "protocol", Expected: map[string]float64{"HTTP": 0.8, "SSH": 0.2}, Confidence: 1,
+	})}
+	// Confidence weighting normalizes per-belief, so a single belief's
+	// score is confidence-invariant; with two beliefs the confident one
+	// dominates.
+	twoBeliefs := SurprisingnessMeasure{Beliefs: NewBeliefBase(
+		Belief{Column: "protocol", Expected: map[string]float64{"HTTP": 0.8, "SSH": 0.2}, Confidence: 1},
+	)}
+	if confident.Score(&Context{Display: d}) != twoBeliefs.Score(&Context{Display: d}) {
+		t.Error("same beliefs must score identically")
+	}
+	// Out-of-range confidence is clamped to 1.
+	bb := NewBeliefBase(Belief{Column: "c", Expected: map[string]float64{"x": 1}, Confidence: 7})
+	if got, _ := bb.get("c"); got.Confidence != 1 {
+		t.Errorf("confidence clamp failed: %v", got.Confidence)
+	}
+}
+
+func TestLearnBeliefs(t *testing.T) {
+	root := protocolDisplay(t, 80)
+	base, err := LearnBeliefs(&Context{Display: root}, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Columns()) != 1 {
+		t.Fatalf("learned columns = %v", base.Columns())
+	}
+	m := SurprisingnessMeasure{Beliefs: base}
+	// The learned base is calibrated to the root: the root itself is
+	// unsurprising, a skewed slice is surprising.
+	if s := m.Score(&Context{Display: root}); s > 0.01 {
+		t.Errorf("root vs learned beliefs = %v, want ≈ 0", s)
+	}
+	slice := protocolDisplay(t, 2)
+	if s := m.Score(&Context{Display: slice}); s < 0.5 {
+		t.Errorf("violating slice = %v, want clearly surprising", s)
+	}
+	// High-cardinality columns are not learnable.
+	b := dataset.NewBuilder("ids", dataset.Schema{{Name: "id", Kind: dataset.KindInt}})
+	for i := 0; i < 200; i++ {
+		b.Append(dataset.I(int64(i)))
+	}
+	wide := engine.NewRootDisplay(b.MustBuild())
+	if _, err := LearnBeliefs(&Context{Display: wide}, 32, 1); err == nil {
+		t.Error("learning from only high-cardinality columns must fail")
+	}
+	if _, err := LearnBeliefs(nil, 32, 1); err == nil {
+		t.Error("nil context must fail")
+	}
+}

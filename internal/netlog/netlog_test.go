@@ -1,0 +1,149 @@
+package netlog
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestGenerateSchemaAndSize(t *testing.T) {
+	for _, s := range Scenarios {
+		tbl := Generate(s, Config{Rows: 500})
+		if tbl.NumRows() != 500 {
+			t.Errorf("%v rows = %d, want 500", s, tbl.NumRows())
+		}
+		if !tbl.Schema().Equal(Schema()) {
+			t.Errorf("%v schema mismatch", s)
+		}
+		if tbl.Name() != s.String() {
+			t.Errorf("%v name = %q", s, tbl.Name())
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(Beacon, Config{Rows: 300, Seed: 42})
+	b := Generate(Beacon, Config{Rows: 300, Seed: 42})
+	for i := 0; i < a.NumRows(); i++ {
+		for j := 0; j < a.NumCols(); j++ {
+			if !a.Cell(i, j).Equal(b.Cell(i, j)) {
+				t.Fatalf("nondeterministic cell (%d,%d)", i, j)
+			}
+		}
+	}
+	c := Generate(Beacon, Config{Rows: 300, Seed: 43})
+	diff := false
+	for i := 0; i < 50 && !diff; i++ {
+		if !a.Cell(i, 1).Equal(c.Cell(i, 1)) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestPortScanEventSignature(t *testing.T) {
+	tbl := Generate(PortScan, Config{Rows: 2000})
+	// The scanner hits many distinct destination ports from one source.
+	counts := tbl.ValueCounts("src_ip")
+	var scannerRows int
+	for _, vc := range counts {
+		if vc.Value.Str == "198.51.100.23" {
+			scannerRows = vc.Count
+		}
+	}
+	if scannerRows < 80 {
+		t.Fatalf("scanner rows = %d, want ≈ 6%% of 2000", scannerRows)
+	}
+	// Its protocol marker exists.
+	protos := tbl.ValueCounts("protocol")
+	found := false
+	for _, vc := range protos {
+		if vc.Value.Str == "TCP-SYN" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("port-scan marker protocol missing")
+	}
+}
+
+func TestBeaconEventSignature(t *testing.T) {
+	tbl := Generate(Beacon, Config{Rows: 2000})
+	// Beacon traffic goes to the C2 address with small uniform lengths.
+	col := tbl.ColumnByName("dst_ip")
+	lcol := tbl.ColumnByName("length")
+	beacons := 0
+	for i := 0; i < col.Len(); i++ {
+		if col.Strs[i] == "203.0.113.99" {
+			beacons++
+			if l := lcol.Ints[i]; l < 90 || l > 110 {
+				t.Fatalf("beacon length %d out of the tight band", l)
+			}
+		}
+	}
+	if beacons < 80 {
+		t.Errorf("beacon rows = %d", beacons)
+	}
+}
+
+func TestExfilEventSignature(t *testing.T) {
+	tbl := Generate(Exfil, Config{Rows: 2000})
+	lcol := tbl.ColumnByName("length")
+	dcol := tbl.ColumnByName("dst_ip")
+	var exfilMax, bgMax int64
+	for i := 0; i < lcol.Len(); i++ {
+		if dcol.Strs[i] == "192.0.2.77" {
+			if lcol.Ints[i] > exfilMax {
+				exfilMax = lcol.Ints[i]
+			}
+		} else if lcol.Ints[i] > bgMax {
+			bgMax = lcol.Ints[i]
+		}
+	}
+	if exfilMax <= bgMax {
+		t.Errorf("exfil payloads (max %d) should dwarf background (max %d)", exfilMax, bgMax)
+	}
+}
+
+func TestBruteForceEventSignature(t *testing.T) {
+	tbl := Generate(BruteForce, Config{Rows: 2000})
+	// SSH should be heavily over-represented vs its background weight.
+	protos := tbl.ValueCounts("protocol")
+	var ssh int
+	for _, vc := range protos {
+		if vc.Value.Str == "SSH" {
+			ssh = vc.Count
+		}
+	}
+	if ssh < 150 { // background ~6% of 1880 plus 120 event rows
+		t.Errorf("SSH rows = %d, want inflated by the attack", ssh)
+	}
+}
+
+func TestGenerateAllDistinctSeeds(t *testing.T) {
+	tables := GenerateAll(Config{Rows: 200, Seed: 5})
+	if len(tables) != 4 {
+		t.Fatalf("datasets = %d", len(tables))
+	}
+	names := map[string]bool{}
+	for _, tbl := range tables {
+		names[tbl.Name()] = true
+	}
+	if len(names) != 4 {
+		t.Error("dataset names must be distinct")
+	}
+}
+
+func TestHourColumnConsistentWithTime(t *testing.T) {
+	tbl := Generate(PortScan, Config{Rows: 400})
+	tc := tbl.ColumnByName("time")
+	hc := tbl.ColumnByName("hour")
+	for i := 0; i < tbl.NumRows(); i++ {
+		wall := dataset.Value{Kind: dataset.KindTime, TimeNS: tc.TimeNS[i]}.Time().Hour()
+		if int64(wall) != hc.Ints[i] {
+			t.Fatalf("row %d: hour column %d != time %d", i, hc.Ints[i], wall)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package offline
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/measures"
+	"repro/internal/stats"
+)
+
+// MeasureNorm holds the fitted Algorithm-2 parameters of one measure:
+// the Box-Cox transformation (λ and the positivity shift) and the mean and
+// standard deviation of the transformed training scores.
+type MeasureNorm struct {
+	BoxCox stats.BoxCoxParams
+	Mean   float64
+	Std    float64
+}
+
+// Relative standardizes one raw score: Box-Cox transform, then z-score.
+func (mn MeasureNorm) Relative(raw float64) float64 {
+	return stats.ZScore(mn.BoxCox.Apply(raw), mn.Mean, mn.Std)
+}
+
+// Normalizer is the preprocessing product of Algorithm 2 (the PreProcess
+// function, lines 1-8): per-measure Box-Cox parameters and moments, fitted
+// on the score distribution of the whole session log.
+type Normalizer struct {
+	// Params maps measure name -> fitted normalization.
+	Params map[string]MeasureNorm
+	// FitDuration records how long the preprocessing took (part of the
+	// Normalized method's "calc relative scores" budget in Table 3).
+	FitDuration time.Duration
+}
+
+// FitNormalizer runs the preprocessing over the raw scores of all recorded
+// actions. Each measure's score series is shifted positive, Box-Cox
+// transformed with an MLE-estimated λ, and its transformed mean/std stored.
+func FitNormalizer(msrs []measures.Measure, nodes []*NodeScores) (*Normalizer, error) {
+	t0 := time.Now()
+	n := &Normalizer{Params: make(map[string]MeasureNorm, len(msrs))}
+	for _, m := range msrs {
+		series := make([]float64, 0, len(nodes))
+		for _, ns := range nodes {
+			if v, ok := ns.Raw[m.Name()]; ok {
+				series = append(series, v)
+			}
+		}
+		mn, err := fitOne(series)
+		if err != nil {
+			return nil, fmt.Errorf("offline: normalize %s: %w", m.Name(), err)
+		}
+		n.Params[m.Name()] = mn
+	}
+	n.FitDuration = time.Since(t0)
+	return n, nil
+}
+
+func fitOne(series []float64) (MeasureNorm, error) {
+	if len(series) == 0 {
+		return MeasureNorm{BoxCox: stats.BoxCoxParams{Lambda: 1}, Std: 0}, nil
+	}
+	transformed, params, err := stats.BoxCoxTransform(series)
+	if err != nil {
+		// Degenerate series (e.g. constant): fall back to the identity
+		// transform; z-scores will be 0 which is the right "no signal".
+		params = stats.BoxCoxParams{Lambda: 1}
+		transformed = make([]float64, len(series))
+		copy(transformed, series)
+	}
+	return MeasureNorm{
+		BoxCox: params,
+		Mean:   stats.Mean(transformed),
+		Std:    stats.StdDev(transformed),
+	}, nil
+}
+
+// Apply fills dst with the standardized (relative) score of every measure
+// present in raw.
+func (n *Normalizer) Apply(raw map[string]float64, dst map[string]float64) {
+	for name, v := range raw {
+		mn, ok := n.Params[name]
+		if !ok {
+			continue
+		}
+		dst[name] = mn.Relative(v)
+	}
+}
+
+// RelativeOne standardizes a single (measure, score) pair, for online use
+// on actions outside the training log.
+func (n *Normalizer) RelativeOne(measureName string, raw float64) (float64, error) {
+	mn, ok := n.Params[measureName]
+	if !ok {
+		return 0, fmt.Errorf("offline: normalizer has no parameters for measure %q", measureName)
+	}
+	return mn.Relative(raw), nil
+}

@@ -1,0 +1,209 @@
+package offline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/measures"
+	"repro/internal/stats"
+)
+
+// ClassFrequency returns, per interestingness class, the proportion of
+// recorded actions whose dominant measure (within I, under the method)
+// belongs to that class — the quantity plotted in the paper's Figure 3.
+// Because of ties the proportions may sum to slightly more than 1.
+func ClassFrequency(a *Analysis, I measures.Set, m Method) map[measures.Class]float64 {
+	classOf := make(map[string]measures.Class, len(I))
+	for _, msr := range I {
+		classOf[msr.Name()] = msr.Class()
+	}
+	counts := make(map[measures.Class]int)
+	total := 0
+	for _, ns := range a.Nodes {
+		labels, _ := ns.Dominant(I, m)
+		if len(labels) == 0 {
+			continue
+		}
+		total++
+		seen := make(map[measures.Class]bool, 2)
+		for _, l := range labels {
+			c := classOf[l]
+			if !seen[c] {
+				seen[c] = true
+				counts[c]++
+			}
+		}
+	}
+	out := make(map[measures.Class]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for c, n := range counts {
+		out[c] = float64(n) / float64(total)
+	}
+	return out
+}
+
+// AverageClassFrequency averages ClassFrequency over several measure
+// configurations (the paper averages over its 16 settings of I).
+func AverageClassFrequency(a *Analysis, configs []measures.Set, m Method) map[measures.Class]float64 {
+	acc := make(map[measures.Class]float64)
+	for _, I := range configs {
+		for c, v := range ClassFrequency(a, I, m) {
+			acc[c] += v
+		}
+	}
+	for c := range acc {
+		acc[c] /= float64(len(configs))
+	}
+	return acc
+}
+
+// ChurnStats reports how frequently the dominant measure changes within
+// sessions (the paper: "the dominant measure is changed every 2.2 steps on
+// average").
+type ChurnStats struct {
+	// Steps is the number of within-session consecutive action pairs.
+	Steps int
+	// Changes is how many of those pairs have different dominant sets.
+	Changes int
+	// StepsPerChange = Steps / Changes (Inf-free: 0 when no changes).
+	StepsPerChange float64
+}
+
+// Churn computes ChurnStats for one configuration and method.
+func Churn(a *Analysis, I measures.Set, m Method) ChurnStats {
+	var cs ChurnStats
+	for _, s := range a.Repo.Sessions() {
+		nodes := s.Nodes()
+		var prev []string
+		for _, n := range nodes[1:] {
+			ns := a.ByNode(n)
+			if ns == nil {
+				continue
+			}
+			labels, _ := ns.Dominant(I, m)
+			sort.Strings(labels)
+			if prev != nil {
+				cs.Steps++
+				if !equalStrings(prev, labels) {
+					cs.Changes++
+				}
+			}
+			prev = labels
+		}
+	}
+	if cs.Changes > 0 {
+		cs.StepsPerChange = float64(cs.Steps) / float64(cs.Changes)
+	}
+	return cs
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AgreementStats reports the consistency of the two comparison methods
+// (Section 4.1: 68% identical dominant outputs; χ² independence test with
+// p < 1e-67).
+type AgreementStats struct {
+	// Actions is the number of recorded actions compared.
+	Actions int
+	// Identical is how many received exactly the same dominant measure
+	// set from both methods.
+	Identical int
+	// Rate = Identical / Actions.
+	Rate float64
+	// ChiSquare is the independence test over the (RB label, Norm label)
+	// contingency table of primary labels.
+	ChiSquare stats.ChiSquareResult
+}
+
+// Agreement computes AgreementStats for one configuration I.
+func Agreement(a *Analysis, I measures.Set) (AgreementStats, error) {
+	names := I.Names()
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	table := make([][]float64, len(names))
+	for i := range table {
+		table[i] = make([]float64, len(names))
+	}
+	var as AgreementStats
+	for _, ns := range a.Nodes {
+		rbLabels, _ := ns.Dominant(I, ReferenceBased)
+		nmLabels, _ := ns.Dominant(I, Normalized)
+		if len(rbLabels) == 0 || len(nmLabels) == 0 {
+			continue
+		}
+		as.Actions++
+		sort.Strings(rbLabels)
+		sort.Strings(nmLabels)
+		if equalStrings(rbLabels, nmLabels) {
+			as.Identical++
+		}
+		table[idx[rbLabels[0]]][idx[nmLabels[0]]]++
+	}
+	if as.Actions > 0 {
+		as.Rate = float64(as.Identical) / float64(as.Actions)
+	}
+	chi, err := stats.ChiSquareIndependence(table)
+	if err != nil {
+		return as, fmt.Errorf("offline: agreement chi-square: %w", err)
+	}
+	as.ChiSquare = chi
+	return as, nil
+}
+
+// CorrelationReport summarizes pairwise Pearson correlations between the
+// measures' raw score series (Section 4.1: overall ≈0.3, same-type ≈0.543,
+// cross-type ≈0.071 on REACT-IDA).
+type CorrelationReport struct {
+	// Pairs maps "a|b" (a < b) to the Pearson r of measures a and b.
+	Pairs map[string]float64
+	// Overall, SameClass and CrossClass are the respective averages.
+	Overall    float64
+	SameClass  float64
+	CrossClass float64
+}
+
+// Correlations computes the pairwise correlation report over all recorded
+// actions for the analysis' measure list.
+func Correlations(a *Analysis) CorrelationReport {
+	rep := CorrelationReport{Pairs: make(map[string]float64)}
+	series := make(map[string][]float64, len(a.Measures))
+	for _, m := range a.Measures {
+		vals := make([]float64, 0, len(a.Nodes))
+		for _, ns := range a.Nodes {
+			vals = append(vals, ns.Raw[m.Name()])
+		}
+		series[m.Name()] = vals
+	}
+	var all, same, cross []float64
+	for i := 0; i < len(a.Measures); i++ {
+		for j := i + 1; j < len(a.Measures); j++ {
+			mi, mj := a.Measures[i], a.Measures[j]
+			r := stats.Pearson(series[mi.Name()], series[mj.Name()])
+			rep.Pairs[mi.Name()+"|"+mj.Name()] = r
+			all = append(all, r)
+			if mi.Class() == mj.Class() {
+				same = append(same, r)
+			} else {
+				cross = append(cross, r)
+			}
+		}
+	}
+	rep.Overall = stats.Mean(all)
+	rep.SameClass = stats.Mean(same)
+	rep.CrossClass = stats.Mean(cross)
+	return rep
+}

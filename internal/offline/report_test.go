@@ -1,0 +1,111 @@
+package offline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/measures"
+)
+
+func TestClassFrequencyProperties(t *testing.T) {
+	a := analyzed(t, testRepo(t))
+	I := measures.DefaultSet()
+	for _, m := range Methods {
+		cf := ClassFrequency(a, I, m)
+		sum := 0.0
+		for c, v := range cf {
+			if v < 0 || v > 1 {
+				t.Errorf("%s class %v frequency %v out of range", m, c, v)
+			}
+			sum += v
+		}
+		// Ties may push the sum above 1, but never above the class count.
+		if sum < 0.99 || sum > 4 {
+			t.Errorf("%s class frequencies sum to %v", m, sum)
+		}
+	}
+}
+
+func TestAverageClassFrequency(t *testing.T) {
+	a := analyzed(t, testRepo(t))
+	configs := measures.AllConfigurations()
+	avg := AverageClassFrequency(a, configs, Normalized)
+	if len(avg) == 0 {
+		t.Fatal("no averaged frequencies")
+	}
+	sum := 0.0
+	for _, v := range avg {
+		sum += v
+	}
+	if sum < 0.99 {
+		t.Errorf("averaged frequencies sum to %v", sum)
+	}
+}
+
+func TestChurn(t *testing.T) {
+	a := analyzed(t, testRepo(t))
+	I := measures.DefaultSet()
+	cs := Churn(a, I, Normalized)
+	// Our repo: s1 has 3 actions (2 pairs), s2 has 3 (2 pairs), s3 has 1
+	// (0 pairs) => 4 pairs total.
+	if cs.Steps != 4 {
+		t.Errorf("churn steps = %d, want 4", cs.Steps)
+	}
+	if cs.Changes < 0 || cs.Changes > cs.Steps {
+		t.Errorf("changes = %d out of range", cs.Changes)
+	}
+	if cs.Changes > 0 {
+		want := float64(cs.Steps) / float64(cs.Changes)
+		if math.Abs(cs.StepsPerChange-want) > 1e-9 {
+			t.Errorf("steps/change = %v, want %v", cs.StepsPerChange, want)
+		}
+	}
+}
+
+func TestAgreement(t *testing.T) {
+	a := analyzed(t, testRepo(t))
+	I := measures.DefaultSet()
+	as, err := Agreement(a, I)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Actions == 0 {
+		t.Fatal("no actions compared")
+	}
+	if as.Rate < 0 || as.Rate > 1 {
+		t.Errorf("agreement rate = %v", as.Rate)
+	}
+	if as.Identical > as.Actions {
+		t.Error("identical > actions")
+	}
+	if as.ChiSquare.DF <= 0 {
+		t.Errorf("chi-square df = %d", as.ChiSquare.DF)
+	}
+}
+
+func TestCorrelations(t *testing.T) {
+	a := analyzed(t, testRepo(t))
+	rep := Correlations(a)
+	if len(rep.Pairs) != 28 { // C(8,2)
+		t.Fatalf("pairs = %d, want 28", len(rep.Pairs))
+	}
+	for k, r := range rep.Pairs {
+		if r < -1.001 || r > 1.001 {
+			t.Errorf("correlation %s = %v out of [-1,1]", k, r)
+		}
+	}
+	// Same-class measures must correlate more strongly than cross-class
+	// on average (the paper's core observation enabling the 16 configs).
+	if rep.SameClass <= rep.CrossClass {
+		t.Errorf("same-class %v should exceed cross-class %v", rep.SameClass, rep.CrossClass)
+	}
+}
+
+func TestAverageRelativeHelper(t *testing.T) {
+	a := analyzed(t, testRepo(t))
+	I := measures.DefaultSet()
+	v := averageRelative(a, I, Normalized)
+	if math.IsNaN(v) {
+		t.Error("average relative is NaN")
+	}
+}

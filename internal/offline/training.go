@@ -1,0 +1,167 @@
+package offline
+
+import (
+	"sort"
+
+	"repro/internal/measures"
+	"repro/internal/session"
+)
+
+// Sample is one labeled training example: the n-context c_t of a session
+// state S_t, labeled with the dominant measure(s) of the consecutive
+// action q_{t+1} (Section 3.2).
+type Sample struct {
+	// Context is the extracted n-context c_t.
+	Context *session.Context
+	// State is the originating session state S_t.
+	State session.State
+	// Next is the node produced by the consecutive action q_{t+1}.
+	Next *session.Node
+	// Labels are the dominant measure name(s) for q_{t+1}; more than one
+	// on ties. After duplicate-context merging they hold the most common
+	// label(s) of the context's fingerprint group.
+	Labels []string
+	// Best is the maximal relative interestingness of q_{t+1} (the value
+	// the θ_I threshold filters on).
+	Best float64
+}
+
+// Label returns the primary (first) label.
+func (s *Sample) Label() string {
+	if len(s.Labels) == 0 {
+		return ""
+	}
+	return s.Labels[0]
+}
+
+// HasLabel reports whether name is among the sample's labels; the paper
+// counts a prediction correct if it matches any tied dominant measure.
+func (s *Sample) HasLabel(name string) bool {
+	for _, l := range s.Labels {
+		if l == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TrainingOptions configures BuildTrainingSet.
+type TrainingOptions struct {
+	// N is the n-context size (elements: displays + actions).
+	N int
+	// Method selects the comparison method that produces labels.
+	Method Method
+	// ThetaI is the interestingness threshold θ_I: samples whose maximal
+	// relative score falls below it are discarded as globally
+	// non-interesting. Its scale depends on Method — percentile in [0,1]
+	// for ReferenceBased, standard deviations (≈[-2.5, 2.5]) for
+	// Normalized.
+	ThetaI float64
+	// SuccessfulOnly restricts extraction to successful sessions, as in
+	// the paper's predictive evaluation.
+	SuccessfulOnly bool
+	// KeepAllTies keeps all tied dominant labels (default). When false,
+	// only the first (alphabetically smallest) label is kept — an
+	// ablation of the paper's tie handling.
+	DropTies bool
+}
+
+// BuildTrainingSet extracts, labels and filters the <c_t, i*(q_{t+1})>
+// samples for one measure configuration I under one comparison method,
+// following the three steps of Section 3.2:
+//
+//  1. extract the n-context of every session state that has a consecutive
+//     action;
+//  2. label it with the dominant measure(s) of that action;
+//  3. discard samples below the interestingness threshold θ_I, and give
+//     identical n-contexts (by fingerprint) their most common label(s).
+func BuildTrainingSet(a *Analysis, I measures.Set, opts TrainingOptions) []*Sample {
+	if opts.N < 1 {
+		opts.N = 1
+	}
+	var samples []*Sample
+	for _, s := range a.Repo.Sessions() {
+		if opts.SuccessfulOnly && !s.Successful {
+			continue
+		}
+		for t := 0; t < s.Steps(); t++ {
+			st, err := s.StateAt(t)
+			if err != nil {
+				continue
+			}
+			next := st.NextNode()
+			if next == nil {
+				continue
+			}
+			ns := a.ByNode(next)
+			if ns == nil {
+				continue
+			}
+			labels, best := ns.Dominant(I, opts.Method)
+			if len(labels) == 0 || best < opts.ThetaI {
+				continue
+			}
+			if opts.DropTies && len(labels) > 1 {
+				labels = labels[:1]
+			}
+			samples = append(samples, &Sample{
+				Context: session.Extract(st, opts.N),
+				State:   st,
+				Next:    next,
+				Labels:  append([]string(nil), labels...),
+				Best:    best,
+			})
+		}
+	}
+	mergeDuplicateContexts(samples)
+	return samples
+}
+
+// mergeDuplicateContexts finds samples with identical context fingerprints
+// and relabels each group with its most common label(s).
+func mergeDuplicateContexts(samples []*Sample) {
+	groups := make(map[string][]*Sample)
+	for _, s := range samples {
+		fp := s.Context.Fingerprint()
+		groups[fp] = append(groups[fp], s)
+	}
+	for _, group := range groups {
+		if len(group) < 2 {
+			continue
+		}
+		counts := make(map[string]int)
+		for _, s := range group {
+			for _, l := range s.Labels {
+				counts[l]++
+			}
+		}
+		best := 0
+		for _, c := range counts {
+			if c > best {
+				best = c
+			}
+		}
+		var winners []string
+		for l, c := range counts {
+			if c == best {
+				winners = append(winners, l)
+			}
+		}
+		sort.Strings(winners)
+		for _, s := range group {
+			s.Labels = append([]string(nil), winners...)
+		}
+	}
+}
+
+// LabelDistribution counts how many samples carry each label (ties counted
+// for every tied label).
+func LabelDistribution(samples []*Sample) map[string]int {
+	out := make(map[string]int)
+	for _, s := range samples {
+		for _, l := range s.Labels {
+			out[l]++
+		}
+	}
+	return out
+}

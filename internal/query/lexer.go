@@ -1,0 +1,133 @@
+// Package query implements a small SQL front-end for the IDA engine: it
+// parses the SELECT dialect that covers the paper's action vocabulary
+// (filtering, grouping, aggregation) into engine actions. Together with
+// package querylog it realizes the paper's footnote 2: session logs that
+// were not recorded by an IDA platform can be reconstructed from standard
+// query logs.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//	query     := SELECT selectList FROM ident [WHERE conj] [GROUP BY ident]
+//	             [ORDER BY ident [ASC|DESC] LIMIT number]
+//	selectList:= '*' | ident | agg | ident ',' agg
+//	agg       := (COUNT '(' '*' ')') | (SUM|AVG|MIN|MAX) '(' ident ')'
+//	conj      := cmp (AND cmp)*
+//	cmp       := ident op literal
+//	op        := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>=' | CONTAINS
+//	literal   := number | 'string' | TIMESTAMP 'rfc3339'
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; strings unquoted
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"AND": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true,
+	"MAX": true, "CONTAINS": true, "TIMESTAMP": true, "ORDER": true,
+	"LIMIT": true, "ASC": true, "DESC": true,
+}
+
+// lex tokenizes the input; it returns an error with position info for any
+// byte it cannot interpret.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				toks = append(toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case c >= '0' && c <= '9' || c == '-' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			i++
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.' || input[i] == 'e' || input[i] == 'E' ||
+				(input[i] == '-' || input[i] == '+') && (input[i-1] == 'e' || input[i-1] == 'E')) {
+				i++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[start:i], pos: start})
+		case c == '\'':
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if input[i] == '\'' {
+					// '' is an escaped quote.
+					if i+1 < n && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("query: unterminated string literal at byte %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+		case strings.ContainsRune("*(),=", rune(c)):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		case c == '!' || c == '<' || c == '>':
+			start := i
+			i++
+			if i < n && (input[i] == '=' || (c == '<' && input[i] == '>')) {
+				i++
+			}
+			toks = append(toks, token{kind: tokSymbol, text: input[start:i], pos: start})
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at byte %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	// '-' is legal inside identifiers (dataset names like
+	// "netlog-beacon"); the dialect has no arithmetic, so there is no
+	// ambiguity with subtraction, and negative literals always start
+	// with '-' at a non-identifier position.
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '.' || r == '-'
+}

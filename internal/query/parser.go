@@ -1,0 +1,460 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// Statement is a parsed query: the dataset it targets and the IDA actions
+// it decomposes into. A query with both a WHERE clause and a GROUP BY
+// decomposes into a filter action followed by a group action — the
+// session-reconstruction layer chains them.
+type Statement struct {
+	// Table is the FROM target (the dataset name).
+	Table string
+	// Actions holds 1 or 2 actions in execution order.
+	Actions []*engine.Action
+}
+
+// Parse parses one SQL query into a Statement.
+func Parse(input string) (*Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: input}
+	st, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input starting with %q", p.peek().text)
+	}
+	return st, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("query: %s (near byte %d of %q)", fmt.Sprintf(format, args...), p.peek().pos, p.src)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return p.errf("expected %s, got %q", kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return p.errf("expected %q, got %q", sym, t.text)
+	}
+	return nil
+}
+
+// aggKeywords are the aggregate-function keywords that double as engine
+// value-column names in ORDER BY position.
+var aggKeywords = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+// selectItem captures one SELECT-list element.
+type selectItem struct {
+	star   bool
+	column string
+	agg    string // "" for a plain column; COUNT/SUM/AVG/MIN/MAX otherwise
+	aggCol string // aggregated column; "" for COUNT(*)
+}
+
+func (p *parser) parseQuery() (*Statement, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	items, err := p.parseSelectList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl := p.next()
+	if tbl.kind != tokIdent {
+		return nil, p.errf("expected table name, got %q", tbl.text)
+	}
+
+	var preds []engine.Predicate
+	if p.peek().kind == tokKeyword && p.peek().text == "WHERE" {
+		p.next()
+		preds, err = p.parseConjunction()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	groupBy := ""
+	if p.peek().kind == tokKeyword && p.peek().text == "GROUP" {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		g := p.next()
+		if g.kind != tokIdent {
+			return nil, p.errf("expected group column, got %q", g.text)
+		}
+		groupBy = g.text
+	}
+
+	var topK *engine.Action
+	if p.peek().kind == tokKeyword && p.peek().text == "ORDER" {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		col := p.next()
+		colName := col.text
+		switch {
+		case col.kind == tokIdent:
+		case col.kind == tokKeyword && aggKeywords[col.text]:
+			// The engine names aggregate value columns "count", "sum_x",
+			// ... — the bare ones collide with keywords; accept them as
+			// column names here (engine column names are lowercase).
+			colName = strings.ToLower(col.text)
+		default:
+			return nil, p.errf("expected order column, got %q", col.text)
+		}
+		ascending := false
+		if t := p.peek(); t.kind == tokKeyword && (t.text == "ASC" || t.text == "DESC") {
+			p.next()
+			ascending = t.text == "ASC"
+		}
+		if err := p.expectKeyword("LIMIT"); err != nil {
+			return nil, fmt.Errorf("query: ORDER BY requires LIMIT to form a top-k action: %w", err)
+		}
+		lim := p.next()
+		if lim.kind != tokNumber {
+			return nil, p.errf("expected LIMIT count, got %q", lim.text)
+		}
+		k, err := strconv.Atoi(lim.text)
+		if err != nil || k < 1 {
+			return nil, p.errf("bad LIMIT %q", lim.text)
+		}
+		topK = engine.NewTopK(colName, k, ascending)
+	}
+
+	return assemble(tbl.text, items, preds, groupBy, topK)
+}
+
+func (p *parser) parseSelectList() ([]selectItem, error) {
+	var items []selectItem
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		return items, nil
+	}
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokSymbol && t.text == "*":
+		p.next()
+		return selectItem{star: true}, nil
+	case t.kind == tokKeyword && (t.text == "COUNT" || t.text == "SUM" || t.text == "AVG" || t.text == "MIN" || t.text == "MAX"):
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return selectItem{}, err
+		}
+		item := selectItem{agg: t.text}
+		arg := p.next()
+		switch {
+		case arg.kind == tokSymbol && arg.text == "*":
+			if t.text != "COUNT" {
+				return selectItem{}, p.errf("%s(*) is not supported; name a column", t.text)
+			}
+		case arg.kind == tokIdent:
+			item.aggCol = arg.text
+			if t.text == "COUNT" {
+				// COUNT(col) is treated as COUNT(*): the engine counts rows.
+				item.aggCol = ""
+			}
+		default:
+			return selectItem{}, p.errf("expected column or * inside %s(), got %q", t.text, arg.text)
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return selectItem{}, err
+		}
+		return item, nil
+	case t.kind == tokIdent:
+		p.next()
+		return selectItem{column: t.text}, nil
+	default:
+		return selectItem{}, p.errf("expected select item, got %q", t.text)
+	}
+}
+
+func (p *parser) parseConjunction() ([]engine.Predicate, error) {
+	var preds []engine.Predicate
+	for {
+		pr, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pr)
+		if p.peek().kind == tokKeyword && p.peek().text == "AND" {
+			p.next()
+			continue
+		}
+		return preds, nil
+	}
+}
+
+func (p *parser) parseComparison() (engine.Predicate, error) {
+	col := p.next()
+	if col.kind != tokIdent {
+		return engine.Predicate{}, p.errf("expected column name, got %q", col.text)
+	}
+	opTok := p.next()
+	var op engine.CompareOp
+	switch {
+	case opTok.kind == tokSymbol:
+		switch opTok.text {
+		case "=":
+			op = engine.OpEq
+		case "!=", "<>":
+			op = engine.OpNeq
+		case "<":
+			op = engine.OpLt
+		case "<=":
+			op = engine.OpLe
+		case ">":
+			op = engine.OpGt
+		case ">=":
+			op = engine.OpGe
+		default:
+			return engine.Predicate{}, p.errf("unknown operator %q", opTok.text)
+		}
+	case opTok.kind == tokKeyword && opTok.text == "CONTAINS":
+		op = engine.OpContains
+	default:
+		return engine.Predicate{}, p.errf("expected comparison operator, got %q", opTok.text)
+	}
+	val, err := p.parseLiteral()
+	if err != nil {
+		return engine.Predicate{}, err
+	}
+	return engine.Predicate{Column: col.text, Op: op, Operand: val}, nil
+}
+
+func (p *parser) parseLiteral() (dataset.Value, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return dataset.Value{}, p.errf("bad float literal %q", t.text)
+			}
+			return dataset.F(f), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return dataset.Value{}, p.errf("bad int literal %q", t.text)
+		}
+		return dataset.I(i), nil
+	case tokString:
+		return dataset.S(t.text), nil
+	case tokKeyword:
+		if t.text == "TIMESTAMP" {
+			s := p.next()
+			if s.kind != tokString {
+				return dataset.Value{}, p.errf("TIMESTAMP must be followed by a quoted RFC3339 string")
+			}
+			ts, err := time.Parse(time.RFC3339Nano, s.text)
+			if err != nil {
+				return dataset.Value{}, p.errf("bad timestamp %q: %v", s.text, err)
+			}
+			return dataset.T(ts), nil
+		}
+		return dataset.Value{}, p.errf("expected literal, got keyword %s", t.text)
+	default:
+		return dataset.Value{}, p.errf("expected literal, got %q", t.text)
+	}
+}
+
+// assemble turns the parsed clauses into engine actions.
+func assemble(table string, items []selectItem, preds []engine.Predicate, groupBy string, topK *engine.Action) (*Statement, error) {
+	st := &Statement{Table: table}
+
+	var agg *selectItem
+	for i := range items {
+		if items[i].agg != "" {
+			if agg != nil {
+				return nil, fmt.Errorf("query: multiple aggregates are not supported")
+			}
+			agg = &items[i]
+		}
+	}
+	if agg != nil && groupBy == "" {
+		return nil, fmt.Errorf("query: aggregate select requires GROUP BY")
+	}
+	if groupBy != "" && agg == nil {
+		return nil, fmt.Errorf("query: GROUP BY requires an aggregate in the select list")
+	}
+
+	if len(preds) > 0 {
+		st.Actions = append(st.Actions, engine.NewFilter(preds...))
+	}
+	if groupBy != "" {
+		var af engine.AggFunc
+		switch agg.agg {
+		case "COUNT":
+			af = engine.AggCount
+		case "SUM":
+			af = engine.AggSum
+		case "AVG":
+			af = engine.AggAvg
+		case "MIN":
+			af = engine.AggMin
+		case "MAX":
+			af = engine.AggMax
+		}
+		if af == engine.AggCount {
+			st.Actions = append(st.Actions, engine.NewGroupCount(groupBy))
+		} else {
+			st.Actions = append(st.Actions, engine.NewGroupAgg(groupBy, af, agg.aggCol))
+		}
+	}
+	if topK != nil {
+		st.Actions = append(st.Actions, topK)
+	}
+	if len(st.Actions) == 0 {
+		return nil, fmt.Errorf("query: SELECT without WHERE, GROUP BY or ORDER BY ... LIMIT performs no analysis action")
+	}
+	return st, nil
+}
+
+// Format renders a Statement's actions back into the dialect — the inverse
+// of Parse for logging/round-tripping.
+func Format(table string, actions []*engine.Action) (string, error) {
+	var preds []engine.Predicate
+	var group, topK *engine.Action
+	for _, a := range actions {
+		switch a.Type {
+		case engine.ActionFilter:
+			if group != nil || topK != nil {
+				return "", fmt.Errorf("query: cannot format a filter after a group/top-k")
+			}
+			preds = append(preds, a.Predicates...)
+		case engine.ActionGroup:
+			if group != nil || topK != nil {
+				return "", fmt.Errorf("query: cannot format more than one group action")
+			}
+			group = a
+		case engine.ActionTopK:
+			if topK != nil {
+				return "", fmt.Errorf("query: cannot format more than one top-k action")
+			}
+			topK = a
+		default:
+			return "", fmt.Errorf("query: cannot format action type %v", a.Type)
+		}
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if group == nil {
+		b.WriteString("*")
+	} else {
+		b.WriteString(group.GroupBy)
+		b.WriteString(", ")
+		switch group.Agg {
+		case engine.AggCount:
+			b.WriteString("COUNT(*)")
+		default:
+			b.WriteString(strings.ToUpper(group.Agg.String()))
+			b.WriteString("(")
+			b.WriteString(group.AggColumn)
+			b.WriteString(")")
+		}
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(table)
+	if len(preds) > 0 {
+		b.WriteString(" WHERE ")
+		for i, p := range preds {
+			if i > 0 {
+				b.WriteString(" AND ")
+			}
+			b.WriteString(p.Column)
+			b.WriteString(" ")
+			b.WriteString(formatOp(p.Op))
+			b.WriteString(" ")
+			b.WriteString(formatLiteral(p.Operand))
+		}
+	}
+	if group != nil {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(group.GroupBy)
+	}
+	if topK != nil {
+		b.WriteString(" ORDER BY ")
+		b.WriteString(topK.SortColumn)
+		if topK.Ascending {
+			b.WriteString(" ASC")
+		} else {
+			b.WriteString(" DESC")
+		}
+		fmt.Fprintf(&b, " LIMIT %d", topK.K)
+	}
+	return b.String(), nil
+}
+
+func formatOp(op engine.CompareOp) string {
+	switch op {
+	case engine.OpEq:
+		return "="
+	case engine.OpNeq:
+		return "!="
+	case engine.OpContains:
+		return "CONTAINS"
+	default:
+		return op.String()
+	}
+}
+
+func formatLiteral(v dataset.Value) string {
+	switch v.Kind {
+	case dataset.KindString:
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	case dataset.KindTime:
+		return "TIMESTAMP '" + v.String() + "'"
+	default:
+		return v.String()
+	}
+}

@@ -1,0 +1,226 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+func TestParseFilterQuery(t *testing.T) {
+	st, err := Parse("SELECT * FROM packets WHERE protocol = 'HTTP' AND hour > 19")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Table != "packets" {
+		t.Errorf("table = %q", st.Table)
+	}
+	if len(st.Actions) != 1 || st.Actions[0].Type != engine.ActionFilter {
+		t.Fatalf("actions = %v", st.Actions)
+	}
+	preds := st.Actions[0].Predicates
+	if len(preds) != 2 {
+		t.Fatalf("predicates = %d", len(preds))
+	}
+	if preds[0].Column != "protocol" || preds[0].Op != engine.OpEq || !preds[0].Operand.Equal(dataset.S("HTTP")) {
+		t.Errorf("pred 0 = %v", preds[0])
+	}
+	if preds[1].Column != "hour" || preds[1].Op != engine.OpGt || !preds[1].Operand.Equal(dataset.I(19)) {
+		t.Errorf("pred 1 = %v", preds[1])
+	}
+}
+
+func TestParseGroupQueries(t *testing.T) {
+	st, err := Parse("SELECT protocol, COUNT(*) FROM packets GROUP BY protocol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Actions) != 1 {
+		t.Fatalf("actions = %v", st.Actions)
+	}
+	a := st.Actions[0]
+	if a.Type != engine.ActionGroup || a.GroupBy != "protocol" || a.Agg != engine.AggCount {
+		t.Errorf("action = %v", a)
+	}
+
+	st2, err := Parse("SELECT dst_ip, SUM(length) FROM packets GROUP BY dst_ip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2 := st2.Actions[0]
+	if a2.Agg != engine.AggSum || a2.AggColumn != "length" {
+		t.Errorf("sum action = %v", a2)
+	}
+}
+
+func TestParseFilterPlusGroupDecomposes(t *testing.T) {
+	st, err := Parse("SELECT dst_ip, COUNT(*) FROM packets WHERE protocol = 'HTTP' AND hour > 19 GROUP BY dst_ip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Actions) != 2 {
+		t.Fatalf("want filter+group, got %v", st.Actions)
+	}
+	if st.Actions[0].Type != engine.ActionFilter || st.Actions[1].Type != engine.ActionGroup {
+		t.Errorf("order = %v, %v", st.Actions[0].Type, st.Actions[1].Type)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	ops := map[string]engine.CompareOp{
+		"=": engine.OpEq, "!=": engine.OpNeq, "<>": engine.OpNeq,
+		"<": engine.OpLt, "<=": engine.OpLe, ">": engine.OpGt, ">=": engine.OpGe,
+		"CONTAINS": engine.OpContains,
+	}
+	for sym, want := range ops {
+		st, err := Parse("SELECT * FROM t WHERE c " + sym + " 5")
+		if err != nil {
+			t.Fatalf("%s: %v", sym, err)
+		}
+		if got := st.Actions[0].Predicates[0].Op; got != want {
+			t.Errorf("%s parsed as %v, want %v", sym, got, want)
+		}
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	st, err := Parse("SELECT * FROM t WHERE a = 1 AND b = 1.5 AND c = 'it''s' AND d >= TIMESTAMP '2018-03-01T08:00:00Z'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := st.Actions[0].Predicates
+	if !preds[0].Operand.Equal(dataset.I(1)) {
+		t.Errorf("int literal = %v", preds[0].Operand)
+	}
+	if !preds[1].Operand.Equal(dataset.F(1.5)) {
+		t.Errorf("float literal = %v", preds[1].Operand)
+	}
+	if preds[2].Operand.Str != "it's" {
+		t.Errorf("string literal = %q", preds[2].Operand.Str)
+	}
+	if preds[3].Operand.Kind != dataset.KindTime {
+		t.Errorf("time literal kind = %v", preds[3].Operand.Kind)
+	}
+	// Negative numbers.
+	st2, err := Parse("SELECT * FROM t WHERE x < -42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Actions[0].Predicates[0].Operand.Equal(dataset.I(-42)) {
+		t.Errorf("negative literal = %v", st2.Actions[0].Predicates[0].Operand)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	st, err := Parse("select protocol, count(*) from packets where hour > 19 group by protocol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Actions) != 2 {
+		t.Errorf("actions = %v", st.Actions)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE t SET x = 1",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a",
+		"SELECT * FROM t WHERE a = ",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t trailing garbage",
+		"SELECT a, b, COUNT(*) FROM t GROUP BY a extra",
+		"SELECT COUNT(*) FROM t",                     // aggregate without GROUP BY
+		"SELECT a FROM t GROUP BY a",                 // GROUP BY without aggregate
+		"SELECT SUM(*) FROM t GROUP BY a",            // SUM(*) unsupported
+		"SELECT a, SUM(x), MAX(y) FROM t GROUP BY a", // two aggregates
+		"SELECT * FROM t WHERE a ~ 5",
+		"SELECT * FROM t WHERE d = TIMESTAMP 42",
+		"SELECT * FROM t WHERE d = TIMESTAMP 'not-a-time'",
+		"SELECT * FROM t", // no analysis action at all
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM packets WHERE protocol = 'HTTP' AND hour > 19",
+		"SELECT protocol, COUNT(*) FROM packets GROUP BY protocol",
+		"SELECT dst_ip, SUM(length) FROM packets WHERE hour >= 20 GROUP BY dst_ip",
+		"SELECT * FROM packets WHERE src_ip CONTAINS '10.0'",
+		"SELECT * FROM t WHERE s = 'it''s quoted'",
+	}
+	for _, q := range queries {
+		st, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		out, err := Format(st.Table, st.Actions)
+		if err != nil {
+			t.Fatalf("format %q: %v", q, err)
+		}
+		st2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", out, err)
+		}
+		if len(st2.Actions) != len(st.Actions) {
+			t.Fatalf("round trip changed action count: %q -> %q", q, out)
+		}
+		for i := range st.Actions {
+			if !st.Actions[i].Equal(st2.Actions[i]) {
+				t.Errorf("round trip changed action %d: %q -> %q", i, q, out)
+			}
+		}
+	}
+}
+
+func TestFormatErrors(t *testing.T) {
+	if _, err := Format("t", []*engine.Action{{Type: engine.ActionBack}}); err == nil {
+		t.Error("back actions cannot be formatted")
+	}
+	two := []*engine.Action{engine.NewGroupCount("a"), engine.NewGroupCount("b")}
+	if _, err := Format("t", two); err == nil {
+		t.Error("two group actions cannot be formatted")
+	}
+}
+
+func TestParsedActionsExecute(t *testing.T) {
+	b := dataset.NewBuilder("packets", dataset.Schema{
+		{Name: "protocol", Kind: dataset.KindString},
+		{Name: "hour", Kind: dataset.KindInt},
+		{Name: "length", Kind: dataset.KindInt},
+	})
+	for i := 0; i < 30; i++ {
+		proto := "HTTP"
+		if i%3 == 0 {
+			proto = "SSH"
+		}
+		b.Append(dataset.S(proto), dataset.I(int64(8+i%16)), dataset.I(int64(100+i)))
+	}
+	root := engine.NewRootDisplay(b.MustBuild())
+	st, err := Parse("SELECT protocol, COUNT(*) FROM packets WHERE hour > 12 GROUP BY protocol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := root
+	for _, a := range st.Actions {
+		d, err = engine.Execute(d, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !d.Aggregated || d.GroupColumn != "protocol" {
+		t.Errorf("final display = %+v", d)
+	}
+	if !strings.Contains(d.Table.String(), "HTTP") {
+		t.Error("result missing expected group")
+	}
+}

@@ -1,0 +1,103 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestParseOrderByLimit(t *testing.T) {
+	st, err := Parse("SELECT * FROM packets ORDER BY length DESC LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Actions) != 1 {
+		t.Fatalf("actions = %v", st.Actions)
+	}
+	a := st.Actions[0]
+	if a.Type != engine.ActionTopK || a.SortColumn != "length" || a.K != 10 || a.Ascending {
+		t.Errorf("top-k = %+v", a)
+	}
+	// ASC variant.
+	st2, err := Parse("SELECT * FROM packets ORDER BY length ASC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Actions[0].Ascending {
+		t.Error("ASC not parsed")
+	}
+	// Default direction is DESC (top-k semantics).
+	st3, err := Parse("SELECT * FROM packets ORDER BY length LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Actions[0].Ascending {
+		t.Error("default direction should be DESC")
+	}
+}
+
+func TestParseFullPipelineQuery(t *testing.T) {
+	st, err := Parse("SELECT dst_ip, COUNT(*) FROM packets WHERE protocol = 'HTTP' GROUP BY dst_ip ORDER BY count DESC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Actions) != 3 {
+		t.Fatalf("want filter+group+topk, got %v", st.Actions)
+	}
+	types := []engine.ActionType{engine.ActionFilter, engine.ActionGroup, engine.ActionTopK}
+	for i, want := range types {
+		if st.Actions[i].Type != want {
+			t.Errorf("action %d type = %v, want %v", i, st.Actions[i].Type, want)
+		}
+	}
+}
+
+func TestParseOrderByErrors(t *testing.T) {
+	bad := []string{
+		"SELECT * FROM t ORDER BY x",           // no LIMIT
+		"SELECT * FROM t ORDER BY x LIMIT",     // missing count
+		"SELECT * FROM t ORDER BY x LIMIT 0",   // k < 1
+		"SELECT * FROM t ORDER BY x LIMIT 'a'", // non-numeric
+		"SELECT * FROM t ORDER x LIMIT 3",      // missing BY
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestFormatTopKRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM packets ORDER BY length DESC LIMIT 10",
+		"SELECT * FROM packets WHERE hour > 19 ORDER BY length ASC LIMIT 5",
+		"SELECT dst_ip, COUNT(*) FROM packets WHERE protocol = 'HTTP' GROUP BY dst_ip ORDER BY count DESC LIMIT 5",
+	}
+	for _, q := range queries {
+		st, err := Parse(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		out, err := Format(st.Table, st.Actions)
+		if err != nil {
+			t.Fatalf("format %q: %v", q, err)
+		}
+		st2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", out, err)
+		}
+		if len(st2.Actions) != len(st.Actions) {
+			t.Fatalf("round trip changed actions: %q -> %q", q, out)
+		}
+		for i := range st.Actions {
+			if !st.Actions[i].Equal(st2.Actions[i]) {
+				t.Errorf("round trip changed action %d: %q -> %q", i, q, out)
+			}
+		}
+	}
+	// Two top-k actions are not expressible.
+	two := []*engine.Action{engine.NewTopK("a", 3, false), engine.NewTopK("b", 2, false)}
+	if _, err := Format("t", two); err == nil {
+		t.Error("two top-k actions must not format")
+	}
+}

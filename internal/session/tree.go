@@ -1,0 +1,167 @@
+// Package session models IDA sessions as ordered labeled trees (Section
+// 2.1 of the paper): nodes are displays, edges are the analysis actions
+// that produced them. It provides session construction with backtracking,
+// session states S_t, n-context extraction (Section 3.2), a repository of
+// recorded sessions, and a JSON log format that — like the REACT-IDA
+// benchmark — stores actions plus the means to regenerate their result
+// displays by re-execution.
+package session
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+// Node is one display node of the session tree.
+type Node struct {
+	// Step is the execution step t at which the node's display was
+	// produced; the root d0 has step 0. Steps are unique within a session.
+	Step int
+	// Display is the materialized result screen.
+	Display *engine.Display
+	// Action is the label of the edge from Parent (nil for the root).
+	Action *engine.Action
+	// Parent is the display the action was executed from (nil for root).
+	Parent *Node
+	// Children are ordered by execution step.
+	Children []*Node
+}
+
+// IsRoot reports whether the node is the session's root display d0.
+func (n *Node) IsRoot() bool { return n.Parent == nil }
+
+// Session is an analysis session: a tree of displays with a navigation
+// cursor. If the same display content is generated twice on different
+// paths it is represented by two different nodes, per the paper.
+type Session struct {
+	// ID uniquely identifies the session within a repository.
+	ID string
+	// Analyst identifies who performed the session.
+	Analyst string
+	// Dataset names the dataset the session explores.
+	Dataset string
+	// Successful marks sessions whose summary revealed the underlying
+	// security event (the REACT-IDA success flag).
+	Successful bool
+	// Summary is the analyst's free-text findings summary.
+	Summary string
+
+	root    *Node
+	current *Node
+	// byStep[t] is the node whose display is d_t.
+	byStep []*Node
+}
+
+// New starts a session on the given root display d0.
+func New(id, datasetName string, root *engine.Display) *Session {
+	rn := &Node{Step: 0, Display: root}
+	return &Session{
+		ID:      id,
+		Dataset: datasetName,
+		root:    rn,
+		current: rn,
+		byStep:  []*Node{rn},
+	}
+}
+
+// Root returns the root node (display d0).
+func (s *Session) Root() *Node { return s.root }
+
+// Current returns the node whose display the user is examining.
+func (s *Session) Current() *Node { return s.current }
+
+// Steps returns t: the number of analysis actions executed so far.
+func (s *Session) Steps() int { return len(s.byStep) - 1 }
+
+// NodeAt returns the node produced at step t (0 = root). It returns nil if
+// t is out of range.
+func (s *Session) NodeAt(t int) *Node {
+	if t < 0 || t >= len(s.byStep) {
+		return nil
+	}
+	return s.byStep[t]
+}
+
+// Nodes returns all nodes in execution-step order.
+func (s *Session) Nodes() []*Node { return s.byStep }
+
+// Apply executes an action from the current display, appends the resulting
+// display as a new child node, advances the cursor to it and returns it.
+func (s *Session) Apply(a *engine.Action) (*Node, error) {
+	d, err := engine.Execute(s.current.Display, a)
+	if err != nil {
+		return nil, fmt.Errorf("session %s step %d: %w", s.ID, len(s.byStep), err)
+	}
+	return s.attach(s.current, a, d), nil
+}
+
+// ApplyAt executes an action from an explicit node (a combined backtrack +
+// act, matching log replay where each step records its parent display).
+func (s *Session) ApplyAt(parent *Node, a *engine.Action) (*Node, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("session %s: ApplyAt with nil parent", s.ID)
+	}
+	d, err := engine.Execute(parent.Display, a)
+	if err != nil {
+		return nil, fmt.Errorf("session %s step %d: %w", s.ID, len(s.byStep), err)
+	}
+	return s.attach(parent, a, d), nil
+}
+
+func (s *Session) attach(parent *Node, a *engine.Action, d *engine.Display) *Node {
+	n := &Node{
+		Step:    len(s.byStep),
+		Display: d,
+		Action:  a.Clone(),
+		Parent:  parent,
+	}
+	parent.Children = append(parent.Children, n)
+	s.byStep = append(s.byStep, n)
+	s.current = n
+	return n
+}
+
+// BackTo moves the navigation cursor to an earlier node ("website style"
+// backtracking). The target must belong to this session.
+func (s *Session) BackTo(n *Node) error {
+	if n == nil || s.NodeAt(n.Step) != n {
+		return fmt.Errorf("session %s: BackTo target not in session", s.ID)
+	}
+	s.current = n
+	return nil
+}
+
+// State identifies a session state S_t: the session after step t, when the
+// user examines display d_t and has not yet chosen q_{t+1}.
+type State struct {
+	Session *Session
+	// T is the step index of the examined display.
+	T int
+}
+
+// StateAt returns the session state S_t.
+func (s *Session) StateAt(t int) (State, error) {
+	if s.NodeAt(t) == nil {
+		return State{}, fmt.Errorf("session %s: no state S_%d (session has %d steps)", s.ID, t, s.Steps())
+	}
+	return State{Session: s, T: t}, nil
+}
+
+// Node returns the node whose display the state examines (d_t).
+func (st State) Node() *Node { return st.Session.NodeAt(st.T) }
+
+// NextAction returns the action q_{t+1} executed after this state, or nil
+// if the session ended here. Because steps are globally ordered, q_{t+1}
+// is the action of the node created at step t+1 regardless of which
+// display it was executed from.
+func (st State) NextAction() *engine.Action {
+	n := st.Session.NodeAt(st.T + 1)
+	if n == nil {
+		return nil
+	}
+	return n.Action
+}
+
+// NextNode returns the node produced by q_{t+1}, or nil.
+func (st State) NextNode() *Node { return st.Session.NodeAt(st.T + 1) }

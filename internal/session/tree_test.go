@@ -1,0 +1,185 @@
+package session
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// exampleRoot builds a small packet table for session tests.
+func exampleRoot(t *testing.T) *engine.Display {
+	t.Helper()
+	b := dataset.NewBuilder("pkts", dataset.Schema{
+		{Name: "protocol", Kind: dataset.KindString},
+		{Name: "dst_ip", Kind: dataset.KindString},
+		{Name: "hour", Kind: dataset.KindInt},
+	})
+	rows := []struct {
+		p, ip string
+		h     int64
+	}{
+		{"HTTP", "a", 9}, {"HTTP", "a", 21}, {"HTTP", "b", 22}, {"HTTP", "b", 23},
+		{"HTTPS", "c", 10}, {"DNS", "d", 11}, {"SSH", "e", 12}, {"SSH", "e", 13},
+	}
+	for _, r := range rows {
+		b.Append(dataset.S(r.p), dataset.S(r.ip), dataset.I(r.h))
+	}
+	return engine.NewRootDisplay(b.MustBuild())
+}
+
+// buildRunningExample reproduces the paper's Figure-1 session: q1 group by
+// protocol from d0, backtrack to d0, q2 filter after-hours HTTP, q3 group
+// the filtered slice by dst_ip.
+func buildRunningExample(t *testing.T) *Session {
+	t.Helper()
+	s := New("clarice", "pkts", exampleRoot(t))
+	if _, err := s.Apply(engine.NewGroupCount("protocol")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BackTo(s.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(engine.NewFilter(
+		engine.Predicate{Column: "protocol", Op: engine.OpEq, Operand: dataset.S("HTTP")},
+		engine.Predicate{Column: "hour", Op: engine.OpGt, Operand: dataset.I(19)},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Apply(engine.NewGroupCount("dst_ip")); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSessionConstruction(t *testing.T) {
+	s := buildRunningExample(t)
+	if s.Steps() != 3 {
+		t.Fatalf("steps = %d, want 3", s.Steps())
+	}
+	// Tree shape: d0 has children d1 and d2; d2 has child d3.
+	root := s.Root()
+	if len(root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2 (branch from backtracking)", len(root.Children))
+	}
+	d2 := s.NodeAt(2)
+	if d2.Parent != root {
+		t.Error("d2 must hang off the root (user backtracked)")
+	}
+	d3 := s.NodeAt(3)
+	if d3.Parent != d2 {
+		t.Error("d3 must hang off d2")
+	}
+	if !root.IsRoot() || d3.IsRoot() {
+		t.Error("IsRoot wrong")
+	}
+	if s.Current() != d3 {
+		t.Error("cursor should be at the last node")
+	}
+	if s.NodeAt(99) != nil || s.NodeAt(-1) != nil {
+		t.Error("out-of-range NodeAt should be nil")
+	}
+}
+
+func TestSessionDisplaysContent(t *testing.T) {
+	s := buildRunningExample(t)
+	// q2 isolates 3 after-hours HTTP packets.
+	if got := s.NodeAt(2).Display.NumRows(); got != 3 {
+		t.Errorf("d2 rows = %d, want 3", got)
+	}
+	// q3 groups them into 2 destination IPs.
+	if got := s.NodeAt(3).Display.NumRows(); got != 2 {
+		t.Errorf("d3 rows = %d, want 2", got)
+	}
+}
+
+func TestBackToValidation(t *testing.T) {
+	s := buildRunningExample(t)
+	other := New("other", "pkts", exampleRoot(t))
+	if err := s.BackTo(other.Root()); err == nil {
+		t.Error("BackTo with a foreign node must fail")
+	}
+	if err := s.BackTo(nil); err == nil {
+		t.Error("BackTo(nil) must fail")
+	}
+	if err := s.BackTo(s.NodeAt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Current() != s.NodeAt(1) {
+		t.Error("cursor did not move")
+	}
+}
+
+func TestApplyAt(t *testing.T) {
+	s := buildRunningExample(t)
+	n, err := s.ApplyAt(s.NodeAt(1), engine.NewFilter(
+		engine.Predicate{Column: "count", Op: engine.OpGt, Operand: dataset.F(1)},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Parent != s.NodeAt(1) {
+		t.Error("ApplyAt attached to wrong parent")
+	}
+	if s.Steps() != 4 {
+		t.Errorf("steps = %d", s.Steps())
+	}
+	if _, err := s.ApplyAt(nil, engine.NewGroupCount("x")); err == nil {
+		t.Error("ApplyAt(nil) must fail")
+	}
+}
+
+func TestApplyFailureLeavesSessionIntact(t *testing.T) {
+	s := buildRunningExample(t)
+	before := s.Steps()
+	cur := s.Current()
+	_, err := s.Apply(engine.NewGroupCount("no_such_column"))
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if s.Steps() != before || s.Current() != cur {
+		t.Error("failed Apply must not modify the session")
+	}
+}
+
+func TestStatesAndNextAction(t *testing.T) {
+	s := buildRunningExample(t)
+	st, err := s.StateAt(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Node() != s.NodeAt(2) {
+		t.Error("State.Node wrong")
+	}
+	next := st.NextAction()
+	if next == nil || next.Type != engine.ActionGroup || next.GroupBy != "dst_ip" {
+		t.Errorf("next action = %v", next)
+	}
+	if st.NextNode() != s.NodeAt(3) {
+		t.Error("NextNode wrong")
+	}
+	last, err := s.StateAt(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.NextAction() != nil {
+		t.Error("terminal state has no next action")
+	}
+	if _, err := s.StateAt(9); err == nil {
+		t.Error("out-of-range state must fail")
+	}
+}
+
+func TestNextActionCrossesBranches(t *testing.T) {
+	// After backtracking, S_1's next action (q2) hangs off d0, not d1 —
+	// NextAction must still find it via the global step order.
+	s := buildRunningExample(t)
+	st, err := s.StateAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := st.NextAction()
+	if next == nil || next.Type != engine.ActionFilter {
+		t.Errorf("S_1 next action = %v, want the filter q2", next)
+	}
+}

@@ -1,0 +1,188 @@
+package simulate
+
+import (
+	"testing"
+
+	"repro/internal/measures"
+	"repro/internal/netlog"
+)
+
+func smallConfig() Config {
+	return Config{
+		Analysts:      6,
+		Sessions:      24,
+		SuccessRate:   0.4,
+		MeanActions:   4,
+		Seed:          99,
+		DatasetConfig: netlog.Config{Rows: 800},
+	}
+}
+
+func TestGenerateCounts(t *testing.T) {
+	repo, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := repo.ComputeStats()
+	if st.Sessions != 24 {
+		t.Errorf("sessions = %d", st.Sessions)
+	}
+	if st.Datasets != 4 {
+		t.Errorf("datasets = %d", st.Datasets)
+	}
+	if st.Analysts != 6 {
+		t.Errorf("analysts = %d", st.Analysts)
+	}
+	if st.Actions < 24*2 {
+		t.Errorf("actions = %d, every session needs >= 2", st.Actions)
+	}
+	if st.SuccessfulSessions == 0 || st.SuccessfulSessions == st.Sessions {
+		t.Errorf("successful sessions = %d/%d looks degenerate", st.SuccessfulSessions, st.Sessions)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	r1, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := r1.Sessions(), r2.Sessions()
+	if len(s1) != len(s2) {
+		t.Fatal("session counts differ")
+	}
+	for i := range s1 {
+		if s1[i].Steps() != s2[i].Steps() || s1[i].Successful != s2[i].Successful {
+			t.Fatalf("session %d differs between runs", i)
+		}
+		for step := 1; step <= s1[i].Steps(); step++ {
+			a1 := s1[i].NodeAt(step).Action.String()
+			a2 := s2[i].NodeAt(step).Action.String()
+			if a1 != a2 {
+				t.Fatalf("session %d step %d: %s vs %s", i, step, a1, a2)
+			}
+		}
+	}
+}
+
+func TestGenerateSessionsReplayable(t *testing.T) {
+	// Every generated session must be fully reconstructible from its log
+	// form (the REACT-IDA property the repository relies on).
+	repo, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range repo.Sessions()[:6] {
+		for step := 1; step <= s.Steps(); step++ {
+			n := s.NodeAt(step)
+			if n.Display.NumRows() == 0 {
+				t.Fatalf("session %s step %d has an empty display", s.ID, step)
+			}
+			if n.Parent == nil {
+				t.Fatalf("session %s step %d has no parent", s.ID, step)
+			}
+		}
+	}
+}
+
+func TestIntentClassMapping(t *testing.T) {
+	want := map[Intent]measures.Class{
+		Overview:  measures.Diversity,
+		Verify:    measures.Dispersion,
+		Drill:     measures.Peculiarity,
+		Summarize: measures.Conciseness,
+	}
+	for intent, class := range want {
+		if intent.Class() != class {
+			t.Errorf("%v class = %v, want %v", intent, intent.Class(), class)
+		}
+		if intentMeasure(intent).Class() != class {
+			t.Errorf("%v measure class mismatch", intent)
+		}
+	}
+}
+
+func TestTransitionRowsAreDistributions(t *testing.T) {
+	for _, prev := range Intents {
+		for _, cur := range Intents {
+			row := transition(prev, cur)
+			if len(row) != len(Intents) {
+				t.Fatalf("(%v,%v) row size = %d", prev, cur, len(row))
+			}
+			sum := 0.0
+			for _, p := range row {
+				if p < 0 {
+					t.Fatalf("(%v,%v) has negative transition prob", prev, cur)
+				}
+				sum += p
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Errorf("(%v,%v) transition row sums to %v", prev, cur, sum)
+			}
+		}
+	}
+}
+
+func TestTransitionIsSecondOrder(t *testing.T) {
+	// The chain must actually depend on the previous intent — this is
+	// what makes larger n-contexts more informative (Figure 5's n
+	// effect).
+	differs := false
+	for _, cur := range Intents {
+		base := transition(cur, cur)
+		for _, prev := range Intents {
+			if prev == cur {
+				continue
+			}
+			row := transition(prev, cur)
+			for i := range row {
+				if row[i] != base[i] {
+					differs = true
+				}
+			}
+		}
+	}
+	if !differs {
+		t.Error("transition ignores the previous intent")
+	}
+}
+
+func TestPercentileRanks(t *testing.T) {
+	ranks := percentileRanks([]float64{10, 20, 30})
+	if ranks[0] != 0 || ranks[2] != 1 || ranks[1] != 0.5 {
+		t.Errorf("ranks = %v", ranks)
+	}
+	tied := percentileRanks([]float64{5, 5})
+	if tied[0] != tied[1] {
+		t.Errorf("tied ranks must be equal: %v", tied)
+	}
+	single := percentileRanks([]float64{3})
+	if single[0] != 1 {
+		t.Errorf("singleton rank = %v", single)
+	}
+}
+
+func TestSessionLengthBounds(t *testing.T) {
+	repo, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range repo.Sessions() {
+		if s.Steps() < 2 || s.Steps() > 15 {
+			t.Errorf("session %s length %d out of [2, 15]", s.ID, s.Steps())
+		}
+	}
+}
+
+func TestIntentStrings(t *testing.T) {
+	names := map[string]bool{}
+	for _, i := range Intents {
+		names[i.String()] = true
+	}
+	if len(names) != 4 {
+		t.Error("intent names must be distinct")
+	}
+}

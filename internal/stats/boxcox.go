@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// BoxCox applies the Box-Cox power transformation with parameter lambda
+// to a single strictly positive observation:
+//
+//	y(λ) = (x^λ - 1) / λ   for λ != 0
+//	y(0) = ln(x)
+func BoxCox(x, lambda float64) float64 {
+	if lambda == 0 {
+		return math.Log(x)
+	}
+	return (math.Pow(x, lambda) - 1) / lambda
+}
+
+// BoxCoxSlice transforms every element of xs with the given lambda.
+// All elements must be strictly positive (see ShiftPositive).
+func BoxCoxSlice(xs []float64, lambda float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = BoxCox(x, lambda)
+	}
+	return out
+}
+
+// ShiftPositive returns xs+shift where shift is the smallest constant that
+// makes every element strictly positive (at least eps above zero). If all
+// elements are already >= eps the data is returned unshifted (shift = 0).
+// This mirrors the paper's preprocessing: "each series ... was first
+// shifted by a constant in order to eliminate negative scores".
+func ShiftPositive(xs []float64, eps float64) (shifted []float64, shift float64) {
+	if len(xs) == 0 {
+		return nil, 0
+	}
+	if eps <= 0 {
+		eps = 1e-9
+	}
+	m := Min(xs)
+	if m >= eps {
+		return append([]float64(nil), xs...), 0
+	}
+	shift = eps - m
+	shifted = make([]float64, len(xs))
+	for i, x := range xs {
+		shifted[i] = x + shift
+	}
+	return shifted, shift
+}
+
+// boxCoxLogLikelihood is the profile log-likelihood of the Box-Cox
+// transformation at lambda (up to constants):
+//
+//	llf(λ) = -(n/2)·ln(σ²(y(λ))) + (λ-1)·Σ ln(x)
+//
+// where σ² is the biased variance of the transformed data.
+func boxCoxLogLikelihood(xs []float64, lambda, sumLog float64) float64 {
+	n := float64(len(xs))
+	y := BoxCoxSlice(xs, lambda)
+	v := PopulationVariance(y)
+	if v <= 0 {
+		return math.Inf(-1)
+	}
+	return -n/2*math.Log(v) + (lambda-1)*sumLog
+}
+
+// BoxCoxLambdaMLE estimates the Box-Cox power parameter λ by maximizing the
+// profile log-likelihood over [lo, hi] (the conventional search window is
+// [-5, 5]). It uses golden-section search seeded by a coarse grid scan so
+// that a locally flat likelihood cannot trap the optimizer far from the
+// global maximum. All observations must be strictly positive.
+func BoxCoxLambdaMLE(xs []float64, lo, hi float64) (float64, error) {
+	if len(xs) < 3 {
+		return 0, fmt.Errorf("stats: box-cox MLE needs at least 3 observations, got %d", len(xs))
+	}
+	if lo >= hi {
+		return 0, fmt.Errorf("stats: box-cox MLE invalid window [%g, %g]", lo, hi)
+	}
+	sumLog := 0.0
+	for _, x := range xs {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return 0, fmt.Errorf("stats: box-cox MLE requires strictly positive finite data, got %g", x)
+		}
+		sumLog += math.Log(x)
+	}
+	// If the data is (numerically) constant every λ is equivalent; the
+	// identity transform is the natural choice.
+	if PopulationVariance(xs) < 1e-18 {
+		return 1, nil
+	}
+	ll := func(lambda float64) float64 { return boxCoxLogLikelihood(xs, lambda, sumLog) }
+
+	// Coarse grid to find a bracketing interval around the best λ.
+	const gridN = 41
+	bestI, bestV := 0, math.Inf(-1)
+	for i := 0; i < gridN; i++ {
+		lam := lo + (hi-lo)*float64(i)/float64(gridN-1)
+		if v := ll(lam); v > bestV {
+			bestV, bestI = v, i
+		}
+	}
+	step := (hi - lo) / float64(gridN-1)
+	a := lo + step*float64(bestI-1)
+	b := lo + step*float64(bestI+1)
+	if a < lo {
+		a = lo
+	}
+	if b > hi {
+		b = hi
+	}
+
+	// Golden-section search (maximization) on [a, b].
+	const invPhi = 0.6180339887498949
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := ll(x1), ll(x2)
+	for it := 0; it < 80 && b-a > 1e-7; it++ {
+		if f1 < f2 {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = ll(x2)
+		} else {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = ll(x1)
+		}
+	}
+	return (a + b) / 2, nil
+}
+
+// BoxCoxTransform is the full pipeline used by the Normalized comparison
+// method (Algorithm 2, stage 1): shift the series positive, estimate λ by
+// MLE and transform. It returns the transformed series together with the
+// fitted parameters so that new observations can be transformed
+// consistently via Params.Apply.
+func BoxCoxTransform(xs []float64) ([]float64, BoxCoxParams, error) {
+	shifted, shift := ShiftPositive(xs, 1e-6)
+	if len(shifted) == 0 {
+		return nil, BoxCoxParams{Lambda: 1}, ErrEmpty
+	}
+	lambda, err := BoxCoxLambdaMLE(shifted, -5, 5)
+	if err != nil {
+		return nil, BoxCoxParams{}, err
+	}
+	p := BoxCoxParams{Lambda: lambda, Shift: shift}
+	return BoxCoxSlice(shifted, lambda), p, nil
+}
+
+// BoxCoxParams captures a fitted Box-Cox transformation so it can be applied
+// to out-of-sample observations.
+type BoxCoxParams struct {
+	// Lambda is the fitted power parameter.
+	Lambda float64
+	// Shift is the constant added to make the training series positive.
+	Shift float64
+}
+
+// Apply transforms one new observation with the fitted parameters. Values
+// that remain non-positive after the shift are clamped to a small epsilon,
+// which corresponds to "at least as extreme as the most extreme training
+// observation" semantics.
+func (p BoxCoxParams) Apply(x float64) float64 {
+	v := x + p.Shift
+	if v < 1e-9 {
+		v = 1e-9
+	}
+	return BoxCox(v, p.Lambda)
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxCoxSpecialCases(t *testing.T) {
+	// λ = 0 is the natural log.
+	if got := BoxCox(math.E, 0); !almostEq(got, 1, 1e-12) {
+		t.Errorf("BoxCox(e, 0) = %v, want 1", got)
+	}
+	// λ = 1 is a shift by -1.
+	if got := BoxCox(5, 1); got != 4 {
+		t.Errorf("BoxCox(5, 1) = %v, want 4", got)
+	}
+	// λ = 2: (x²-1)/2.
+	if got := BoxCox(3, 2); got != 4 {
+		t.Errorf("BoxCox(3, 2) = %v, want 4", got)
+	}
+	// x = 1 maps to 0 for every λ.
+	for _, lam := range []float64{-2, -0.5, 0, 0.5, 1, 3} {
+		if got := BoxCox(1, lam); !almostEq(got, 0, 1e-12) {
+			t.Errorf("BoxCox(1, %v) = %v, want 0", lam, got)
+		}
+	}
+}
+
+func TestBoxCoxMonotoneProperty(t *testing.T) {
+	// The Box-Cox transform is strictly increasing in x for every λ.
+	f := func(a, b float64, lamSeed uint8) bool {
+		x := 0.01 + math.Abs(a)
+		y := 0.01 + math.Abs(b)
+		if math.IsInf(x, 0) || math.IsInf(y, 0) || x > 1e6 || y > 1e6 {
+			return true
+		}
+		lam := -2 + float64(lamSeed%41)*0.1 // λ in [-2, 2]
+		tx, ty := BoxCox(x, lam), BoxCox(y, lam)
+		switch {
+		case x < y:
+			return tx < ty
+		case x > y:
+			return tx > ty
+		default:
+			return tx == ty
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftPositive(t *testing.T) {
+	xs := []float64{-3, 0, 2}
+	shifted, shift := ShiftPositive(xs, 1e-6)
+	if Min(shifted) < 1e-6 {
+		t.Errorf("shifted min = %v", Min(shifted))
+	}
+	if !almostEq(shifted[2]-shifted[0], 5, 1e-12) {
+		t.Error("shift must preserve differences")
+	}
+	if shift <= 0 {
+		t.Errorf("shift = %v, want > 0", shift)
+	}
+	// Already positive: untouched.
+	pos := []float64{1, 2, 3}
+	shifted2, shift2 := ShiftPositive(pos, 1e-6)
+	if shift2 != 0 || shifted2[0] != 1 {
+		t.Error("already-positive series should not shift")
+	}
+	if s, sh := ShiftPositive(nil, 1e-6); s != nil || sh != 0 {
+		t.Error("empty input should return nil, 0")
+	}
+}
+
+func TestBoxCoxLambdaMLERecoversKnownTransforms(t *testing.T) {
+	rng := NewRNG(99)
+	// Data generated as exp(Normal) is lognormal: the MLE λ should be
+	// near 0 (the log transform normalizes it).
+	n := 600
+	logn := make([]float64, n)
+	for i := range logn {
+		logn[i] = math.Exp(rng.NormFloat64())
+	}
+	lam, err := BoxCoxLambdaMLE(logn, -5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam) > 0.35 {
+		t.Errorf("lognormal data: λ = %v, want ≈ 0", lam)
+	}
+
+	// Already-normal (shifted positive) data: λ should be near 1.
+	norm := make([]float64, n)
+	for i := range norm {
+		norm[i] = 50 + 5*rng.NormFloat64()
+	}
+	lam2, err := BoxCoxLambdaMLE(norm, -5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam2-1) > 0.9 {
+		t.Errorf("normal data: λ = %v, want ≈ 1", lam2)
+	}
+}
+
+func TestBoxCoxLambdaMLEErrors(t *testing.T) {
+	if _, err := BoxCoxLambdaMLE([]float64{1, 2}, -5, 5); err == nil {
+		t.Error("too few observations should fail")
+	}
+	if _, err := BoxCoxLambdaMLE([]float64{1, -2, 3}, -5, 5); err == nil {
+		t.Error("non-positive data should fail")
+	}
+	if _, err := BoxCoxLambdaMLE([]float64{1, 2, 3}, 5, -5); err == nil {
+		t.Error("inverted window should fail")
+	}
+	lam, err := BoxCoxLambdaMLE([]float64{2, 2, 2, 2}, -5, 5)
+	if err != nil || lam != 1 {
+		t.Errorf("constant data should yield identity λ=1, got %v, %v", lam, err)
+	}
+}
+
+func TestBoxCoxTransformReducesSkew(t *testing.T) {
+	rng := NewRNG(7)
+	xs := make([]float64, 800)
+	for i := range xs {
+		xs[i] = math.Exp(1.2 * rng.NormFloat64()) // heavily right-skewed
+	}
+	before := Skewness(xs)
+	transformed, params, err := BoxCoxTransform(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Skewness(transformed)
+	if math.Abs(after) >= math.Abs(before)/2 {
+		t.Errorf("transform should reduce skew strongly: before %v, after %v", before, after)
+	}
+	// Params.Apply must agree with the batch transform on in-sample points.
+	if got := params.Apply(xs[0]); !almostEq(got, transformed[0], 1e-9) {
+		t.Errorf("Apply(x0) = %v, batch = %v", got, transformed[0])
+	}
+}
+
+func TestBoxCoxParamsApplyClampsNonPositive(t *testing.T) {
+	p := BoxCoxParams{Lambda: 0.5, Shift: 0}
+	got := p.Apply(-10)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("Apply on out-of-domain input must stay finite, got %v", got)
+	}
+	// And it should be at most the transform of any positive value.
+	if got >= p.Apply(1) {
+		t.Error("clamped value should rank below positive inputs")
+	}
+}

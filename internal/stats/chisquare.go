@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareResult reports a chi-square test of independence.
+type ChiSquareResult struct {
+	// Statistic is the chi-square test statistic.
+	Statistic float64
+	// DF is the degrees of freedom, (rows-1)*(cols-1).
+	DF int
+	// PValue is the upper-tail probability P(X² >= Statistic).
+	PValue float64
+	// LogPValue is the natural log of PValue, usable when PValue
+	// underflows to 0 (the paper reports p < 1e-67).
+	LogPValue float64
+}
+
+// ChiSquareIndependence runs Pearson's chi-square test of independence on a
+// contingency table (rows = categories of variable A, cols = of variable B).
+// Rows or columns whose marginal total is zero are ignored for the degrees
+// of freedom. An error is returned if the table is degenerate (fewer than
+// two non-empty rows or columns).
+func ChiSquareIndependence(table [][]float64) (ChiSquareResult, error) {
+	r := len(table)
+	if r == 0 {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi-square: empty table")
+	}
+	c := len(table[0])
+	for i, row := range table {
+		if len(row) != c {
+			return ChiSquareResult{}, fmt.Errorf("stats: chi-square: ragged table at row %d", i)
+		}
+	}
+	rowSum := make([]float64, r)
+	colSum := make([]float64, c)
+	total := 0.0
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := table[i][j]
+			if v < 0 {
+				return ChiSquareResult{}, fmt.Errorf("stats: chi-square: negative count at (%d,%d)", i, j)
+			}
+			rowSum[i] += v
+			colSum[j] += v
+			total += v
+		}
+	}
+	if total == 0 {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi-square: all-zero table")
+	}
+	liveR, liveC := 0, 0
+	for _, s := range rowSum {
+		if s > 0 {
+			liveR++
+		}
+	}
+	for _, s := range colSum {
+		if s > 0 {
+			liveC++
+		}
+	}
+	if liveR < 2 || liveC < 2 {
+		return ChiSquareResult{}, fmt.Errorf("stats: chi-square: need >=2 non-empty rows and columns (have %d x %d)", liveR, liveC)
+	}
+	stat := 0.0
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			exp := rowSum[i] * colSum[j] / total
+			if exp == 0 {
+				continue
+			}
+			d := table[i][j] - exp
+			stat += d * d / exp
+		}
+	}
+	df := (liveR - 1) * (liveC - 1)
+	p, logP := ChiSquareSurvival(stat, df)
+	return ChiSquareResult{Statistic: stat, DF: df, PValue: p, LogPValue: logP}, nil
+}
+
+// ChiSquareSurvival returns P(X² >= x) for a chi-square distribution with
+// df degrees of freedom, along with its natural logarithm (accurate even
+// when the probability underflows float64).
+func ChiSquareSurvival(x float64, df int) (p, logP float64) {
+	if x <= 0 {
+		return 1, 0
+	}
+	a := float64(df) / 2
+	return upperIncompleteGammaRegularized(a, x/2)
+}
+
+// upperIncompleteGammaRegularized computes Q(a, x) = Γ(a,x)/Γ(a) and
+// ln Q(a, x) using the standard series/continued-fraction split
+// (Numerical Recipes §6.2).
+func upperIncompleteGammaRegularized(a, x float64) (q, logQ float64) {
+	if x < 0 || a <= 0 {
+		return math.NaN(), math.NaN()
+	}
+	if x == 0 {
+		return 1, 0
+	}
+	if x < a+1 {
+		// Use the series for P(a,x) and return 1-P.
+		p, _ := lowerGammaSeries(a, x)
+		q = 1 - p
+		if q <= 0 {
+			q = 0
+			logQ = math.Inf(-1)
+		} else {
+			logQ = math.Log(q)
+		}
+		return q, logQ
+	}
+	return upperGammaContinuedFraction(a, x)
+}
+
+// lowerGammaSeries evaluates the regularized lower incomplete gamma P(a,x)
+// by its power series; valid for x < a+1.
+func lowerGammaSeries(a, x float64) (p, logP float64) {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for n := 0; n < 500; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	logP = -x + a*math.Log(x) - lg + math.Log(sum)
+	return math.Exp(logP), logP
+}
+
+// upperGammaContinuedFraction evaluates the regularized upper incomplete
+// gamma Q(a,x) by Lentz's continued fraction; valid for x >= a+1.
+func upperGammaContinuedFraction(a, x float64) (q, logQ float64) {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	logQ = -x + a*math.Log(x) - lg + math.Log(h)
+	return math.Exp(logQ), logQ
+}

@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChiSquareSurvivalKnownValues(t *testing.T) {
+	// Reference values from standard chi-square tables.
+	cases := []struct {
+		x    float64
+		df   int
+		want float64
+		tol  float64
+	}{
+		{3.841, 1, 0.05, 2e-3},
+		{5.991, 2, 0.05, 2e-3},
+		{6.635, 1, 0.01, 1e-3},
+		{2.706, 1, 0.10, 2e-3},
+		{18.307, 10, 0.05, 2e-3},
+		{0, 3, 1, 0},
+	}
+	for _, c := range cases {
+		p, _ := ChiSquareSurvival(c.x, c.df)
+		if math.Abs(p-c.want) > c.tol {
+			t.Errorf("Q(%v, %d) = %v, want %v ± %v", c.x, c.df, p, c.want, c.tol)
+		}
+	}
+}
+
+func TestChiSquareSurvivalLogAccuracyInDeepTail(t *testing.T) {
+	// For df=2 the survival is exactly exp(-x/2), so logQ = -x/2 — even
+	// where the probability underflows float64 (the paper's p < 1e-67
+	// territory and beyond).
+	for _, x := range []float64{10, 100, 500, 4000} {
+		p, logP := ChiSquareSurvival(x, 2)
+		wantLog := -x / 2
+		if math.Abs(logP-wantLog) > 1e-6*math.Abs(wantLog) {
+			t.Errorf("logQ(%v, 2) = %v, want %v", x, logP, wantLog)
+		}
+		if x < 500 && math.Abs(p-math.Exp(wantLog)) > 1e-12 {
+			t.Errorf("Q(%v, 2) = %v, want %v", x, p, math.Exp(wantLog))
+		}
+	}
+	// x=4000, df=2: p underflows to 0 but logP stays informative.
+	p, logP := ChiSquareSurvival(4000, 2)
+	if p != 0 {
+		t.Errorf("expected underflow to 0, got %v", p)
+	}
+	if logP > -1999 {
+		t.Errorf("logP should be about -2000, got %v", logP)
+	}
+}
+
+func TestChiSquareIndependencePerfectlyDependent(t *testing.T) {
+	// Diagonal table: maximal dependence.
+	table := [][]float64{
+		{50, 0},
+		{0, 50},
+	}
+	res, err := ChiSquareIndependence(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF != 1 {
+		t.Errorf("df = %d, want 1", res.DF)
+	}
+	if !almostEq(res.Statistic, 100, 1e-9) {
+		t.Errorf("statistic = %v, want 100", res.Statistic)
+	}
+	if res.PValue > 1e-20 {
+		t.Errorf("p = %v, want tiny", res.PValue)
+	}
+}
+
+func TestChiSquareIndependenceIndependentTable(t *testing.T) {
+	// Rows proportional: statistic 0, p = 1.
+	table := [][]float64{
+		{10, 20, 30},
+		{20, 40, 60},
+	}
+	res, err := ChiSquareIndependence(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.Statistic, 0, 1e-9) || !almostEq(res.PValue, 1, 1e-9) {
+		t.Errorf("independent table: stat=%v p=%v", res.Statistic, res.PValue)
+	}
+	if res.DF != 2 {
+		t.Errorf("df = %d, want 2", res.DF)
+	}
+}
+
+func TestChiSquareIndependenceHandTable(t *testing.T) {
+	// Classic 2x2 example: stat = n(ad-bc)^2 / ((a+b)(c+d)(a+c)(b+d)).
+	a, b, c, d := 20.0, 30.0, 30.0, 20.0
+	table := [][]float64{{a, b}, {c, d}}
+	want := 100 * math.Pow(a*d-b*c, 2) / ((a + b) * (c + d) * (a + c) * (b + d))
+	res, err := ChiSquareIndependence(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.Statistic, want, 1e-9) {
+		t.Errorf("stat = %v, want %v", res.Statistic, want)
+	}
+}
+
+func TestChiSquareIndependenceDegenerate(t *testing.T) {
+	if _, err := ChiSquareIndependence(nil); err == nil {
+		t.Error("empty table should fail")
+	}
+	if _, err := ChiSquareIndependence([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged table should fail")
+	}
+	if _, err := ChiSquareIndependence([][]float64{{0, 0}, {0, 0}}); err == nil {
+		t.Error("all-zero table should fail")
+	}
+	if _, err := ChiSquareIndependence([][]float64{{1, -2}, {3, 4}}); err == nil {
+		t.Error("negative counts should fail")
+	}
+	// Only one non-empty row.
+	if _, err := ChiSquareIndependence([][]float64{{5, 5}, {0, 0}}); err == nil {
+		t.Error("single live row should fail")
+	}
+	// Zero rows/cols are excluded from df.
+	res, err := ChiSquareIndependence([][]float64{
+		{10, 0, 20},
+		{0, 0, 0},
+		{20, 0, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DF != 1 {
+		t.Errorf("df = %d, want 1 after dropping empty row/col", res.DF)
+	}
+}

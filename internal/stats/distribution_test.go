@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{1, 3})
+	if !almostEq(got[0], 0.25, 1e-12) || !almostEq(got[1], 0.75, 1e-12) {
+		t.Errorf("Normalize = %v", got)
+	}
+	// All-zero falls back to uniform.
+	u := Normalize([]float64{0, 0, 0, 0})
+	for _, p := range u {
+		if !almostEq(p, 0.25, 1e-12) {
+			t.Errorf("uniform fallback = %v", u)
+		}
+	}
+	// Negative weights are treated as zero mass.
+	neg := Normalize([]float64{-5, 1, 1})
+	if neg[0] != 0 || !almostEq(neg[1], 0.5, 1e-12) {
+		t.Errorf("negative handling = %v", neg)
+	}
+	if got := Normalize(nil); len(got) != 0 {
+		t.Error("empty stays empty")
+	}
+}
+
+func TestNormalizeSumsToOneProperty(t *testing.T) {
+	f := func(ws []float64) bool {
+		clean := make([]float64, 0, len(ws))
+		for _, w := range ws {
+			if !math.IsNaN(w) && !math.IsInf(w, 0) && math.Abs(w) < 1e100 {
+				clean = append(clean, math.Abs(w))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		p := Normalize(clean)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return almostEq(sum, 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKLDivergence(t *testing.T) {
+	p := []float64{0.5, 0.5}
+	if got := KLDivergence(p, p, 1e-9); !almostEq(got, 0, 1e-9) {
+		t.Errorf("KL(p||p) = %v, want 0", got)
+	}
+	q := []float64{0.9, 0.1}
+	if got := KLDivergence(p, q, 1e-9); got <= 0 {
+		t.Errorf("KL(p||q) = %v, want > 0", got)
+	}
+	// Asymmetric.
+	if KLDivergence(p, q, 1e-9) == KLDivergence(q, p, 1e-9) {
+		t.Error("KL should be asymmetric in general")
+	}
+	// Length mismatch -> +Inf.
+	if !math.IsInf(KLDivergence(p, []float64{1}, 1e-9), 1) {
+		t.Error("length mismatch should be +Inf")
+	}
+	// Zero cells in q stay finite thanks to smoothing.
+	if v := KLDivergence([]float64{1, 0}, []float64{0, 1}, 1e-6); math.IsInf(v, 0) {
+		t.Error("smoothing should keep KL finite")
+	}
+}
+
+func TestKLNonNegativeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		if n < 2 {
+			return true
+		}
+		pa := make([]float64, n)
+		pb := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if math.IsNaN(a[i]) || math.IsNaN(b[i]) || math.IsInf(a[i], 0) || math.IsInf(b[i], 0) {
+				return true
+			}
+			pa[i] = math.Abs(a[i])
+			pb[i] = math.Abs(b[i])
+		}
+		return KLDivergence(Normalize(pa), Normalize(pb), 1e-9) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlignedDistributions(t *testing.T) {
+	a := map[string]float64{"x": 2, "y": 2}
+	b := map[string]float64{"y": 1, "z": 3}
+	pa, pb := AlignedDistributions(a, b)
+	if len(pa) != 3 || len(pb) != 3 {
+		t.Fatalf("aligned lengths = %d, %d", len(pa), len(pb))
+	}
+	// Keys sort to [x, y, z].
+	if !almostEq(pa[0], 0.5, 1e-12) || !almostEq(pa[1], 0.5, 1e-12) || pa[2] != 0 {
+		t.Errorf("pa = %v", pa)
+	}
+	if pb[0] != 0 || !almostEq(pb[1], 0.25, 1e-12) || !almostEq(pb[2], 0.75, 1e-12) {
+		t.Errorf("pb = %v", pb)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9.999}
+	h, err := NewHistogram(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("histogram loses mass: %d/%d", total, len(xs))
+	}
+	if h.Counts[0] != 2 { // 0 and 1 fall in [0, 2)
+		t.Errorf("bin 0 = %d, want 2", h.Counts[0])
+	}
+	// Max value lands in the last bin, not out of range.
+	if h.Counts[4] != 2 {
+		t.Errorf("last bin = %d, want 2", h.Counts[4])
+	}
+	if _, err := NewHistogram(nil, 4); err == nil {
+		t.Error("empty sample should fail")
+	}
+	if _, err := NewHistogram(xs, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+	// Degenerate range: everything in bin 0.
+	h2, err := NewHistogram([]float64{3, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Counts[0] != 3 {
+		t.Errorf("degenerate range counts = %v", h2.Counts)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := h.Render(10)
+	if !strings.Contains(out, "#") {
+		t.Errorf("render missing bars:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("render should have 2 lines, got %d", lines)
+	}
+}

@@ -1,0 +1,142 @@
+package stats
+
+import "math"
+
+// RNG is a small, deterministic pseudo-random number generator
+// (xorshift64* core) used by the dataset and session simulators.
+// A dedicated implementation (rather than math/rand) keeps generated
+// datasets and logs byte-stable across Go releases, which matters for
+// reproducing the experiment tables.
+type RNG struct {
+	state uint64
+	// spare holds a cached second normal deviate from the Box-Muller pair.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics when n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: RNG.Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics when n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("stats: RNG.Int63n with n <= 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal deviate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * f
+	r.hasSpare = true
+	return u * f
+}
+
+// ExpFloat64 returns an exponential deviate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Choice returns a random index in [0, len(weights)) with probability
+// proportional to weights. All-zero weights fall back to uniform.
+// It panics on an empty slice.
+func (r *RNG) Choice(weights []float64) int {
+	if len(weights) == 0 {
+		panic("stats: RNG.Choice with empty weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return r.Intn(len(weights))
+	}
+	target := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Fork derives an independent generator whose stream is a deterministic
+// function of the parent seed and the label, so sub-simulations do not
+// perturb each other when one of them draws more numbers.
+func (r *RNG) Fork(label uint64) *RNG {
+	s := r.state
+	s ^= label * 0xBF58476D1CE4E5B9
+	s ^= s >> 31
+	s *= 0x94D049BB133111EB
+	if s == 0 {
+		s = 1
+	}
+	return NewRNG(s)
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	c := NewRNG(124)
+	same := true
+	a2 := NewRNG(123)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+	// Zero seed must still work.
+	if NewRNG(0).Uint64() == 0 && NewRNG(0).Uint64() == 0 {
+		t.Error("zero seed must be remapped")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(6)
+	seen := make(map[int]int)
+	for i := 0; i < 6000; i++ {
+		v := r.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 6; v++ {
+		if seen[v] < 700 {
+			t.Errorf("value %d badly under-sampled: %d/6000", v, seen[v])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(7)
+	n := 50000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	if m := Mean(xs); math.Abs(m) > 0.03 {
+		t.Errorf("normal mean = %v", m)
+	}
+	if s := StdDev(xs); math.Abs(s-1) > 0.03 {
+		t.Errorf("normal std = %v", s)
+	}
+}
+
+func TestRNGExpFloat64(t *testing.T) {
+	r := NewRNG(8)
+	n := 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("exponential draw negative: %v", v)
+		}
+		sum += v
+	}
+	if m := sum / float64(n); math.Abs(m-1) > 0.05 {
+		t.Errorf("exponential mean = %v, want ≈ 1", m)
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(9)
+	p := r.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRNGChoiceRespectsWeights(t *testing.T) {
+	r := NewRNG(10)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Choice([]float64{0.7, 0.3, 0})]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight option chosen %d times", counts[2])
+	}
+	frac0 := float64(counts[0]) / 30000
+	if math.Abs(frac0-0.7) > 0.03 {
+		t.Errorf("choice frequency = %v, want ≈ 0.7", frac0)
+	}
+	// All-zero weights fall back to uniform.
+	u := [2]int{}
+	for i := 0; i < 1000; i++ {
+		u[r.Choice([]float64{0, 0})]++
+	}
+	if u[0] == 0 || u[1] == 0 {
+		t.Error("all-zero weights should be uniform")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Choice(empty) must panic")
+		}
+	}()
+	r.Choice(nil)
+}
+
+func TestRNGForkIndependence(t *testing.T) {
+	parent := NewRNG(11)
+	f1 := parent.Fork(1)
+	f2 := parent.Fork(2)
+	f1again := NewRNG(11).Fork(1)
+	if f1.Uint64() != f1again.Uint64() {
+		t.Error("fork must be a deterministic function of parent seed + label")
+	}
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("distinct labels should produce distinct streams")
+	}
+}

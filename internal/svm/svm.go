@@ -1,0 +1,274 @@
+// Package svm implements the I-SVM baseline of the paper's Section 4.2: a
+// Support Vector Machine with a modified kernel that takes an arbitrary
+// distance matrix instead of Euclidean feature vectors (similarity-based
+// classification, Chen et al. 2009). The binary SVMs are trained with a
+// simplified SMO optimizer and combined one-vs-rest for the multi-class
+// measure-selection problem.
+package svm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Kernel builds a Gaussian distance-substitution kernel from a pairwise
+// distance matrix: K[i][j] = exp(-d[i][j]² / (2σ²)). When sigma <= 0, σ is
+// set to the median off-diagonal distance (a standard bandwidth heuristic),
+// with a floor that avoids a degenerate kernel when most distances are 0.
+func Kernel(dist [][]float64, sigma float64) [][]float64 {
+	n := len(dist)
+	if sigma <= 0 {
+		var off []float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off = append(off, dist[i][j])
+			}
+		}
+		if len(off) > 0 {
+			sigma = stats.Median(off)
+		}
+		if sigma < 1e-3 {
+			sigma = 1e-3
+		}
+	}
+	k := make([][]float64, n)
+	den := 2 * sigma * sigma
+	for i := range k {
+		k[i] = make([]float64, n)
+		for j := range k[i] {
+			d := dist[i][j]
+			k[i][j] = math.Exp(-d * d / den)
+		}
+	}
+	return k
+}
+
+// KernelRow computes the kernel values between one query (given its
+// distances to all training points) and the training set, with the same
+// sigma used at training time.
+func KernelRow(distToTrain []float64, sigma float64) []float64 {
+	out := make([]float64, len(distToTrain))
+	den := 2 * sigma * sigma
+	for i, d := range distToTrain {
+		out[i] = math.Exp(-d * d / den)
+	}
+	return out
+}
+
+// binarySVM is one trained one-vs-rest component.
+type binarySVM struct {
+	alpha []float64
+	y     []float64
+	b     float64
+}
+
+// decision evaluates f(x) = Σ αᵢ yᵢ K(xᵢ, x) + b for a kernel row.
+func (m *binarySVM) decision(kRow []float64) float64 {
+	s := m.b
+	for i, a := range m.alpha {
+		if a != 0 {
+			s += a * m.y[i] * kRow[i]
+		}
+	}
+	return s
+}
+
+// Config holds SVM hyper-parameters.
+type Config struct {
+	// C is the soft-margin penalty. <=0 means 1.
+	C float64
+	// Sigma is the kernel bandwidth; <=0 picks the median heuristic.
+	Sigma float64
+	// Tol is the KKT tolerance. <=0 means 1e-3.
+	Tol float64
+	// MaxPasses bounds SMO passes without progress. <=0 means 5.
+	MaxPasses int
+	// Seed drives SMO's partner selection.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.C <= 0 {
+		c.C = 1
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxPasses <= 0 {
+		c.MaxPasses = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Multiclass is a one-vs-rest SVM over a precomputed kernel.
+type Multiclass struct {
+	labels []string
+	binary []*binarySVM
+	sigma  float64
+}
+
+// Labels returns the class labels in training order.
+func (m *Multiclass) Labels() []string { return m.labels }
+
+// Sigma returns the kernel bandwidth used at training time, needed to
+// build query kernel rows.
+func (m *Multiclass) Sigma() float64 { return m.sigma }
+
+// Train fits a one-vs-rest multi-class SVM. dist is the full pairwise
+// training distance matrix; y holds a class label per training point;
+// classes enumerates the distinct labels (defines output order).
+func Train(dist [][]float64, y []string, classes []string, cfg Config) (*Multiclass, error) {
+	cfg = cfg.withDefaults()
+	n := len(dist)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("svm: need a square distance matrix with matching labels (n=%d, len(y)=%d)", n, len(y))
+	}
+	if len(classes) < 2 {
+		return nil, fmt.Errorf("svm: need at least 2 classes, got %d", len(classes))
+	}
+	sigma := cfg.Sigma
+	k := Kernel(dist, sigma)
+	if sigma <= 0 {
+		// Recover the sigma Kernel picked so queries can reuse it.
+		sigma = recoverSigma(dist, k)
+	}
+	mc := &Multiclass{labels: append([]string(nil), classes...), sigma: sigma}
+	for ci, class := range classes {
+		yb := make([]float64, n)
+		pos := 0
+		for i, label := range y {
+			if label == class {
+				yb[i] = 1
+				pos++
+			} else {
+				yb[i] = -1
+			}
+		}
+		if pos == 0 || pos == n {
+			// Degenerate one-vs-rest split: constant decision.
+			b := -1.0
+			if pos == n {
+				b = 1.0
+			}
+			mc.binary = append(mc.binary, &binarySVM{alpha: make([]float64, n), y: yb, b: b})
+			continue
+		}
+		bm := trainSMO(k, yb, cfg, uint64(ci))
+		mc.binary = append(mc.binary, bm)
+	}
+	return mc, nil
+}
+
+func recoverSigma(dist, k [][]float64) float64 {
+	// Invert K = exp(-d²/2σ²) on the first informative off-diagonal pair.
+	n := len(dist)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dist[i][j] > 0 && k[i][j] > 0 && k[i][j] < 1 {
+				return math.Sqrt(-dist[i][j] * dist[i][j] / (2 * math.Log(k[i][j])))
+			}
+		}
+	}
+	return 1e-3
+}
+
+// Predict classifies a query given its distances to the training points:
+// the class whose binary decision value is largest wins.
+func (m *Multiclass) Predict(distToTrain []float64) (string, []float64) {
+	kRow := KernelRow(distToTrain, m.sigma)
+	scores := make([]float64, len(m.binary))
+	bestI := 0
+	for i, bm := range m.binary {
+		scores[i] = bm.decision(kRow)
+		if scores[i] > scores[bestI] {
+			bestI = i
+		}
+	}
+	return m.labels[bestI], scores
+}
+
+// trainSMO is simplified SMO (Platt; the CS229 variant): repeatedly pick
+// KKT-violating points, optimize the pair analytically.
+func trainSMO(k [][]float64, y []float64, cfg Config, fold uint64) *binarySVM {
+	n := len(y)
+	alpha := make([]float64, n)
+	b := 0.0
+	rng := stats.NewRNG(cfg.Seed + fold*7919)
+
+	f := func(i int) float64 {
+		s := b
+		for j := 0; j < n; j++ {
+			if alpha[j] != 0 {
+				s += alpha[j] * y[j] * k[j][i]
+			}
+		}
+		return s
+	}
+
+	passes := 0
+	for passes < cfg.MaxPasses {
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - y[i]
+			if !((y[i]*ei < -cfg.Tol && alpha[i] < cfg.C) || (y[i]*ei > cfg.Tol && alpha[i] > 0)) {
+				continue
+			}
+			j := rng.Intn(n - 1)
+			if j >= i {
+				j++
+			}
+			ej := f(j) - y[j]
+
+			ai, aj := alpha[i], alpha[j]
+			var lo, hi float64
+			if y[i] != y[j] {
+				lo = math.Max(0, aj-ai)
+				hi = math.Min(cfg.C, cfg.C+aj-ai)
+			} else {
+				lo = math.Max(0, ai+aj-cfg.C)
+				hi = math.Min(cfg.C, ai+aj)
+			}
+			if lo == hi {
+				continue
+			}
+			eta := 2*k[i][j] - k[i][i] - k[j][j]
+			if eta >= 0 {
+				continue
+			}
+			ajNew := aj - y[j]*(ei-ej)/eta
+			if ajNew > hi {
+				ajNew = hi
+			} else if ajNew < lo {
+				ajNew = lo
+			}
+			if math.Abs(ajNew-aj) < 1e-5 {
+				continue
+			}
+			aiNew := ai + y[i]*y[j]*(aj-ajNew)
+
+			b1 := b - ei - y[i]*(aiNew-ai)*k[i][i] - y[j]*(ajNew-aj)*k[i][j]
+			b2 := b - ej - y[i]*(aiNew-ai)*k[i][j] - y[j]*(ajNew-aj)*k[j][j]
+			switch {
+			case aiNew > 0 && aiNew < cfg.C:
+				b = b1
+			case ajNew > 0 && ajNew < cfg.C:
+				b = b2
+			default:
+				b = (b1 + b2) / 2
+			}
+			alpha[i], alpha[j] = aiNew, ajNew
+			changed++
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+	return &binarySVM{alpha: alpha, y: y, b: b}
+}

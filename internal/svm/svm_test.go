@@ -1,0 +1,197 @@
+package svm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// pointsDistanceMatrix builds the pairwise Euclidean distances of 1-D
+// points (an easy stand-in for "contexts with a distance metric").
+func pointsDistanceMatrix(pts []float64) [][]float64 {
+	n := len(pts)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			d[i][j] = math.Abs(pts[i] - pts[j])
+		}
+	}
+	return d
+}
+
+func TestKernelProperties(t *testing.T) {
+	d := pointsDistanceMatrix([]float64{0, 1, 2, 10})
+	k := Kernel(d, 1)
+	for i := range k {
+		if math.Abs(k[i][i]-1) > 1e-12 {
+			t.Errorf("diagonal k[%d][%d] = %v, want 1", i, i, k[i][i])
+		}
+		for j := range k {
+			if k[i][j] != k[j][i] {
+				t.Error("kernel must be symmetric")
+			}
+			if k[i][j] < 0 || k[i][j] > 1 {
+				t.Errorf("kernel out of range: %v", k[i][j])
+			}
+		}
+	}
+	// Closer points have larger kernel values.
+	if k[0][1] <= k[0][3] {
+		t.Error("kernel must decay with distance")
+	}
+	// Median-heuristic sigma: must not be degenerate.
+	k2 := Kernel(d, 0)
+	if k2[0][1] <= 0 || k2[0][1] >= 1 {
+		t.Errorf("median-sigma kernel k[0][1] = %v", k2[0][1])
+	}
+}
+
+func TestKernelRowMatchesKernel(t *testing.T) {
+	pts := []float64{0, 1, 2}
+	d := pointsDistanceMatrix(pts)
+	k := Kernel(d, 0.7)
+	row := KernelRow(d[1], 0.7)
+	for j := range row {
+		if math.Abs(row[j]-k[1][j]) > 1e-12 {
+			t.Errorf("row[%d] = %v, want %v", j, row[j], k[1][j])
+		}
+	}
+}
+
+func TestBinaryTrainSeparable(t *testing.T) {
+	// Two well-separated 1-D clusters.
+	var pts []float64
+	var y []string
+	rng := stats.NewRNG(3)
+	for i := 0; i < 20; i++ {
+		pts = append(pts, rng.Float64())
+		y = append(y, "low")
+	}
+	for i := 0; i < 20; i++ {
+		pts = append(pts, 10+rng.Float64())
+		y = append(y, "high")
+	}
+	d := pointsDistanceMatrix(pts)
+	m, err := Train(d, y, []string{"low", "high"}, Config{C: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range pts {
+		pred, _ := m.Predict(d[i])
+		if pred == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(pts)); acc < 0.95 {
+		t.Errorf("separable training accuracy = %v, want >= 0.95", acc)
+	}
+	// Out-of-sample queries.
+	q := make([]float64, len(pts))
+	for i, p := range pts {
+		q[i] = math.Abs(p - 0.5)
+	}
+	if pred, _ := m.Predict(q); pred != "low" {
+		t.Errorf("query at 0.5 predicted %s", pred)
+	}
+	for i, p := range pts {
+		q[i] = math.Abs(p - 10.5)
+	}
+	if pred, _ := m.Predict(q); pred != "high" {
+		t.Errorf("query at 10.5 predicted %s", pred)
+	}
+}
+
+func TestMulticlassThreeClusters(t *testing.T) {
+	var pts []float64
+	var y []string
+	rng := stats.NewRNG(4)
+	centers := map[string]float64{"a": 0, "b": 5, "c": 10}
+	for class, c := range centers {
+		for i := 0; i < 15; i++ {
+			pts = append(pts, c+0.3*rng.NormFloat64())
+			y = append(y, class)
+		}
+	}
+	d := pointsDistanceMatrix(pts)
+	m, err := Train(d, y, []string{"a", "b", "c"}, Config{C: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range pts {
+		pred, scores := m.Predict(d[i])
+		if len(scores) != 3 {
+			t.Fatalf("scores = %v", scores)
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(pts)); acc < 0.9 {
+		t.Errorf("3-cluster accuracy = %v", acc)
+	}
+	if got := m.Labels(); len(got) != 3 {
+		t.Errorf("labels = %v", got)
+	}
+	if m.Sigma() <= 0 {
+		t.Error("sigma must be positive")
+	}
+}
+
+func TestTrainDegenerateClass(t *testing.T) {
+	// One class absent from the labels: its binary component is constant
+	// and training must not crash.
+	pts := []float64{0, 1, 9, 10}
+	y := []string{"a", "a", "b", "b"}
+	d := pointsDistanceMatrix(pts)
+	m, err := Train(d, y, []string{"a", "b", "ghost"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := m.Predict(d[0])
+	if pred == "ghost" {
+		t.Error("absent class must never win")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, nil, []string{"a", "b"}, Config{}); err == nil {
+		t.Error("empty matrix must fail")
+	}
+	d := pointsDistanceMatrix([]float64{1, 2})
+	if _, err := Train(d, []string{"a"}, []string{"a", "b"}, Config{}); err == nil {
+		t.Error("label length mismatch must fail")
+	}
+	if _, err := Train(d, []string{"a", "b"}, []string{"a"}, Config{}); err == nil {
+		t.Error("single class must fail")
+	}
+}
+
+func TestTrainDeterminism(t *testing.T) {
+	pts := []float64{0, 0.5, 1, 9, 9.5, 10}
+	y := []string{"a", "a", "a", "b", "b", "b"}
+	d := pointsDistanceMatrix(pts)
+	m1, err := Train(d, y, []string{"a", "b"}, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Train(d, y, []string{"a", "b"}, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		p1, s1 := m1.Predict(d[i])
+		p2, s2 := m2.Predict(d[i])
+		if p1 != p2 {
+			t.Fatal("same seed must give identical models")
+		}
+		for j := range s1 {
+			if s1[j] != s2[j] {
+				t.Fatal("same seed must give identical decision values")
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package repro
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/offline"
+	"repro/internal/session"
+)
+
+// TestDiskRoundTrip exercises the full persistence path the CLI uses:
+// generate a benchmark, save datasets as CSV and sessions as a JSON log,
+// reload everything from disk, and verify the reloaded repository replays
+// to the same displays and produces the same offline labels.
+func TestDiskRoundTrip(t *testing.T) {
+	fw := testFramework(t)
+	dir := t.TempDir()
+
+	// Save.
+	for _, name := range fw.Repo.DatasetNames() {
+		if err := dataset.SaveCSV(filepath.Join(dir, name+".csv"), fw.Repo.RootDisplay(name).Table); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logPath := filepath.Join(dir, "sessions.json")
+	if err := session.SaveLog(logPath, fw.Repo.Sessions()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload.
+	repo2 := NewRepository()
+	for _, name := range fw.Repo.DatasetNames() {
+		tbl, err := dataset.LoadCSV(filepath.Join(dir, name+".csv"), "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		repo2.AddDataset(tbl)
+	}
+	lf, err := session.LoadLog(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repo2.LoadLogFile(lf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same shape.
+	s1, s2 := fw.Repo.ComputeStats(), repo2.ComputeStats()
+	if s1 != s2 {
+		t.Fatalf("stats changed across disk: %+v vs %+v", s1, s2)
+	}
+	// Same replayed displays (spot-check every session's final display).
+	for i, orig := range fw.Repo.Sessions() {
+		back := repo2.Sessions()[i]
+		if orig.Steps() != back.Steps() {
+			t.Fatalf("session %s steps %d vs %d", orig.ID, orig.Steps(), back.Steps())
+		}
+		a := orig.NodeAt(orig.Steps()).Display
+		b := back.NodeAt(back.Steps()).Display
+		if a.NumRows() != b.NumRows() || a.Aggregated != b.Aggregated {
+			t.Fatalf("session %s final display differs: %d/%v vs %d/%v",
+				orig.ID, a.NumRows(), a.Aggregated, b.NumRows(), b.Aggregated)
+		}
+	}
+
+	// Same offline labels under the Normalized method.
+	a2, err := offline.Analyze(repo2, offline.Options{SkipReference: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	I := DefaultMeasureSet()
+	mismatches := 0
+	checked := 0
+	for i, orig := range fw.Repo.Sessions() {
+		back := repo2.Sessions()[i]
+		for tt := 1; tt <= orig.Steps(); tt++ {
+			n1 := fw.Analysis.ByNode(orig.NodeAt(tt))
+			n2 := a2.ByNode(back.NodeAt(tt))
+			if n1 == nil || n2 == nil {
+				continue
+			}
+			l1, _ := n1.Dominant(I, offline.Normalized)
+			l2, _ := n2.Dominant(I, offline.Normalized)
+			checked++
+			if len(l1) == 0 || len(l2) == 0 || l1[0] != l2[0] {
+				mismatches++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+	if mismatches > 0 {
+		t.Errorf("%d/%d dominant labels changed across the disk round trip", mismatches, checked)
+	}
+}

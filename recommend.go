@@ -1,0 +1,124 @@
+package repro
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/measures"
+	"repro/internal/netlog"
+	"repro/internal/session"
+)
+
+// Recommendation pairs a candidate next action with its result display and
+// interestingness score under the measure the predictor selected for the
+// current session state — the "analysis recommender" use case the paper's
+// introduction motivates.
+type Recommendation struct {
+	Action  *Action
+	Display *Display
+	// Score is the raw interestingness i(q, d) under the selected measure.
+	Score float64
+	// MeasureName is the measure that produced Score.
+	MeasureName string
+}
+
+// RecommendNext predicts the most suitable measure for the session's
+// current state, enumerates candidate next actions, and returns the top
+// candidates ranked by that measure. It returns ok=false (and no error)
+// when the predictor abstains.
+func (p *Predictor) RecommendNext(s *Session, limit int) (recs []Recommendation, ok bool, err error) {
+	t := s.Steps()
+	st, err := s.StateAt(t)
+	if err != nil {
+		return nil, false, err
+	}
+	name, covered := p.PredictState(st)
+	if !covered {
+		return nil, false, nil
+	}
+	m, err := p.Measure(name)
+	if err != nil {
+		return nil, false, err
+	}
+	cur := s.Current().Display
+	root := s.Root().Display
+	cands := engine.EnumerateActions(cur, engine.EnumerateOptions{IncludeAggregates: true})
+	for _, a := range cands {
+		d, execErr := engine.Execute(cur, a)
+		if execErr != nil || d.NumRows() < 2 {
+			continue
+		}
+		score := m.Score(&measures.Context{Action: a, Display: d, Parent: cur, Root: root})
+		recs = append(recs, Recommendation{Action: a, Display: d, Score: score, MeasureName: name})
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Score > recs[j].Score })
+	if limit > 0 && len(recs) > limit {
+		recs = recs[:limit]
+	}
+	return recs, true, nil
+}
+
+// ExtractContext returns the n-context of a session's latest state.
+func ExtractContext(s *Session, n int) (*NContext, error) {
+	st, err := s.StateAt(s.Steps())
+	if err != nil {
+		return nil, err
+	}
+	return session.Extract(st, n), nil
+}
+
+// GenerateDatasets builds the four synthetic network-log scenario datasets
+// without a session log (for standalone exploration and the examples).
+func GenerateDatasets(cfg NetlogConfig) []*Table { return netlog.GenerateAll(cfg) }
+
+// NewSession starts a fresh interactive session over a dataset.
+func NewSession(id string, t *Table) *Session {
+	return session.New(id, t.Name(), engine.NewRootDisplay(t))
+}
+
+// NormalizedScores computes the *relative* interestingness of a session's
+// latest action under every built-in measure, using the framework's fitted
+// Box-Cox + z-score normalizer (Algorithm 2). Unlike raw scores, these are
+// directly comparable across measures: the argmax is the dominant measure
+// i*(q). RunOfflineAnalysis must have been called.
+func (f *Framework) NormalizedScores(s *Session) (map[string]float64, error) {
+	if f.Analysis == nil {
+		return nil, fmt.Errorf("repro: NormalizedScores requires RunOfflineAnalysis first")
+	}
+	raw, err := ScoreAll(s)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(raw))
+	for name, v := range raw {
+		z, err := f.Analysis.Normalizer.RelativeOne(name, v)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = z
+	}
+	return out, nil
+}
+
+// ScoreAll computes every built-in measure's raw score for the latest
+// action of a session, keyed by measure name — handy for Table-2-style
+// side-by-side comparisons.
+func ScoreAll(s *Session) (map[string]float64, error) {
+	t := s.Steps()
+	if t < 1 {
+		return nil, fmt.Errorf("repro: session has no actions to score")
+	}
+	n := s.NodeAt(t)
+	ctx := &measures.Context{
+		Action:  n.Action,
+		Display: n.Display,
+		Parent:  n.Parent.Display,
+		Root:    s.Root().Display,
+	}
+	out := make(map[string]float64, 8)
+	for _, m := range measures.BuiltinMeasures() {
+		out[m.Name()] = m.Score(ctx)
+	}
+	return out, nil
+}

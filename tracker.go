@@ -1,0 +1,133 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/session"
+)
+
+// SessionNode re-exports the session tree node for Tracker users.
+type SessionNode = session.Node
+
+// TrackPoint records the predictor's verdict after one session step.
+type TrackPoint struct {
+	// Step is the session step the prediction followed (the state S_t).
+	Step int
+	// Measure is the predicted dominant measure ("" on abstention).
+	Measure string
+	// Covered is false when the model abstained.
+	Covered bool
+}
+
+// Tracker drives a live analysis session through a trained predictor: it
+// applies the analyst's actions, re-predicts the dominant interestingness
+// measure after every step (optionally personalized through a feedback
+// reweighter), and keeps the prediction trajectory — the deployment shape
+// sketched in the paper's introduction, where a recommender consults the
+// current measure at every step of an ongoing session.
+type Tracker struct {
+	s       *Session
+	pred    *Predictor
+	fb      *FeedbackReweighter
+	history []TrackPoint
+}
+
+// NewTracker wraps a session. fb may be nil (no personalization). The
+// tracker immediately records the verdict for the session's current state.
+func NewTracker(s *Session, pred *Predictor, fb *FeedbackReweighter) (*Tracker, error) {
+	if s == nil || pred == nil {
+		return nil, fmt.Errorf("repro: NewTracker needs a session and a predictor")
+	}
+	t := &Tracker{s: s, pred: pred, fb: fb}
+	t.record()
+	return t, nil
+}
+
+// Session returns the tracked session.
+func (t *Tracker) Session() *Session { return t.s }
+
+// Apply executes an action on the session's current display and records a
+// fresh prediction for the new state.
+func (t *Tracker) Apply(a *Action) (*SessionNode, error) {
+	n, err := t.s.Apply(a)
+	if err != nil {
+		return nil, err
+	}
+	t.record()
+	return n, nil
+}
+
+// BackTo navigates to an earlier node and records a prediction for the
+// revisited state.
+func (t *Tracker) BackTo(n *SessionNode) error {
+	if err := t.s.BackTo(n); err != nil {
+		return err
+	}
+	t.record()
+	return nil
+}
+
+func (t *Tracker) record() {
+	st, err := t.s.StateAt(t.s.Current().Step)
+	if err != nil {
+		return
+	}
+	var label string
+	var ok bool
+	if t.fb != nil {
+		label, ok = t.pred.PredictStateWithFeedback(st, t.fb)
+	} else {
+		label, ok = t.pred.PredictState(st)
+	}
+	t.history = append(t.history, TrackPoint{Step: st.T, Measure: label, Covered: ok})
+}
+
+// Current returns the latest verdict.
+func (t *Tracker) Current() TrackPoint {
+	return t.history[len(t.history)-1]
+}
+
+// History returns the full prediction trajectory (one point per Apply /
+// BackTo / construction, in order).
+func (t *Tracker) History() []TrackPoint {
+	return append([]TrackPoint(nil), t.history...)
+}
+
+// MeasureChanges counts how often the predicted measure changed between
+// consecutive covered points — the online counterpart of the paper's
+// "dominant measure changes every 2.2 steps" statistic.
+func (t *Tracker) MeasureChanges() int {
+	changes := 0
+	prev := ""
+	for _, p := range t.history {
+		if !p.Covered {
+			continue
+		}
+		if prev != "" && p.Measure != prev {
+			changes++
+		}
+		prev = p.Measure
+	}
+	return changes
+}
+
+// Accept forwards positive feedback on the latest covered prediction to
+// the reweighter (a no-op without one or after an abstention).
+func (t *Tracker) Accept() {
+	if t.fb == nil {
+		return
+	}
+	if cur := t.Current(); cur.Covered {
+		t.fb.Accept(cur.Measure)
+	}
+}
+
+// Reject forwards negative feedback on the latest covered prediction.
+func (t *Tracker) Reject() {
+	if t.fb == nil {
+		return
+	}
+	if cur := t.Current(); cur.Covered {
+		t.fb.Reject(cur.Measure)
+	}
+}

@@ -1,0 +1,110 @@
+package repro
+
+import (
+	"testing"
+)
+
+func trainedPredictor(t *testing.T) (*Framework, *Predictor) {
+	t.Helper()
+	fw := testFramework(t)
+	pred, err := fw.TrainPredictor(DefaultMeasureSet(), Normalized, PredictorConfig{
+		N: 2, K: 5, ThetaDelta: 0.5, ThetaI: -10, // permissive: near-full coverage
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw, pred
+}
+
+func TestTrackerRecordsTrajectory(t *testing.T) {
+	fw, pred := trainedPredictor(t)
+	tbl := fw.Repo.RootDisplay(fw.Repo.DatasetNames()[0]).Table
+	s := NewSession("tracked", tbl)
+	tr, err := NewTracker(s, pred, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.History()) != 1 {
+		t.Fatalf("initial history = %d points", len(tr.History()))
+	}
+	if _, err := tr.Apply(GroupCount("protocol")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BackTo(s.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Apply(Filter(Eq("protocol", Str("HTTP")))); err != nil {
+		t.Fatal(err)
+	}
+	h := tr.History()
+	if len(h) != 4 {
+		t.Fatalf("history = %d points, want 4", len(h))
+	}
+	// Steps recorded: 0 (init), 1 (group), 0 (back), 2 (filter).
+	wantSteps := []int{0, 1, 0, 2}
+	for i, p := range h {
+		if p.Step != wantSteps[i] {
+			t.Errorf("point %d step = %d, want %d", i, p.Step, wantSteps[i])
+		}
+		if p.Covered && p.Measure == "" {
+			t.Errorf("point %d covered but empty measure", i)
+		}
+	}
+	if got := tr.Current(); got != h[3] {
+		t.Error("Current should be the last point")
+	}
+	if tr.MeasureChanges() < 0 {
+		t.Error("MeasureChanges must be non-negative")
+	}
+	if tr.Session() != s {
+		t.Error("Session accessor wrong")
+	}
+}
+
+func TestTrackerFailedApplyRecordsNothing(t *testing.T) {
+	fw, pred := trainedPredictor(t)
+	tbl := fw.Repo.RootDisplay(fw.Repo.DatasetNames()[0]).Table
+	tr, err := NewTracker(NewSession("x", tbl), pred, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(tr.History())
+	if _, err := tr.Apply(GroupCount("no_such_column")); err == nil {
+		t.Fatal("bad action must fail")
+	}
+	if len(tr.History()) != before {
+		t.Error("failed Apply must not record a point")
+	}
+}
+
+func TestTrackerFeedbackRoundTrip(t *testing.T) {
+	fw, pred := trainedPredictor(t)
+	tbl := fw.Repo.RootDisplay(fw.Repo.DatasetNames()[0]).Table
+	fb := NewFeedbackReweighter(0.3)
+	tr, err := NewTracker(NewSession("fb", tbl), pred, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Apply(GroupCount("protocol")); err != nil {
+		t.Fatal(err)
+	}
+	cur := tr.Current()
+	if !cur.Covered {
+		t.Skip("abstained; nothing to feed back")
+	}
+	tr.Reject()
+	if w := fb.Weight(cur.Measure); w >= 1 {
+		t.Errorf("reject should lower the measure's weight, got %v", w)
+	}
+	tr.Accept()
+	// Accept applies to the same (latest) point; weight moves back up.
+	if w := fb.Weight(cur.Measure); w <= 0.7*1 {
+		t.Logf("weight after reject+accept: %v", w)
+	}
+}
+
+func TestTrackerValidation(t *testing.T) {
+	if _, err := NewTracker(nil, nil, nil); err == nil {
+		t.Error("nil inputs must fail")
+	}
+}
