@@ -11,6 +11,7 @@ import (
 	"repro/internal/effectiveness"
 	"repro/internal/eval"
 	"repro/internal/measures"
+	"repro/internal/obs"
 	"repro/internal/offline"
 	"repro/internal/querylog"
 	"repro/internal/session"
@@ -141,8 +142,13 @@ func cmdEval(args []string) error {
 	dir := fs.String("dir", "data", "data directory")
 	methodName := fs.String("method", "norm", "comparison method: norm or ref")
 	refLimit := fs.Int("reflimit", 60, "reference set cap")
+	verbose := fs.Bool("v", false, "print the telemetry snapshot (stage timings, counters) at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *verbose {
+		obs.SetMode(obs.ModeTiming)
+		defer func() { fmt.Fprint(os.Stderr, "\n"+obs.Default.Snapshot().Table()) }()
 	}
 	repo, err := loadRepo(*dir)
 	if err != nil {

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestUsageCoversEveryCommand guards the single-source-of-truth property:
+// usage() is generated from the commands table, so every dispatchable
+// subcommand must appear in it.
+func TestUsageCoversEveryCommand(t *testing.T) {
+	u := usageText()
+	for _, c := range commands {
+		if !strings.Contains(u, c.name) {
+			t.Errorf("usage text missing subcommand %q", c.name)
+		}
+		if !strings.Contains(u, c.help) {
+			t.Errorf("usage text missing help for %q", c.name)
+		}
+		if c.run == nil {
+			t.Errorf("command %q has no run function", c.name)
+		}
+	}
+	if !strings.Contains(u, "-telemetry") {
+		t.Error("usage text missing the global -telemetry flag")
+	}
+}
+
+// TestDocCommentCoversEveryCommand reads this file's package doc comment
+// and checks it lists every subcommand, so the comment cannot silently go
+// stale again (it once listed 4 of 8).
+func TestDocCommentCoversEveryCommand(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The doc comment is everything before the package clause.
+	idx := strings.Index(string(src), "\npackage main")
+	if idx < 0 {
+		t.Fatal("package clause not found")
+	}
+	doc := string(src[:idx])
+	for _, c := range commands {
+		if !strings.Contains(doc, "idarepro "+c.name) {
+			t.Errorf("package doc comment missing subcommand %q", c.name)
+		}
+	}
+	if !strings.Contains(doc, "-telemetry") {
+		t.Error("package doc comment missing the -telemetry global flag")
+	}
+}
+
+func TestCommandNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, c := range commands {
+		if seen[c.name] {
+			t.Errorf("duplicate command %q", c.name)
+		}
+		seen[c.name] = true
+	}
+}

@@ -1,7 +1,16 @@
 package distance
 
 import (
+	"repro/internal/obs"
 	"repro/internal/session"
+)
+
+// Telemetry handles: fallbacks count the degenerate action-less paths
+// where the alignment cannot run and the metric falls back to a display
+// comparison or the maximal distance.
+var (
+	mAlignCalls     = obs.C("distance.alignment.calls")
+	mAlignFallbacks = obs.C("distance.alignment.fallbacks")
 )
 
 // AlignmentMetric is the alternative session-similarity notion the paper
@@ -24,16 +33,21 @@ func (AlignmentMetric) Name() string { return "sequence-alignment" }
 
 // Distance implements Metric: 1 - normalizedAlignmentScore, in [0, 1].
 func (m AlignmentMetric) Distance(a, b *session.Context) float64 {
+	if obs.On() {
+		mAlignCalls.Inc()
+	}
 	sa, sb := actionSequence(a), actionSequence(b)
 	switch {
 	case len(sa) == 0 && len(sb) == 0:
 		// Both contexts are action-less (t=0 roots): compare displays.
+		mAlignFallbacks.Inc()
 		na, nb := newestNode(a), newestNode(b)
 		if na == nil || nb == nil {
 			return 1
 		}
 		return DisplayDistance(na.Display, nb.Display)
 	case len(sa) == 0 || len(sb) == 0:
+		mAlignFallbacks.Inc()
 		return 1
 	}
 	thr := m.MatchThreshold

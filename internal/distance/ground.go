@@ -9,8 +9,13 @@ import (
 	"math"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/session"
 )
+
+// mDisplayDistCalls counts actual ground-metric computations (memo misses
+// land here through Memo; direct calls always do).
+var mDisplayDistCalls = obs.C("distance.display.calls")
 
 // ActionDistance compares two actions' syntax on a [0, 1] scale: 0 for
 // identical actions, 1 for actions of different types; within a type it
@@ -131,6 +136,9 @@ func jaccard(a, b []string) float64 {
 // total-variation distance between the value histograms of shared columns,
 // and (d) aggregation-shape agreement.
 func DisplayDistance(a, b *engine.Display) float64 {
+	if obs.On() {
+		mDisplayDistCalls.Inc()
+	}
 	switch {
 	case a == nil && b == nil:
 		return 0

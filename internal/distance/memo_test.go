@@ -1,0 +1,124 @@
+package distance
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// twoDisplays builds two distinct displays for memo keys.
+func twoDisplays(t *testing.T) (*engine.Display, *engine.Display) {
+	t.Helper()
+	b := dataset.NewBuilder("m", dataset.Schema{{Name: "c", Kind: dataset.KindString}})
+	b.Append(dataset.S("x"))
+	b.Append(dataset.S("y"))
+	da := engine.NewRootDisplay(b.MustBuild())
+	b2 := dataset.NewBuilder("m2", dataset.Schema{{Name: "c", Kind: dataset.KindString}})
+	b2.Append(dataset.S("z"))
+	db := engine.NewRootDisplay(b2.MustBuild())
+	return da, db
+}
+
+// TestMemoSingleFlight exercises the double-compute race window: many
+// goroutines miss the same pair simultaneously; the ground metric must run
+// exactly once per unordered pair. The injected metric sleeps to hold the
+// in-flight window open. Run under -race (the CI does).
+func TestMemoSingleFlight(t *testing.T) {
+	da, db := twoDisplays(t)
+	var computes atomic.Int64
+	m := NewMemo()
+	m.ground = func(a, b *engine.Display) float64 {
+		computes.Add(1)
+		time.Sleep(20 * time.Millisecond) // widen the race window
+		return 0.25
+	}
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	results := make([]float64, goroutines)
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			// Alternate argument order: both orders share one slot.
+			if i%2 == 0 {
+				results[i] = m.DisplayDistance(da, db)
+			} else {
+				results[i] = m.DisplayDistance(db, da)
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("ground metric computed %d times, want exactly 1", got)
+	}
+	for i, r := range results {
+		if r != 0.25 {
+			t.Fatalf("goroutine %d got %v, want 0.25", i, r)
+		}
+	}
+	if m.Size() != 1 {
+		t.Fatalf("memo size = %d, want 1", m.Size())
+	}
+	// Subsequent lookups are pure cache hits.
+	if v := m.DisplayDistance(da, db); v != 0.25 {
+		t.Fatalf("post-race lookup = %v", v)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("cache hit recomputed: %d computations", got)
+	}
+}
+
+// TestMemoConcurrentDistinctPairs checks that the in-flight guard does not
+// serialize computations of different pairs.
+func TestMemoConcurrentDistinctPairs(t *testing.T) {
+	da, db := twoDisplays(t)
+	dc, dd := twoDisplays(t)
+	var computes atomic.Int64
+	m := NewMemo()
+	m.ground = func(a, b *engine.Display) float64 {
+		computes.Add(1)
+		return 1
+	}
+	pairs := [][2]*engine.Display{{da, db}, {dc, dd}, {da, dc}, {db, dd}}
+	var wg sync.WaitGroup
+	for round := 0; round < 8; round++ {
+		for _, p := range pairs {
+			wg.Add(1)
+			go func(a, b *engine.Display) {
+				defer wg.Done()
+				m.DisplayDistance(a, b)
+			}(p[0], p[1])
+		}
+	}
+	wg.Wait()
+	// da/db and dc/dd have equal row counts within each pair, so each
+	// unordered pair may occupy at most two slots under the row-count
+	// ordering — but never more computations than slots.
+	if got, max := computes.Load(), int64(len(pairs)*2); got > max {
+		t.Fatalf("computed %d times for %d pairs (max %d)", got, len(pairs), max)
+	}
+	if m.Size() < len(pairs)/2 {
+		t.Fatalf("memo size = %d", m.Size())
+	}
+}
+
+func TestMemoIdentityFastPath(t *testing.T) {
+	da, _ := twoDisplays(t)
+	m := NewMemo()
+	m.ground = func(a, b *engine.Display) float64 {
+		t.Fatal("ground metric called for identical displays")
+		return 0
+	}
+	if v := m.DisplayDistance(da, da); v != 0 {
+		t.Fatalf("d(a,a) = %v", v)
+	}
+}

@@ -1,7 +1,18 @@
 package distance
 
 import (
+	"time"
+
+	"repro/internal/obs"
 	"repro/internal/session"
+)
+
+// Telemetry handles (hoisted; see internal/obs). Tree-edit calls are the
+// kNN hot path, so the latency histogram only records under ModeTiming.
+var (
+	mTreeEditCalls = obs.C("distance.treeedit.calls")
+	mTreeEditNS    = obs.H("distance.treeedit.ns")
+	mLastActCalls  = obs.C("distance.lastaction.calls")
 )
 
 // Metric computes a distance between two n-contexts. Implementations must
@@ -28,6 +39,13 @@ func (TreeEdit) Name() string { return "tree-edit" }
 
 // Distance implements Metric.
 func (m TreeEdit) Distance(a, b *session.Context) float64 {
+	if obs.On() {
+		mTreeEditCalls.Inc()
+		if obs.Timing() {
+			t0 := time.Now()
+			defer mTreeEditNS.ObserveSince(t0)
+		}
+	}
 	ta, tb := flatten(a), flatten(b)
 	switch {
 	case len(ta.nodes) == 0 && len(tb.nodes) == 0:
@@ -192,6 +210,9 @@ func (LastActionMetric) Name() string { return "last-action" }
 
 // Distance implements Metric.
 func (LastActionMetric) Distance(a, b *session.Context) float64 {
+	if obs.On() {
+		mLastActCalls.Inc()
+	}
 	na, nb := newestNode(a), newestNode(b)
 	switch {
 	case na == nil && nb == nil:

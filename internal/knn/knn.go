@@ -8,11 +8,22 @@
 package knn
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/distance"
+	"repro/internal/obs"
 	"repro/internal/offline"
 	"repro/internal/session"
+)
+
+// Telemetry handles shared by all classifiers; the per-θ_δ outcome
+// counters live on the Classifier (see New) so the abstention/coverage
+// split is reported per configured threshold.
+var (
+	mScans     = obs.C("knn.scans")
+	mDistEvals = obs.C("knn.distance_evals")
+	stPredict  = obs.S("predict")
 )
 
 // Neighbor pairs a training sample with its distance from a query context.
@@ -52,6 +63,11 @@ type Classifier struct {
 	cfg     Config
 	metric  distance.Metric
 	samples []*offline.Sample
+
+	// Per-θ_δ outcome counters, resolved once at construction so Predict
+	// never formats metric names on the hot path.
+	mCovered *obs.Counter
+	mAbstain *obs.Counter
 }
 
 // New builds a classifier from a labeled training set. A nil metric
@@ -63,7 +79,17 @@ func New(samples []*offline.Sample, metric distance.Metric, cfg Config) *Classif
 	if cfg.K < 1 {
 		cfg.K = 1
 	}
-	return &Classifier{cfg: cfg, metric: metric, samples: samples}
+	theta := fmt.Sprintf("[theta_delta=%g]", cfg.ThetaDelta)
+	if cfg.Unbounded {
+		theta = "[unbounded]"
+	}
+	return &Classifier{
+		cfg:      cfg,
+		metric:   metric,
+		samples:  samples,
+		mCovered: obs.C("knn.predict.covered" + theta),
+		mAbstain: obs.C("knn.predict.abstain" + theta),
+	}
 }
 
 // Samples returns the training set.
@@ -71,6 +97,12 @@ func (c *Classifier) Samples() []*offline.Sample { return c.samples }
 
 // Predict classifies a query n-context.
 func (c *Classifier) Predict(query *session.Context) Prediction {
+	sp := stPredict.Start()
+	defer sp.End()
+	if obs.On() {
+		mScans.Inc()
+		mDistEvals.Add(uint64(len(c.samples)))
+	}
 	ns := make([]Neighbor, 0, len(c.samples))
 	for _, s := range c.samples {
 		d := c.metric.Distance(query, s.Context)
@@ -79,7 +111,15 @@ func (c *Classifier) Predict(query *session.Context) Prediction {
 		}
 		ns = append(ns, Neighbor{Sample: s, Dist: d})
 	}
-	return Vote(ns, c.cfg.K)
+	p := Vote(ns, c.cfg.K)
+	if obs.On() {
+		if p.Covered {
+			c.mCovered.Inc()
+		} else {
+			c.mAbstain.Inc()
+		}
+	}
+	return p
 }
 
 // Vote implements the majority vote over an eligible (threshold-filtered)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -107,8 +108,16 @@ var wellKnownPort = map[string]int64{
 	"HTTP": 80, "HTTPS": 443, "DNS": 53, "SSH": 22, "SMTP": 25, "FTP": 21, "NTP": 123,
 }
 
+// Telemetry handles: dataset-generation throughput.
+var (
+	mNetlogDatasets = obs.C("netlog.datasets")
+	mNetlogRows     = obs.C("netlog.rows")
+	hNetlogGenNS    = obs.H("netlog.generate.ns")
+)
+
 // Generate builds the dataset for one scenario.
 func Generate(s Scenario, cfg Config) *dataset.Table {
+	t0 := time.Now()
 	cfg = cfg.withDefaults(s)
 	rng := stats.NewRNG(cfg.Seed)
 	b := dataset.NewBuilder(s.String(), Schema())
@@ -213,7 +222,13 @@ func Generate(s Scenario, cfg Config) *dataset.Table {
 			)
 		}
 	}
-	return b.MustBuild()
+	tbl := b.MustBuild()
+	if obs.On() {
+		mNetlogDatasets.Inc()
+		mNetlogRows.Add(uint64(tbl.NumRows()))
+		hNetlogGenNS.ObserveSince(t0)
+	}
+	return tbl
 }
 
 // GenerateAll builds all four scenario datasets with per-scenario seeds

@@ -1,0 +1,324 @@
+// Package obs is the pipeline telemetry substrate: lock-free atomic
+// counters, gauges, fixed-bucket log-scale latency histograms and named
+// pipeline-stage spans, collected into a process-wide Collector that every
+// subsystem (distance, offline, knn, measures, simulate, netlog) threads
+// its instrumentation through.
+//
+// Design constraints (and the benchmarks in bench_test.go that hold them):
+//
+//   - A disabled collector costs a single atomic load per probe: every
+//     instrumentation site is guarded by obs.On() / obs.Timing(), which
+//     compile down to one atomic.Uint32 load.
+//   - An enabled counter increment is one atomic add and allocates zero
+//     bytes; histogram observation is three atomic adds, zero bytes.
+//   - Everything is nil-safe: methods on a nil *Collector, *Counter,
+//     *Gauge or *Histogram are no-ops, so instrumented code never needs a
+//     nil check.
+//
+// Recording granularity is tiered, because the hot paths (tree-edit inner
+// loops, kNN scans) cannot afford clock reads by default:
+//
+//   - ModeOff: nothing is recorded; probes are one atomic load.
+//   - ModeCounters (the default): counters, gauges and coarse stage spans
+//     record; fine-grained latency histograms stay off (no clock reads on
+//     hot paths).
+//   - ModeTiming: everything records, including per-event latency.
+//
+// The Collector is exported three ways: Snapshot() (a JSON-serializable
+// struct, re-exported on the repro facade as repro.Telemetry()), expvar
+// publication plus an optional pprof HTTP server (see server.go), and
+// runtime/trace regions emitted by stage spans (see span.go) so that
+// `go tool trace` shows the gen → offline → train → predict phases.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects how much the collector records.
+type Mode uint32
+
+const (
+	// ModeOff records nothing; every probe is a single atomic load.
+	ModeOff Mode = iota
+	// ModeCounters records counters, gauges and stage spans but skips
+	// fine-grained latency histograms (no clock reads on hot paths).
+	ModeCounters
+	// ModeTiming records everything including per-event latencies.
+	ModeTiming
+)
+
+// String names the mode for snapshots.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeCounters:
+		return "counters"
+	case ModeTiming:
+		return "timing"
+	default:
+		return "unknown"
+	}
+}
+
+// Counter is a monotonically increasing lock-free event counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load returns the current total.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a lock-free instantaneous value (e.g. a cache size).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of log-scale duration buckets. Bucket i counts
+// observations whose nanosecond value has bit-length i, i.e. durations in
+// [2^(i-1), 2^i) ns; the last bucket absorbs everything ≥ ~9.2 minutes.
+const histBuckets = 40
+
+// Histogram is a fixed-bucket log-scale latency histogram. Observing is
+// three atomic adds and never allocates; there is no locking, so a
+// concurrent Snapshot sees each observation's count/sum/bucket updates
+// independently (monotonically, but not necessarily together).
+type Histogram struct {
+	count   atomic.Uint64
+	sumNS   atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations are clamped to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	ns := uint64(d)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	i := bits.Len64(ns)
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// ObserveSince records the elapsed time since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Collector is a named-metric registry. Metric handles (get-or-create by
+// name) are intended to be hoisted into package variables or struct fields
+// so the hot path never touches the registry map.
+type Collector struct {
+	mode atomic.Uint32
+
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// New returns a collector in ModeCounters.
+func New() *Collector {
+	c := &Collector{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+	c.mode.Store(uint32(ModeCounters))
+	return c
+}
+
+// Default is the process-wide collector all subsystems record into.
+var Default = New()
+
+// SetMode switches the recording tier.
+func (c *Collector) SetMode(m Mode) {
+	if c != nil {
+		c.mode.Store(uint32(m))
+	}
+}
+
+// Mode returns the current recording tier.
+func (c *Collector) Mode() Mode {
+	if c == nil {
+		return ModeOff
+	}
+	return Mode(c.mode.Load())
+}
+
+// On reports whether counters/gauges/spans record. This is the probe
+// guard: when false, the probe's entire cost was this one atomic load.
+func (c *Collector) On() bool {
+	return c != nil && c.mode.Load() >= uint32(ModeCounters)
+}
+
+// TimingOn reports whether fine-grained latency histograms record.
+func (c *Collector) TimingOn() bool {
+	return c != nil && c.mode.Load() >= uint32(ModeTiming)
+}
+
+// On reports whether the default collector records counters.
+func On() bool { return Default.mode.Load() >= uint32(ModeCounters) }
+
+// Timing reports whether the default collector records fine latencies.
+func Timing() bool { return Default.mode.Load() >= uint32(ModeTiming) }
+
+// SetMode switches the default collector's recording tier.
+func SetMode(m Mode) { Default.SetMode(m) }
+
+// Counter returns the named counter, creating it on first use.
+func (c *Collector) Counter(name string) *Counter {
+	if c == nil {
+		return new(Counter)
+	}
+	c.mu.RLock()
+	v := c.counters[name]
+	c.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v = c.counters[name]; v == nil {
+		v = new(Counter)
+		c.counters[name] = v
+	}
+	return v
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (c *Collector) Gauge(name string) *Gauge {
+	if c == nil {
+		return new(Gauge)
+	}
+	c.mu.RLock()
+	v := c.gauges[name]
+	c.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v = c.gauges[name]; v == nil {
+		v = new(Gauge)
+		c.gauges[name] = v
+	}
+	return v
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (c *Collector) Histogram(name string) *Histogram {
+	if c == nil {
+		return new(Histogram)
+	}
+	c.mu.RLock()
+	v := c.hists[name]
+	c.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v = c.hists[name]; v == nil {
+		v = new(Histogram)
+		c.hists[name] = v
+	}
+	return v
+}
+
+// C returns a named counter on the default collector; hoist the handle out
+// of hot loops (typically into a package variable).
+func C(name string) *Counter { return Default.Counter(name) }
+
+// G returns a named gauge on the default collector.
+func G(name string) *Gauge { return Default.Gauge(name) }
+
+// H returns a named histogram on the default collector.
+func H(name string) *Histogram { return Default.Histogram(name) }
+
+// Reset zeroes every registered metric (the registry itself is kept, so
+// hoisted handles stay valid). Meant for tests and for delta-style CLI
+// reporting; concurrent recorders may interleave with the zeroing.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, v := range c.counters {
+		v.v.Store(0)
+	}
+	for _, v := range c.gauges {
+		v.v.Store(0)
+	}
+	for _, h := range c.hists {
+		h.count.Store(0)
+		h.sumNS.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+	}
+}
+
+// bucketUpperNS returns the exclusive upper bound (in ns) of bucket i.
+func bucketUpperNS(i int) uint64 {
+	if i >= 63 {
+		return math.MaxUint64
+	}
+	return uint64(1) << uint(i)
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"sync"
+)
+
+// expvar publication is process-global and can happen once.
+var publishOnce sync.Once
+
+// PublishExpvar publishes the default collector's live snapshot under the
+// expvar name "idarepro". Safe to call multiple times; only the first call
+// registers. Anything serving expvar.Handler (including a plain
+// `import _ "net/http/pprof"` server) then exposes the snapshot at
+// /debug/vars.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("idarepro", expvar.Func(func() any {
+			return Default.Snapshot()
+		}))
+	})
+}
+
+// ServeTelemetry publishes the default collector to expvar and starts an
+// HTTP server on addr exposing:
+//
+//	/debug/vars           expvar JSON (including the "idarepro" snapshot)
+//	/debug/pprof/...      net/http/pprof profiles (heap, profile, trace, …)
+//
+// It returns the bound address (useful with ":0") without blocking; the
+// server runs until the process exits. This backs the CLI's global
+// `idarepro -telemetry ADDR` flag.
+func ServeTelemetry(addr string) (string, error) {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr().String(), nil
+}

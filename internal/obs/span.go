@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"context"
+	"runtime/trace"
+	"time"
+)
+
+// Stage is a named pipeline phase ("gen", "offline", "train", "predict",
+// …). Starting a stage records a runtime/trace region (visible in
+// `go tool trace`) and, when the collector is on, times the phase into the
+// "stage.<name>" histogram. Stage handles are meant to be created once
+// (package variable) and started per phase execution.
+type Stage struct {
+	name string
+	c    *Collector
+	h    *Histogram
+}
+
+// NewStage returns a stage handle on the collector.
+func (c *Collector) NewStage(name string) *Stage {
+	return &Stage{name: name, c: c, h: c.Histogram("stage." + name)}
+}
+
+// S returns a stage handle on the default collector.
+func S(name string) *Stage { return Default.NewStage(name) }
+
+// Span is one in-flight execution of a stage; End it exactly once.
+type Span struct {
+	h      *Histogram
+	region *trace.Region
+	t0     time.Time
+	timed  bool
+}
+
+// Start begins a span. The trace region is emitted unconditionally (it is
+// a no-op unless a runtime trace is being captured); the histogram is
+// recorded only when the collector is on. Stages are coarse — a handful
+// per pipeline run — so the clock reads are not a hot-path concern.
+func (st *Stage) Start() Span {
+	if st == nil {
+		return Span{}
+	}
+	sp := Span{region: trace.StartRegion(context.Background(), st.name)}
+	if st.c.On() {
+		sp.h = st.h
+		sp.t0 = time.Now()
+		sp.timed = true
+	}
+	return sp
+}
+
+// End closes the span, ending the trace region and recording the elapsed
+// time. Safe on a zero Span.
+func (sp Span) End() {
+	if sp.region != nil {
+		sp.region.End()
+	}
+	if sp.timed {
+		sp.h.ObserveSince(sp.t0)
+	}
+}

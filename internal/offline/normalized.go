@@ -5,8 +5,14 @@ import (
 	"time"
 
 	"repro/internal/measures"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
+
+// mNormFits counts per-measure normalizer fits; each fit's duration lands
+// in the per-measure "offline.normalize.fit[<measure>]" histogram (fits
+// are once-per-analysis, so the clock reads are not hot-path).
+var mNormFits = obs.C("offline.normalize.fits")
 
 // MeasureNorm holds the fitted Algorithm-2 parameters of one measure:
 // the Box-Cox transformation (λ and the positivity shift) and the mean and
@@ -46,9 +52,14 @@ func FitNormalizer(msrs []measures.Measure, nodes []*NodeScores) (*Normalizer, e
 				series = append(series, v)
 			}
 		}
+		tFit := time.Now()
 		mn, err := fitOne(series)
 		if err != nil {
 			return nil, fmt.Errorf("offline: normalize %s: %w", m.Name(), err)
+		}
+		if obs.On() {
+			mNormFits.Inc()
+			obs.H("offline.normalize.fit[" + m.Name() + "]").ObserveSince(tFit)
 		}
 		n.Params[m.Name()] = mn
 	}

@@ -7,8 +7,22 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/measures"
+	"repro/internal/obs"
 	"repro/internal/session"
 	"repro/internal/stats"
+)
+
+// Telemetry handles for the Reference-Based pass: how many reference sets
+// were enumerated, how many alternative actions they contained, how the
+// per-(parent, action) execution cache behaved, and how many actions were
+// skipped for lacking a meaningful comparison base.
+var (
+	mRefSets       = obs.C("offline.ref.sets")
+	mRefActions    = obs.C("offline.ref.actions")
+	mRefExecs      = obs.C("offline.ref.executions")
+	mRefExecCached = obs.C("offline.ref.exec_cache_hits")
+	mRefDegenerate = obs.C("offline.ref.degenerate")
+	mRefTooFew     = obs.C("offline.ref.skipped_too_few")
 )
 
 // refPool holds the distinct recorded actions of one dataset, partitioned
@@ -105,6 +119,8 @@ func applyReferenceBased(a *Analysis, opts Options) error {
 		refs := pool.referenceSet(ns.Node.Action, opts.RefLimit, rng)
 		parent := ns.Node.Parent.Display
 		root := ns.Session.Root().Display
+		mRefSets.Inc()
+		mRefActions.Add(uint64(len(refs)))
 
 		// Lines 1-4: execute every reference action from the same parent
 		// display and score it with every measure.
@@ -115,6 +131,8 @@ func applyReferenceBased(a *Analysis, opts Options) error {
 			if !hit {
 				scores = executeAndScore(a, parent, root, ra)
 				cache[key] = scores
+			} else {
+				mRefExecCached.Inc()
 			}
 			if scores != nil {
 				refScores = append(refScores, scores)
@@ -138,6 +156,7 @@ func applyReferenceBased(a *Analysis, opts Options) error {
 		// have fewer than two rows; its reference sets averaged 115
 		// alternatives, so this floor never binds on REACT-IDA-scale data.
 		if len(refScores) < minRefs {
+			mRefTooFew.Inc()
 			continue
 		}
 		t2 := time.Now()
@@ -185,17 +204,19 @@ func applyReferenceBased(a *Analysis, opts Options) error {
 // degenerate results (fewer than two rows), which the paper omits from
 // reference sets.
 func executeAndScore(a *Analysis, parent, root *engine.Display, ra *engine.Action) map[string]float64 {
+	mRefExecs.Inc()
 	t0 := time.Now()
 	d, err := engine.Execute(parent, ra)
 	a.RefTimings.ActionExecution += time.Since(t0)
 	if err != nil || d.NumRows() < 2 {
+		mRefDegenerate.Inc()
 		return nil
 	}
 	t1 := time.Now()
 	ctx := &measures.Context{Action: ra, Display: d, Parent: parent, Root: root}
 	scores := make(map[string]float64, len(a.Measures))
 	for _, m := range a.Measures {
-		scores[m.Name()] = m.Score(ctx)
+		scores[m.Name()] = measures.ObservedScore(m, ctx)
 	}
 	a.RefTimings.CalcInterestingness += time.Since(t1)
 	return scores

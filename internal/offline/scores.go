@@ -11,8 +11,21 @@ import (
 	"time"
 
 	"repro/internal/measures"
+	"repro/internal/obs"
 	"repro/internal/session"
 	"repro/internal/stats"
+)
+
+// Telemetry handles (hoisted; see internal/obs). The "offline" stage span
+// brackets the whole analysis; the sub-stages mark the raw-scoring,
+// normalization and reference passes so `go tool trace` shows them.
+var (
+	stOffline   = obs.S("offline")
+	stRawScore  = obs.S("offline.raw_scores")
+	stNormalize = obs.S("offline.normalize")
+	stReference = obs.S("offline.reference")
+
+	mActionsScored = obs.C("offline.actions_scored")
 )
 
 // Method selects one of the two interestingness comparison methods.
@@ -102,7 +115,7 @@ func scoreAction(msrs []measures.Measure, s *session.Session, n *session.Node) m
 	}
 	out := make(map[string]float64, len(msrs))
 	for _, m := range msrs {
-		out[m.Name()] = m.Score(ctx)
+		out[m.Name()] = measures.ObservedScore(m, ctx)
 	}
 	return out
 }
@@ -185,6 +198,8 @@ type Options struct {
 // repository (Section 4.1: "We re-executed the recorded actions ... and
 // computed their interestingness scores w.r.t. all measures").
 func Analyze(repo *session.Repository, opts Options) (*Analysis, error) {
+	sp := stOffline.Start()
+	defer sp.End()
 	msrs := opts.Measures
 	if msrs == nil {
 		msrs = measures.BuiltinMeasures()
@@ -199,6 +214,7 @@ func Analyze(repo *session.Repository, opts Options) (*Analysis, error) {
 	// "calculate interestingness" component; it is attributed to the
 	// Normalized method's timing (the Reference-Based pass measures its
 	// much larger reference-set scoring separately).
+	spRaw := stRawScore.Start()
 	t0 := time.Now()
 	for _, s := range repo.Sessions() {
 		for _, n := range s.Nodes()[1:] {
@@ -214,13 +230,17 @@ func Analyze(repo *session.Repository, opts Options) (*Analysis, error) {
 		}
 	}
 	rawDur := time.Since(t0)
+	spRaw.End()
 	a.NormTimings.CalcInterestingness = rawDur
 	a.NormTimings.ActionsScored = len(a.Nodes)
 	a.RefTimings.ActionsScored = len(a.Nodes)
+	mActionsScored.Add(uint64(len(a.Nodes)))
 
 	// Normalized comparison (Algorithm 2).
+	spNorm := stNormalize.Start()
 	norm, err := FitNormalizer(msrs, a.Nodes)
 	if err != nil {
+		spNorm.End()
 		return nil, err
 	}
 	a.Normalizer = norm
@@ -229,10 +249,14 @@ func Analyze(repo *session.Repository, opts Options) (*Analysis, error) {
 		norm.Apply(ns.Raw, ns.NormRelative)
 	}
 	a.NormTimings.CalcRelative = time.Since(t1) + norm.FitDuration
+	spNorm.End()
 
 	// Reference-Based comparison (Algorithm 1).
 	if !opts.SkipReference {
-		if err := applyReferenceBased(a, opts); err != nil {
+		spRef := stReference.Start()
+		err := applyReferenceBased(a, opts)
+		spRef.End()
+		if err != nil {
 			return nil, err
 		}
 	}

@@ -4,7 +4,16 @@ import (
 	"sort"
 
 	"repro/internal/measures"
+	"repro/internal/obs"
 	"repro/internal/session"
+)
+
+// Telemetry handles for training-set construction (the "train" phase of
+// the gen → offline → train → predict pipeline).
+var (
+	stTrain          = obs.S("train")
+	mTrainSamples    = obs.C("offline.train.samples")
+	mTrainBelowTheta = obs.C("offline.train.below_theta_i")
 )
 
 // Sample is one labeled training example: the n-context c_t of a session
@@ -76,6 +85,8 @@ type TrainingOptions struct {
 //  3. discard samples below the interestingness threshold θ_I, and give
 //     identical n-contexts (by fingerprint) their most common label(s).
 func BuildTrainingSet(a *Analysis, I measures.Set, opts TrainingOptions) []*Sample {
+	sp := stTrain.Start()
+	defer sp.End()
 	if opts.N < 1 {
 		opts.N = 1
 	}
@@ -99,6 +110,7 @@ func BuildTrainingSet(a *Analysis, I measures.Set, opts TrainingOptions) []*Samp
 			}
 			labels, best := ns.Dominant(I, opts.Method)
 			if len(labels) == 0 || best < opts.ThetaI {
+				mTrainBelowTheta.Inc()
 				continue
 			}
 			if opts.DropTies && len(labels) > 1 {
@@ -114,6 +126,7 @@ func BuildTrainingSet(a *Analysis, I measures.Set, opts TrainingOptions) []*Samp
 		}
 	}
 	mergeDuplicateContexts(samples)
+	mTrainSamples.Add(uint64(len(samples)))
 	return samples
 }
 

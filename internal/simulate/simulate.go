@@ -21,11 +21,13 @@ package simulate
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/measures"
 	"repro/internal/netlog"
+	"repro/internal/obs"
 	"repro/internal/session"
 	"repro/internal/stats"
 )
@@ -181,9 +183,20 @@ func intentMeasure(i Intent) measures.Measure {
 	}
 }
 
+// Telemetry handles: generation throughput for the "gen" pipeline phase.
+var (
+	stGen             = obs.S("gen")
+	mGenSessions      = obs.C("simulate.sessions")
+	mGenActions       = obs.C("simulate.actions")
+	mGenBacktracks    = obs.C("simulate.backtracks")
+	hGenSessionLength = obs.H("simulate.session.ns")
+)
+
 // Generate builds the full repository: the four scenario datasets plus the
 // simulated session log.
 func Generate(cfg Config) (*session.Repository, error) {
+	sp := stGen.Start()
+	defer sp.End()
 	cfg = cfg.withDefaults()
 	repo := session.NewRepository()
 	tables := netlog.GenerateAll(cfg.DatasetConfig)
@@ -212,11 +225,19 @@ func Generate(cfg Config) (*session.Repository, error) {
 		srng := rng.Fork(uint64(si)*2654435761 + 1)
 		successful := srng.Float64() < skills[analyst]
 
+		tSession := time.Now()
 		s, err := generateSession(cfg, repo, ds, si, analyst, successful, srng)
 		if err != nil {
 			return nil, err
 		}
 		repo.Add(s)
+		if obs.On() {
+			mGenSessions.Inc()
+			mGenActions.Add(uint64(s.Steps()))
+			if obs.Timing() {
+				hGenSessionLength.ObserveSince(tSession)
+			}
+		}
 	}
 	return repo, nil
 }
@@ -258,6 +279,7 @@ func generateSession(cfg Config, repo *session.Repository, ds *dataset.Table, si
 			if err := s.BackTo(target); err != nil {
 				return nil, err
 			}
+			mGenBacktracks.Inc()
 		}
 		if err := act(cfg, s, intent, noise, rng); err != nil {
 			return nil, err

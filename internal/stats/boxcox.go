@@ -3,6 +3,16 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
+)
+
+// Telemetry handles for the λ search: fits counts BoxCoxLambdaMLE calls,
+// lambda_evals the profile-log-likelihood evaluations they performed
+// (grid scan + golden-section iterations).
+var (
+	mBoxCoxFits  = obs.C("stats.boxcox.fits")
+	mLambdaEvals = obs.C("stats.boxcox.lambda_evals")
 )
 
 // BoxCox applies the Box-Cox power transformation with parameter lambda
@@ -91,7 +101,11 @@ func BoxCoxLambdaMLE(xs []float64, lo, hi float64) (float64, error) {
 	if PopulationVariance(xs) < 1e-18 {
 		return 1, nil
 	}
-	ll := func(lambda float64) float64 { return boxCoxLogLikelihood(xs, lambda, sumLog) }
+	mBoxCoxFits.Inc()
+	ll := func(lambda float64) float64 {
+		mLambdaEvals.Inc()
+		return boxCoxLogLikelihood(xs, lambda, sumLog)
+	}
 
 	// Coarse grid to find a bracketing interval around the best λ.
 	const gridN = 41

@@ -1,0 +1,80 @@
+package repro
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestTelemetryAfterFullPipeline is the acceptance check: after a full
+// offline+train+predict run, the snapshot reports nonzero memo hit/miss
+// and kNN scan counters, stage timings for offline and train, and
+// marshals to JSON.
+func TestTelemetryAfterFullPipeline(t *testing.T) {
+	fw := testFramework(t) // gen + offline (shared across the package)
+
+	pred, err := fw.TrainPredictor(DefaultMeasureSet(), Normalized, DefaultPredictorConfig(Normalized))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predict a handful of states so the kNN scan and memo counters move.
+	predicted := 0
+	for _, s := range fw.Repo.Sessions() {
+		if predicted >= 5 {
+			break
+		}
+		st, err := s.StateAt(s.Steps())
+		if err != nil {
+			continue
+		}
+		pred.PredictState(st)
+		predicted++
+	}
+	if predicted == 0 {
+		t.Fatal("no states predicted")
+	}
+
+	snap := Telemetry()
+	for _, name := range []string{
+		"distance.memo.hits",
+		"distance.memo.misses",
+		"distance.treeedit.calls",
+		"knn.scans",
+		"knn.distance_evals",
+		"offline.actions_scored",
+		"offline.train.samples",
+		"stats.boxcox.lambda_evals",
+		"simulate.sessions",
+		"measures.variance.evals",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %q is zero after a full pipeline run", name)
+		}
+	}
+	if snap.Gauges["distance.memo.size"] == 0 {
+		t.Error("memo size gauge is zero after predictions")
+	}
+	for _, stage := range []string{"stage.gen", "stage.offline", "stage.train", "stage.predict"} {
+		if snap.Histograms[stage].Count == 0 {
+			t.Errorf("stage histogram %q empty", stage)
+		}
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+	if snap.Table() == "" {
+		t.Fatal("empty telemetry table")
+	}
+}
+
+// TestTelemetryLevelRoundTrip checks the level switch and reset surface.
+func TestTelemetryLevelRoundTrip(t *testing.T) {
+	defer SetTelemetryLevel(TelemetryCounters)
+	SetTelemetryLevel(TelemetryTiming)
+	if got := Telemetry().Mode; got != "timing" {
+		t.Fatalf("mode = %q, want timing", got)
+	}
+	SetTelemetryLevel(TelemetryOff)
+	if got := Telemetry().Mode; got != "off" {
+		t.Fatalf("mode = %q, want off", got)
+	}
+}
