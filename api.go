@@ -154,6 +154,10 @@ type PredictorConfig struct {
 	ThetaDelta float64
 	// ThetaI is the interestingness threshold θ_I (method-scaled).
 	ThetaI float64
+	// Workers bounds the training-scan worker pool: <1 means one worker
+	// per CPU, 1 forces the sequential path. Predictions are bit-identical
+	// at every setting.
+	Workers int
 }
 
 // DefaultPredictorConfig returns the paper's default configuration for a
@@ -195,6 +199,7 @@ func (f *Framework) TrainPredictor(I MeasureSet, method Method, cfg PredictorCon
 	clf := knn.New(samples, distance.NewMemoizedTreeEdit(nil), knn.Config{
 		K:          cfg.K,
 		ThetaDelta: cfg.ThetaDelta,
+		Workers:    cfg.Workers,
 	})
 	return &Predictor{clf: clf, I: I, method: method, cfg: cfg}, nil
 }
@@ -219,6 +224,25 @@ func (p *Predictor) Predict(ctx *NContext) (measureName string, ok bool) {
 // n) and predicts.
 func (p *Predictor) PredictState(st State) (measureName string, ok bool) {
 	return p.Predict(session.Extract(st, p.cfg.N))
+}
+
+// BatchPrediction is one result of Predictor.PredictAll. OK is false when
+// the model abstained for that context.
+type BatchPrediction struct {
+	MeasureName string
+	OK          bool
+}
+
+// PredictAll predicts a batch of n-contexts, fanning the queries out
+// across the model's worker pool. The result is index-aligned with ctxs
+// and identical to calling Predict per context.
+func (p *Predictor) PredictAll(ctxs []*NContext) []BatchPrediction {
+	preds := p.clf.PredictAll(ctxs)
+	out := make([]BatchPrediction, len(preds))
+	for i, pr := range preds {
+		out[i] = BatchPrediction{MeasureName: pr.Label, OK: pr.Covered}
+	}
+	return out
 }
 
 // Measure resolves a predicted measure name to its implementation within

@@ -15,6 +15,7 @@ package repro
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"testing"
 
@@ -192,19 +193,10 @@ func BenchmarkNormalizePipeline(b *testing.B) {
 
 // --- Section 4.2: prediction latency ----------------------------------
 
-// BenchmarkKNNPredict measures one online prediction (the paper reports
-// ~6ms per prediction): n-context extraction plus a kNN query against the
-// full training set.
-func BenchmarkKNNPredict(b *testing.B) {
-	repo, a := benchSetup(b)
-	samples := offline.BuildTrainingSet(a, measures.DefaultSet(), offline.TrainingOptions{
-		N: 2, Method: offline.Normalized, ThetaI: 0.7, SuccessfulOnly: true,
-	})
-	if len(samples) == 0 {
-		b.Fatal("empty training set")
-	}
-	clf := knn.New(samples, distance.NewMemoizedTreeEdit(nil), knn.Config{K: 3, ThetaDelta: 0.1})
-	// Query states drawn from unsuccessful sessions (out of training).
+// benchQueryStates returns query states drawn from unsuccessful sessions
+// (out of training).
+func benchQueryStates(b *testing.B, repo *session.Repository) []session.State {
+	b.Helper()
 	var states []session.State
 	for _, s := range repo.Sessions() {
 		if s.Successful {
@@ -219,11 +211,124 @@ func BenchmarkKNNPredict(b *testing.B) {
 	if len(states) == 0 {
 		b.Fatal("no query states")
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		st := states[i%len(states)]
-		_ = clf.Predict(session.Extract(st, 2))
+	return states
+}
+
+// BenchmarkKNNPredict measures one online prediction (the paper reports
+// ~6ms per prediction): n-context extraction plus a kNN query against the
+// full training set. The sub-benchmarks form the regression triple of the
+// scan optimizations: "naive" is the pre-optimization algorithm (full
+// scan, full stable sort), "sequential" adds θ_δ/k-th-best early-abandon
+// pruning and the bounded top-k heap on one worker, and "parallel" adds
+// the chunked multi-worker scan (identical output bits in all three; on a
+// single-core runner "parallel" degenerates to "sequential").
+func BenchmarkKNNPredict(b *testing.B) {
+	repo, a := benchSetup(b)
+	samples := offline.BuildTrainingSet(a, measures.DefaultSet(), offline.TrainingOptions{
+		N: 2, Method: offline.Normalized, ThetaI: 0.7, SuccessfulOnly: true,
+	})
+	if len(samples) == 0 {
+		b.Fatal("empty training set")
+	}
+	states := benchQueryStates(b, repo)
+	b.Run("naive", func(b *testing.B) {
+		m := distance.NewMemoizedTreeEdit(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q := session.Extract(states[i%len(states)], 2)
+			ns := make([]knn.Neighbor, 0, len(samples))
+			for _, s := range samples {
+				if d := m.Distance(q, s.Context); d <= 0.1 {
+					ns = append(ns, knn.Neighbor{Sample: s, Dist: d})
+				}
+			}
+			sortNeighborsByDist(ns)
+			_ = knn.Vote(ns, 3)
+		}
+	})
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(w.name, func(b *testing.B) {
+			clf := knn.New(samples, distance.NewMemoizedTreeEdit(nil), knn.Config{K: 3, ThetaDelta: 0.1, Workers: w.workers})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st := states[i%len(states)]
+				_ = clf.Predict(session.Extract(st, 2))
+			}
+		})
+	}
+}
+
+func sortNeighborsByDist(ns []knn.Neighbor) {
+	sort.SliceStable(ns, func(i, j int) bool { return ns[i].Dist < ns[j].Dist })
+}
+
+// BenchmarkKNNPredictAll measures the batch API the evaluator uses: the
+// whole query set predicted through one call, queries fanned across the
+// pool.
+func BenchmarkKNNPredictAll(b *testing.B) {
+	repo, a := benchSetup(b)
+	samples := offline.BuildTrainingSet(a, measures.DefaultSet(), offline.TrainingOptions{
+		N: 2, Method: offline.Normalized, ThetaI: 0.7, SuccessfulOnly: true,
+	})
+	states := benchQueryStates(b, repo)
+	queries := make([]*session.Context, len(states))
+	for i, st := range states {
+		queries[i] = session.Extract(st, 2)
+	}
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(w.name, func(b *testing.B) {
+			clf := knn.New(samples, distance.NewMemoizedTreeEdit(nil), knn.Config{K: 3, ThetaDelta: 0.1, Workers: w.workers})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = clf.PredictAll(queries)
+			}
+		})
+	}
+}
+
+// BenchmarkOfflineAnalyze measures the full offline analysis (raw scoring,
+// normalizer fits, reference-set execution) sequentially vs across the
+// worker pool; outputs are bit-identical, only the wall-clock differs.
+func BenchmarkOfflineAnalyze(b *testing.B) {
+	repo, _ := benchSetup(b)
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(w.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := offline.Analyze(repo, offline.Options{RefLimit: 40, Seed: 7, Workers: w.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOfflinePairwiseDistances measures the eval-side distance-matrix
+// fill behind every grid-search sweep.
+func BenchmarkOfflinePairwiseDistances(b *testing.B) {
+	_, a := benchSetup(b)
+	samples := offline.BuildTrainingSet(a, measures.DefaultSet(), offline.TrainingOptions{
+		N: 2, Method: offline.Normalized, ThetaI: math.Inf(-1), SuccessfulOnly: true,
+	})
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"parallel", 0}} {
+		b.Run(w.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = eval.PairwiseDistancesWorkers(samples, distance.NewMemoizedTreeEdit(nil), w.workers)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/distance"
+	"repro/internal/eval"
+	"repro/internal/knn"
+	"repro/internal/measures"
+	"repro/internal/netlog"
+	"repro/internal/offline"
+	"repro/internal/session"
+	"repro/internal/simulate"
+)
+
+// benchResult is one benchmark row of the BENCH_<date>.json report.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	AllocsOp   int64   `json:"allocs_per_op"`
+	BytesOp    int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the whole regression artifact: enough machine context to
+// interpret the numbers (a 1-core runner cannot show fan-out speedups) plus
+// the sequential-vs-parallel and naive-vs-pruned speedup ratios.
+type benchReport struct {
+	Date      string            `json:"date"`
+	GoVersion string            `json:"go_version"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	CPUs      int               `json:"cpus"`
+	BenchTime string            `json:"benchtime"`
+	Results   []benchResult     `json:"results"`
+	Speedups  map[string]string `json:"speedups"`
+}
+
+// cmdBench runs the pipeline benchmark suite in-process and writes the
+// regression artifact. The fixture is generated in memory (no -dir), so
+// the numbers are comparable across machines and runs.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the report as JSON on stdout")
+	out := fs.String("out", "", "report path (default BENCH_<date>.json; \"-\" to skip the file)")
+	benchtime := fs.String("benchtime", "1s", "per-benchmark budget, a duration or Nx iteration count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// testing.Benchmark reads the test.benchtime flag; Init registers it.
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return fmt.Errorf("bench: -benchtime: %w", err)
+	}
+
+	repo, err := simulate.Generate(simulate.Config{
+		Analysts:      12,
+		Sessions:      80,
+		MeanActions:   5.0,
+		Seed:          271828,
+		DatasetConfig: netlog.Config{Rows: 1000},
+	})
+	if err != nil {
+		return err
+	}
+	a, err := offline.Analyze(repo, offline.Options{RefLimit: 30, Seed: 7})
+	if err != nil {
+		return err
+	}
+	samples := offline.BuildTrainingSet(a, measures.DefaultSet(), offline.TrainingOptions{
+		N: 2, Method: offline.Normalized, ThetaI: 0.7, SuccessfulOnly: true,
+	})
+	if len(samples) == 0 {
+		return fmt.Errorf("bench: empty training set")
+	}
+	var queries []*session.Context
+	for _, s := range repo.Sessions() {
+		if s.Successful {
+			continue
+		}
+		for t := 1; t <= s.Steps(); t++ {
+			if st, err := s.StateAt(t); err == nil {
+				queries = append(queries, session.Extract(st, 2))
+			}
+		}
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("bench: no query states")
+	}
+
+	rep := &benchReport{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		BenchTime: *benchtime,
+		Speedups:  map[string]string{},
+	}
+	run := func(name string, f func(b *testing.B)) benchResult {
+		r := testing.Benchmark(f)
+		br := benchResult{
+			Name:       name,
+			Iterations: r.N,
+			NsPerOp:    float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsOp:   r.AllocsPerOp(),
+			BytesOp:    r.AllocedBytesPerOp(),
+		}
+		rep.Results = append(rep.Results, br)
+		if !*asJSON {
+			fmt.Printf("%-28s %12.0f ns/op  %8d B/op  %6d allocs/op\n",
+				name, br.NsPerOp, br.BytesOp, br.AllocsOp)
+		}
+		return br
+	}
+	cfg := knn.Config{K: 3, ThetaDelta: 0.1}
+	knnBench := func(workers int) func(b *testing.B) {
+		c := cfg
+		c.Workers = workers
+		clf := knn.New(samples, distance.NewMemoizedTreeEdit(nil), c)
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = clf.Predict(queries[i%len(queries)])
+			}
+		}
+	}
+	naive := run("knn-predict/naive", func(b *testing.B) {
+		m := distance.NewMemoizedTreeEdit(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = naivePredict(samples, m, cfg, queries[i%len(queries)])
+		}
+	})
+	seq := run("knn-predict/sequential", knnBench(1))
+	par := run("knn-predict/parallel", knnBench(0))
+	rep.Speedups["knn_early_abandon_vs_naive"] = ratio(naive.NsPerOp, seq.NsPerOp)
+	rep.Speedups["knn_parallel_vs_sequential"] = ratio(seq.NsPerOp, par.NsPerOp)
+
+	offBench := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := offline.Analyze(repo, offline.Options{RefLimit: 30, Seed: 7, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	oseq := run("offline-analyze/sequential", offBench(1))
+	opar := run("offline-analyze/parallel", offBench(0))
+	rep.Speedups["offline_parallel_vs_sequential"] = ratio(oseq.NsPerOp, opar.NsPerOp)
+
+	evalSamples := offline.BuildTrainingSet(a, measures.DefaultSet(), offline.TrainingOptions{
+		N: 2, Method: offline.Normalized, ThetaI: -1e9, SuccessfulOnly: true,
+	})
+	pairBench := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := distance.NewMemoizedTreeEdit(nil)
+				_ = eval.PairwiseDistancesWorkers(evalSamples, m, workers)
+			}
+		}
+	}
+	pseq := run("pairwise-distances/sequential", pairBench(1))
+	ppar := run("pairwise-distances/parallel", pairBench(0))
+	rep.Speedups["pairwise_parallel_vs_sequential"] = ratio(pseq.NsPerOp, ppar.NsPerOp)
+
+	if !*asJSON {
+		keys := make([]string, 0, len(rep.Speedups))
+		for k := range rep.Speedups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("\ncpus: %d\n", rep.CPUs)
+		for _, k := range keys {
+			fmt.Printf("speedup %-34s %s\n", k, rep.Speedups[k])
+		}
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *asJSON {
+		os.Stdout.Write(blob)
+	}
+	if *out != "-" {
+		path := *out
+		if path == "" {
+			path = "BENCH_" + rep.Date + ".json"
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", path)
+	}
+	return nil
+}
+
+// ratio formats a speedup factor to two decimals.
+func ratio(base, opt float64) string {
+	if opt <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", base/opt)
+}
+
+// naivePredict is the pre-optimization kNN scan (collect every eligible
+// neighbor, sort fully, keep k) — the baseline the early-abandon speedup
+// is measured against.
+func naivePredict(samples []*offline.Sample, m distance.Metric, cfg knn.Config, query *session.Context) knn.Prediction {
+	ns := make([]knn.Neighbor, 0, len(samples))
+	for _, s := range samples {
+		d := m.Distance(query, s.Context)
+		if !cfg.Unbounded && d > cfg.ThetaDelta {
+			continue
+		}
+		ns = append(ns, knn.Neighbor{Sample: s, Dist: d})
+	}
+	sort.SliceStable(ns, func(i, j int) bool { return ns[i].Dist < ns[j].Dist })
+	return knn.Vote(ns, cfg.K)
+}

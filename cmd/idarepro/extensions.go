@@ -156,17 +156,19 @@ func cmdEval(args []string) error {
 	}
 	method := offline.Normalized
 	n, cfg := 2, eval.KNNConfig{K: 3, ThetaDelta: 0.1, ThetaI: 0.7}
-	opts := offline.Options{SkipReference: true}
+	opts := offline.Options{SkipReference: true, Workers: workerCount}
 	if *methodName == "ref" {
 		method = offline.ReferenceBased
 		n, cfg = 3, eval.KNNConfig{K: 3, ThetaDelta: 0.2, ThetaI: 0.92}
-		opts = offline.Options{RefLimit: *refLimit}
+		opts = offline.Options{RefLimit: *refLimit, Workers: workerCount}
 	}
 	a, err := offline.Analyze(repo, opts)
 	if err != nil {
 		return err
 	}
-	es := eval.BuildEvalSet(a, measures.DefaultSet(), method, n, nil)
+	cache := eval.NewDistanceCache()
+	cache.Workers = workerCount
+	es := eval.BuildEvalSetCached(a, measures.DefaultSet(), method, n, cache)
 	fmt.Printf("%s, config %v, %d samples\n\n", method, measures.DefaultSet().Names(), len(es.Samples))
 	fmt.Printf("%-8s %s\n", "RANDOM", es.EvaluateRandom(cfg.ThetaI, 1))
 	fmt.Printf("%-8s %s\n", "BestSM", es.EvaluateBestSM(cfg.ThetaI))

@@ -25,6 +25,9 @@ func TestUsageCoversEveryCommand(t *testing.T) {
 	if !strings.Contains(u, "-telemetry") {
 		t.Error("usage text missing the global -telemetry flag")
 	}
+	if !strings.Contains(u, "-parallel") {
+		t.Error("usage text missing the global -parallel flag")
+	}
 }
 
 // TestDocCommentCoversEveryCommand reads this file's package doc comment
@@ -48,6 +51,9 @@ func TestDocCommentCoversEveryCommand(t *testing.T) {
 	}
 	if !strings.Contains(doc, "-telemetry") {
 		t.Error("package doc comment missing the -telemetry global flag")
+	}
+	if !strings.Contains(doc, "-parallel") {
+		t.Error("package doc comment missing the -parallel global flag")
 	}
 }
 

@@ -267,3 +267,27 @@ func TestTreeEditTriangleInequalityOnSample(t *testing.T) {
 		}
 	}
 }
+
+// TestDisplayDistanceBitDeterministic pins the ground metric as a pure
+// function: repeated calls on the same pair must agree to the last bit
+// (totalVariation once summed in randomized map order, which made every
+// matrix fill ULP-nondeterministic — the bug this test guards against).
+func TestDisplayDistanceBitDeterministic(t *testing.T) {
+	root := packetRoot(t)
+	http, err := engine.Execute(root, engine.NewFilter(engine.Predicate{Column: "protocol", Op: engine.OpEq, Operand: dataset.S("HTTP")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := engine.Execute(root, engine.NewGroupCount("protocol"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]*engine.Display{{root, http}, {http, agg}, {root, agg}} {
+		first := DisplayDistance(pair[0], pair[1])
+		for i := 0; i < 50; i++ {
+			if got := DisplayDistance(pair[0], pair[1]); got != first {
+				t.Fatalf("call %d: %v != %v (nondeterministic ground metric)", i, got, first)
+			}
+		}
+	}
+}

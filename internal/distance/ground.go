@@ -7,6 +7,7 @@ package distance
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
@@ -195,16 +196,26 @@ func columnNames(p *engine.Profile) []string {
 }
 
 // totalVariation is half the L1 distance between two frequency maps,
-// a [0, 1] distance between discrete distributions.
+// a [0, 1] distance between discrete distributions. It accumulates over
+// sorted keys: map iteration order is randomized per call, and float
+// addition is not associative, so summing in map order would let two
+// identical calls differ in the last ULP — breaking the pipeline's
+// bit-identical determinism contract (DESIGN.md, "Determinism under
+// fan-out").
 func totalVariation(a, b map[string]float64) float64 {
-	d := 0.0
-	for k, va := range a {
-		d += math.Abs(va - b[k])
+	keys := make([]string, 0, len(a)+len(b))
+	for k := range a {
+		keys = append(keys, k)
 	}
-	for k, vb := range b {
+	for k := range b {
 		if _, ok := a[k]; !ok {
-			d += vb
+			keys = append(keys, k)
 		}
+	}
+	sort.Strings(keys)
+	d := 0.0
+	for _, k := range keys {
+		d += math.Abs(a[k] - b[k])
 	}
 	return d / 2
 }

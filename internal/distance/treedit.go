@@ -47,14 +47,27 @@ func (m TreeEdit) Distance(a, b *session.Context) float64 {
 		}
 	}
 	ta, tb := flatten(a), flatten(b)
+	if d, done := degenerateDistance(ta, tb); done {
+		return d
+	}
+	return m.distanceFlat(ta, tb)
+}
+
+// degenerateDistance resolves the empty-tree cases shared by Distance and
+// DistanceWithin.
+func degenerateDistance(ta, tb *flatTree) (float64, bool) {
 	switch {
 	case len(ta.nodes) == 0 && len(tb.nodes) == 0:
-		return 0
-	case len(ta.nodes) == 0:
-		return 1
-	case len(tb.nodes) == 0:
-		return 1
+		return 0, true
+	case len(ta.nodes) == 0 || len(tb.nodes) == 0:
+		return 1, true
 	}
+	return 0, false
+}
+
+// distanceFlat runs the full dynamic program over two non-empty flattened
+// trees and normalizes the result to [0, 1].
+func (m TreeEdit) distanceFlat(ta, tb *flatTree) float64 {
 	unit := m.InsDelCost
 	if unit <= 0 {
 		unit = 1
@@ -83,6 +96,7 @@ type flatTree struct {
 	nodes    []*session.CtxNode // postorder, 0-based
 	leftmost []int              // leftmost[i] = postorder index of leftmost leaf of subtree i
 	keyroots []int
+	height   int // nodes on the longest root-to-leaf path (leaf = 1)
 }
 
 func flatten(c *session.Context) *flatTree {
@@ -90,13 +104,16 @@ func flatten(c *session.Context) *flatTree {
 	if c == nil || c.Root == nil {
 		return ft
 	}
-	var walk func(n *session.CtxNode) int // returns leftmost leaf index of n's subtree
-	walk = func(n *session.CtxNode) int {
-		lm := -1
+	var walk func(n *session.CtxNode) (lm, height int)
+	walk = func(n *session.CtxNode) (int, int) {
+		lm, maxH := -1, 0
 		for _, ch := range n.Children {
-			l := walk(ch)
+			l, h := walk(ch)
 			if lm == -1 {
 				lm = l
+			}
+			if h > maxH {
+				maxH = h
 			}
 		}
 		idx := len(ft.nodes)
@@ -105,9 +122,9 @@ func flatten(c *session.Context) *flatTree {
 			lm = idx
 		}
 		ft.leftmost = append(ft.leftmost, lm)
-		return lm
+		return lm, maxH + 1
 	}
-	walk(c.Root)
+	_, ft.height = walk(c.Root)
 	// Keyroots: nodes with no parent, or that are not the leftmost child —
 	// equivalently the largest postorder index for each distinct leftmost
 	// value.

@@ -17,8 +17,15 @@ import (
 // configuration.
 type DistanceCache struct {
 	// Metric is the underlying context metric (shared display memo
-	// included when built via NewDistanceCache).
+	// included when built via NewDistanceCache). With Workers != 1 it must
+	// be safe for concurrent use; the default memoized tree edit metric is.
 	Metric distance.Metric
+
+	// Workers bounds the matrix-fill and neighbor-sort fan-out on cache
+	// misses, and is inherited by the EvalSets built through this cache:
+	// <1 means one worker per CPU, 1 forces the sequential path. Matrices
+	// are bit-identical at every setting.
+	Workers int
 
 	mu sync.Mutex
 	m  map[cacheKey]*cachedDistances
@@ -71,17 +78,21 @@ func (c *DistanceCache) distancesFor(n int, method offline.Method, samples []*of
 			return entry.dist, entry.neighbors
 		}
 	}
-	d := PairwiseDistances(samples, c.Metric)
-	nb := sortNeighbors(d)
+	d := PairwiseDistancesWorkers(samples, c.Metric, c.Workers)
+	nb := sortNeighborsWorkers(d, c.Workers)
 	c.mu.Lock()
 	c.m[key] = &cachedDistances{dist: d, neighbors: nb, signature: samples}
 	c.mu.Unlock()
 	return d, nb
 }
 
-// BuildEvalSetCached is BuildEvalSet with distance-matrix sharing.
+// BuildEvalSetCached is BuildEvalSet with distance-matrix sharing. The
+// EvalSet inherits the cache's Workers setting for its own LOOCV fan-out.
 func BuildEvalSetCached(a *offline.Analysis, I measures.Set, method offline.Method, n int, cache *DistanceCache) *EvalSet {
 	es := buildSamplesOnly(a, I, method, n)
 	es.Dist, es.neighbors = cache.distancesFor(n, method, es.Samples)
+	if cache != nil {
+		es.Workers = cache.Workers
+	}
 	return es
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/knn"
 	"repro/internal/measures"
 	"repro/internal/offline"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/svm"
 )
@@ -35,6 +36,13 @@ type EvalSet struct {
 	Dist [][]float64
 	// neighbors[i] lists all other sample indices sorted by Dist[i][·].
 	neighbors [][]int32
+
+	// Workers bounds the LOOCV fan-out of EvaluateKNN: <1 means one worker
+	// per CPU, 1 forces the sequential path. The per-sample outcomes are
+	// pure reads over the precomputed matrix written to index-addressed
+	// slots, so metrics are bit-identical at every setting (DESIGN.md,
+	// "Determinism under fan-out").
+	Workers int
 }
 
 // BuildEvalSet extracts, labels and indexes the evaluation samples. The
@@ -69,27 +77,50 @@ func buildSamplesOnly(a *offline.Analysis, I measures.Set, method offline.Method
 }
 
 // PairwiseDistances computes the symmetric distance matrix of the samples'
-// contexts.
+// contexts. It stays sequential because the metric is caller-supplied and
+// need not be safe for concurrent use; the DistanceCache path, which owns
+// its (concurrency-safe) metric, fans the fill out via
+// PairwiseDistancesWorkers.
 func PairwiseDistances(samples []*offline.Sample, metric distance.Metric) [][]float64 {
+	return PairwiseDistancesWorkers(samples, metric, 1)
+}
+
+// PairwiseDistancesWorkers is PairwiseDistances with an explicit fan-out
+// width (<1 means one worker per CPU, 1 forces the sequential path). Each
+// worker owns one upper-triangle row i, writing d[i][j] and its mirror
+// d[j][i] — distinct elements per (i, j) pair, so rows never contend. With
+// workers != 1 the metric must be safe for concurrent use (the tree edit
+// metric and its memoized wrapper both are).
+func PairwiseDistancesWorkers(samples []*offline.Sample, metric distance.Metric, workers int) [][]float64 {
 	n := len(samples)
 	d := make([][]float64, n)
 	for i := range d {
 		d[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
+	// The atomic-cursor dispatch of ForEach load-balances the triangular
+	// row costs (row 0 holds n-1 distances, row n-1 none).
+	_ = parallel.ForEach(nil, n, workers, func(i int) {
 		for j := i + 1; j < n; j++ {
 			v := metric.Distance(samples[i].Context, samples[j].Context)
 			d[i][j] = v
 			d[j][i] = v
 		}
-	}
+	})
 	return d
 }
 
 func sortNeighbors(d [][]float64) [][]int32 {
+	return sortNeighborsWorkers(d, 1)
+}
+
+// sortNeighborsWorkers sorts each sample's neighbor list by distance; rows
+// are independent, so they spread across the pool. The per-row stable sort
+// keeps index order among equal distances, making every row — and hence
+// every downstream LOOCV outcome — identical at any width.
+func sortNeighborsWorkers(d [][]float64, workers int) [][]int32 {
 	n := len(d)
 	out := make([][]int32, n)
-	for i := 0; i < n; i++ {
+	_ = parallel.ForEach(nil, n, workers, func(i int) {
 		idx := make([]int32, 0, n-1)
 		for j := 0; j < n; j++ {
 			if j != i {
@@ -99,7 +130,7 @@ func sortNeighbors(d [][]float64) [][]int32 {
 		row := d[i]
 		sort.SliceStable(idx, func(a, b int) bool { return row[idx[a]] < row[idx[b]] })
 		out[i] = idx
-	}
+	})
 	return out
 }
 
@@ -117,36 +148,56 @@ func (e *EvalSet) EvaluateKNN(cfg KNNConfig) Metrics {
 	return Compute(e.knnOutcomes(cfg), e.I.Names())
 }
 
+// minParallelLOOCV is the smallest eligible-sample count worth fanning the
+// LOOCV loop out over; below it the per-sample work is dwarfed by pool
+// startup (EvaluateKNN runs thousands of times inside a grid search).
+const minParallelLOOCV = 128
+
 // knnOutcomes produces the per-sample LOOCV outcomes behind EvaluateKNN.
+// The eligible indices are collected sequentially (fixing outcome order),
+// then each outcome — a pure read of the precomputed distance matrix and
+// neighbor lists — is filled into its own slot by the pool.
 func (e *EvalSet) knnOutcomes(cfg KNNConfig) []Outcome {
 	eligible := e.eligibleMask(cfg.ThetaI)
-	var outcomes []Outcome
+	idxs := make([]int, 0, len(e.Samples))
 	for i := range e.Samples {
-		if !eligible[i] {
+		if eligible[i] {
+			idxs = append(idxs, i)
+		}
+	}
+	workers := e.Workers
+	if parallel.Workers(workers) > 1 && len(idxs) < minParallelLOOCV {
+		workers = 1
+	}
+	outcomes := make([]Outcome, len(idxs))
+	_ = parallel.ForEach(nil, len(idxs), workers, func(oi int) {
+		outcomes[oi] = e.knnOutcome(idxs[oi], eligible, cfg)
+	})
+	return outcomes
+}
+
+// knnOutcome runs the leave-one-out prediction of one eligible sample.
+func (e *EvalSet) knnOutcome(i int, eligible []bool, cfg KNNConfig) Outcome {
+	var nbrs []knn.Neighbor
+	for _, j := range e.neighbors[i] {
+		dj := e.Dist[i][j]
+		if dj > cfg.ThetaDelta {
+			break // neighbors are sorted; all further ones are too far
+		}
+		if !eligible[j] {
 			continue
 		}
-		var nbrs []knn.Neighbor
-		for _, j := range e.neighbors[i] {
-			dj := e.Dist[i][j]
-			if dj > cfg.ThetaDelta {
-				break // neighbors are sorted; all further ones are too far
-			}
-			if !eligible[j] {
-				continue
-			}
-			nbrs = append(nbrs, knn.Neighbor{Sample: e.Samples[j], Dist: dj})
-			if len(nbrs) == cfg.K {
-				break
-			}
+		nbrs = append(nbrs, knn.Neighbor{Sample: e.Samples[j], Dist: dj})
+		if len(nbrs) == cfg.K {
+			break
 		}
-		pred := knn.Vote(nbrs, cfg.K)
-		outcomes = append(outcomes, Outcome{
-			Predicted: pred.Label,
-			Actual:    e.Samples[i].Labels,
-			Covered:   pred.Covered,
-		})
 	}
-	return outcomes
+	pred := knn.Vote(nbrs, cfg.K)
+	return Outcome{
+		Predicted: pred.Label,
+		Actual:    e.Samples[i].Labels,
+		Covered:   pred.Covered,
+	}
 }
 
 func (e *EvalSet) eligibleMask(thetaI float64) []bool {

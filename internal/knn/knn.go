@@ -9,11 +9,12 @@ package knn
 
 import (
 	"fmt"
-	"sort"
+	"math"
 
 	"repro/internal/distance"
 	"repro/internal/obs"
 	"repro/internal/offline"
+	"repro/internal/parallel"
 	"repro/internal/session"
 )
 
@@ -55,7 +56,17 @@ type Config struct {
 	// Unbounded ignores ThetaDelta entirely (used to force full
 	// coverage, like the skyline's rightmost configurations).
 	Unbounded bool
+	// Workers bounds the fan-out of Predict's training-set scan and of
+	// PredictAll's query batch: <1 means one worker per CPU, 1 forces the
+	// sequential path. Predictions are bit-identical at every setting
+	// (see internal/parallel and DESIGN.md).
+	Workers int
 }
+
+// minParallelScan is the training-set size below which Predict stays on
+// the sequential path regardless of Workers: under a few hundred samples
+// the fan-out costs more than the scan.
+const minParallelScan = 512
 
 // Classifier is an instance-based (lazy) classifier over labeled
 // n-contexts.
@@ -95,7 +106,13 @@ func New(samples []*offline.Sample, metric distance.Metric, cfg Config) *Classif
 // Samples returns the training set.
 func (c *Classifier) Samples() []*offline.Sample { return c.samples }
 
-// Predict classifies a query n-context.
+// Predict classifies a query n-context. The training-set scan keeps a
+// bounded top-k accumulator (O(n log k), O(k) space) instead of
+// collecting every eligible neighbor, early-abandons distance
+// computations that provably exceed min(θ_δ, current k-th best), and
+// partitions across the worker pool when the set is large enough (see
+// Config.Workers); all three optimizations are bit-identical to the
+// plain sequential scan.
 func (c *Classifier) Predict(query *session.Context) Prediction {
 	sp := stPredict.Start()
 	defer sp.End()
@@ -103,15 +120,28 @@ func (c *Classifier) Predict(query *session.Context) Prediction {
 		mScans.Inc()
 		mDistEvals.Add(uint64(len(c.samples)))
 	}
-	ns := make([]Neighbor, 0, len(c.samples))
-	for _, s := range c.samples {
-		d := c.metric.Distance(query, s.Context)
-		if !c.cfg.Unbounded && d > c.cfg.ThetaDelta {
-			continue
-		}
-		ns = append(ns, Neighbor{Sample: s, Dist: d})
+	k := c.cfg.K
+	w := parallel.Workers(c.cfg.Workers)
+	var sorted []cand
+	if w > 1 && len(c.samples) >= minParallelScan {
+		chunks := parallel.Chunks(len(c.samples), w)
+		accs := make([]*topK, len(chunks))
+		_ = parallel.ForEach(nil, len(chunks), w, func(ci int) {
+			acc := newTopK(k)
+			c.scanRange(query, chunks[ci][0], chunks[ci][1], acc)
+			accs[ci] = acc
+		})
+		sorted = mergeTopK(k, accs)
+	} else {
+		acc := newTopK(k)
+		c.scanRange(query, 0, len(c.samples), acc)
+		sorted = acc.drain()
 	}
-	p := Vote(ns, c.cfg.K)
+	ns := make([]Neighbor, len(sorted))
+	for i, cd := range sorted {
+		ns[i] = Neighbor{Sample: c.samples[cd.idx], Dist: cd.dist}
+	}
+	p := voteSorted(ns)
 	if obs.On() {
 		if p.Covered {
 			c.mCovered.Inc()
@@ -122,24 +152,98 @@ func (c *Classifier) Predict(query *session.Context) Prediction {
 	return p
 }
 
+// scanRange scans samples[lo:hi] into acc. The abandon bound starts at
+// θ_δ (+∞ when Unbounded) and tightens to the accumulator's k-th-best
+// distance once it fills: a candidate strictly farther than the bound can
+// neither pass the threshold nor displace a kept neighbor — ties at the
+// bound are still computed exactly, so (dist, idx) tie-breaking matches
+// the sequential scan.
+func (c *Classifier) scanRange(query *session.Context, lo, hi int, acc *topK) {
+	limit := math.Inf(1)
+	if !c.cfg.Unbounded {
+		limit = c.cfg.ThetaDelta
+	}
+	for i := lo; i < hi; i++ {
+		bound := limit
+		if acc.full() {
+			if b := acc.bound(); b < bound {
+				bound = b
+			}
+		}
+		d, within := distance.Within(c.metric, query, c.samples[i].Context, bound)
+		if !within {
+			continue
+		}
+		acc.add(d, i)
+	}
+}
+
+// PredictAll classifies a batch of queries, fanning the batch out across
+// the worker pool (each query runs a sequential pruned scan). The result
+// slice is index-aligned with queries and bit-identical to calling
+// Predict per query.
+func (c *Classifier) PredictAll(queries []*session.Context) []Prediction {
+	out := make([]Prediction, len(queries))
+	_ = parallel.ForEach(nil, len(queries), c.cfg.Workers, func(i int) {
+		if obs.On() {
+			mScans.Inc()
+			mDistEvals.Add(uint64(len(c.samples)))
+		}
+		acc := newTopK(c.cfg.K)
+		c.scanRange(queries[i], 0, len(c.samples), acc)
+		sorted := acc.drain()
+		ns := make([]Neighbor, len(sorted))
+		for j, cd := range sorted {
+			ns[j] = Neighbor{Sample: c.samples[cd.idx], Dist: cd.dist}
+		}
+		out[i] = voteSorted(ns)
+	})
+	if obs.On() {
+		for i := range out {
+			if out[i].Covered {
+				c.mCovered.Inc()
+			} else {
+				c.mAbstain.Inc()
+			}
+		}
+	}
+	return out
+}
+
 // Vote implements the majority vote over an eligible (threshold-filtered)
 // neighbor list: it keeps the k nearest, accumulates tie-weighted votes
 // per label, and returns the winner (ties broken by total closeness, then
 // lexicographically for determinism). An empty neighbor list abstains.
+//
+// The input slice is treated as read-only: selection runs over a bounded
+// O(n log k) accumulator, never by reordering the caller's slice (earlier
+// versions sorted it in place, which corrupted callers that reuse
+// neighbor lists — see TestVoteDoesNotMutateInput).
 func Vote(eligible []Neighbor, k int) Prediction {
 	if len(eligible) == 0 {
 		return Prediction{Covered: false}
 	}
-	sort.SliceStable(eligible, func(i, j int) bool { return eligible[i].Dist < eligible[j].Dist })
-	if k < 1 {
-		k = 1
+	acc := newTopK(k)
+	for i := range eligible {
+		acc.add(eligible[i].Dist, i)
 	}
-	if len(eligible) > k {
-		eligible = eligible[:k]
+	sorted := acc.drain()
+	ns := make([]Neighbor, len(sorted))
+	for i, cd := range sorted {
+		ns[i] = eligible[cd.idx]
+	}
+	return voteSorted(ns)
+}
+
+// voteSorted tallies the tie-weighted vote over an already-selected,
+// nearest-first neighbor list (at most k entries).
+func voteSorted(neighbors []Neighbor) Prediction {
+	if len(neighbors) == 0 {
+		return Prediction{Covered: false}
 	}
 	votes := make(map[string]float64, 4)
 	closeness := make(map[string]float64, 4)
-	for _, n := range eligible {
+	for _, n := range neighbors {
 		labels := n.Sample.Labels
 		if len(labels) == 0 {
 			continue
@@ -151,7 +255,7 @@ func Vote(eligible []Neighbor, k int) Prediction {
 		}
 	}
 	if len(votes) == 0 {
-		return Prediction{Covered: false, Neighbors: eligible}
+		return Prediction{Covered: false, Neighbors: neighbors}
 	}
 	best := ""
 	for l := range votes {
@@ -168,5 +272,5 @@ func Vote(eligible []Neighbor, k int) Prediction {
 			}
 		}
 	}
-	return Prediction{Label: best, Votes: votes, Neighbors: eligible, Covered: true}
+	return Prediction{Label: best, Votes: votes, Neighbors: neighbors, Covered: true}
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/measures"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -43,9 +44,21 @@ type Normalizer struct {
 // actions. Each measure's score series is shifted positive, Box-Cox
 // transformed with an MLE-estimated λ, and its transformed mean/std stored.
 func FitNormalizer(msrs []measures.Measure, nodes []*NodeScores) (*Normalizer, error) {
+	return FitNormalizerWorkers(msrs, nodes, 0)
+}
+
+// FitNormalizerWorkers is FitNormalizer with an explicit fan-out width:
+// the per-measure Box-Cox MLE fits are independent, so they spread across
+// the worker pool (1 forces the sequential path). Fitted parameters are a
+// pure function of each measure's own series, so results are bit-identical
+// at every width.
+func FitNormalizerWorkers(msrs []measures.Measure, nodes []*NodeScores, workers int) (*Normalizer, error) {
 	t0 := time.Now()
 	n := &Normalizer{Params: make(map[string]MeasureNorm, len(msrs))}
-	for _, m := range msrs {
+	fits := make([]MeasureNorm, len(msrs))
+	errs := make([]error, len(msrs))
+	_ = parallel.ForEach(nil, len(msrs), workers, func(i int) {
+		m := msrs[i]
 		series := make([]float64, 0, len(nodes))
 		for _, ns := range nodes {
 			if v, ok := ns.Raw[m.Name()]; ok {
@@ -53,15 +66,17 @@ func FitNormalizer(msrs []measures.Measure, nodes []*NodeScores) (*Normalizer, e
 			}
 		}
 		tFit := time.Now()
-		mn, err := fitOne(series)
-		if err != nil {
-			return nil, fmt.Errorf("offline: normalize %s: %w", m.Name(), err)
-		}
+		fits[i], errs[i] = fitOne(series)
 		if obs.On() {
 			mNormFits.Inc()
 			obs.H("offline.normalize.fit[" + m.Name() + "]").ObserveSince(tFit)
 		}
-		n.Params[m.Name()] = mn
+	})
+	for i, m := range msrs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("offline: normalize %s: %w", m.Name(), errs[i])
+		}
+		n.Params[m.Name()] = fits[i]
 	}
 	n.FitDuration = time.Since(t0)
 	return n, nil

@@ -3,11 +3,14 @@ package offline
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/measures"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/session"
 	"repro/internal/stats"
 )
@@ -98,10 +101,61 @@ type execCacheKey struct {
 	action string
 }
 
+// execCache is the concurrent per-(parent, action) execution cache. A
+// miss claims the key with an in-flight entry so concurrent workers
+// needing the same reference execution wait for the first computation
+// instead of duplicating it (the same singleflight discipline as
+// distance.Memo). Values are deterministic pure functions of the key, so
+// which worker computes an entry never affects the scores.
+type execCache struct {
+	mu sync.Mutex
+	m  map[execCacheKey]*execEntry
+}
+
+type execEntry struct {
+	done   chan struct{}
+	scores map[string]float64 // nil for failed/degenerate executions
+}
+
+// get returns the cached scores for key, computing them via compute on
+// first demand.
+func (c *execCache) get(key execCacheKey, compute func() map[string]float64) map[string]float64 {
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		mRefExecCached.Inc()
+		return e.scores
+	}
+	e := &execEntry{done: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+	e.scores = compute()
+	close(e.done)
+	return e.scores
+}
+
+// refTimings accumulates the Table-3 component costs across workers. The
+// sums are per-item durations added atomically, so under fan-out they
+// approximate total CPU time spent (the sequential path's wall-clock
+// equivalent), not elapsed wall-clock.
+type refTimings struct {
+	execNS    atomic.Int64
+	calcINS   atomic.Int64
+	calcRelNS atomic.Int64
+}
+
 // applyReferenceBased runs Algorithm 1 for every recorded action, filling
 // NodeScores.RefRelative. Reference executions are cached per
 // (parent display, action) because many recorded actions share parents
 // (most sessions branch from the root display).
+//
+// The pass runs in two phases so it parallelizes without changing a
+// single output bit: phase 1 walks the nodes in repository order drawing
+// every reference set from the one shared RNG stream (subsampling is the
+// only stateful step, and it is cheap); phase 2 fans the expensive
+// execute-score-rank work out across the pool, with each node writing
+// only its own RefRelative map.
 func applyReferenceBased(a *Analysis, opts Options) error {
 	pools := buildRefPools(a.Repo)
 	rng := stats.NewRNG(opts.Seed + 0x5EED)
@@ -109,105 +163,118 @@ func applyReferenceBased(a *Analysis, opts Options) error {
 	if minRefs <= 0 {
 		minRefs = MinReferenceSet
 	}
-	cache := make(map[execCacheKey]map[string]float64) // -> measure scores, nil for failed/degenerate
 
+	type nodeWork struct {
+		ns   *NodeScores
+		refs []*engine.Action
+	}
+	work := make([]nodeWork, 0, len(a.Nodes))
 	for _, ns := range a.Nodes {
 		pool := pools[ns.Session.Dataset]
 		if pool == nil {
 			continue
 		}
 		refs := pool.referenceSet(ns.Node.Action, opts.RefLimit, rng)
-		parent := ns.Node.Parent.Display
-		root := ns.Session.Root().Display
 		mRefSets.Inc()
 		mRefActions.Add(uint64(len(refs)))
-
-		// Lines 1-4: execute every reference action from the same parent
-		// display and score it with every measure.
-		refScores := make([]map[string]float64, 0, len(refs))
-		for _, ra := range refs {
-			key := execCacheKey{parent: parent, action: ra.String()}
-			scores, hit := cache[key]
-			if !hit {
-				scores = executeAndScore(a, parent, root, ra)
-				cache[key] = scores
-			} else {
-				mRefExecCached.Inc()
-			}
-			if scores != nil {
-				refScores = append(refScores, scores)
-			}
-		}
-
-		// Line 7: relative interestingness = the percentile rank of q's
-		// score among the reference actions (the scale of the paper's
-		// θ_I threshold for this method). Algorithm 1 counts
-		// |{q' : i(q') <= i(q)}|; with small discrete displays exact
-		// score collisions are frequent, so we count ties at half weight
-		// (midrank) — with continuous scores the two definitions
-		// coincide, and midranking prevents every measure that happens
-		// to collide with all references from inflating to rank 1.0.
-		// An action with too few executable, non-degenerate alternatives
-		// has no meaningful comparison base (a percentile over two or
-		// three references is dominated by quantization noise): it keeps
-		// an empty RefRelative map and yields no dominant measure, so
-		// training-set construction and the Figure-3 statistics skip it.
-		// Compare the paper's omission of reference actions whose results
-		// have fewer than two rows; its reference sets averaged 115
-		// alternatives, so this floor never binds on REACT-IDA-scale data.
-		if len(refScores) < minRefs {
-			mRefTooFew.Inc()
-			continue
-		}
-		t2 := time.Now()
-		for name, qScore := range ns.Raw {
-			below, equal := 0, 0
-			var sum, sumSq float64
-			for _, rs := range refScores {
-				v := rs[name]
-				switch {
-				case v < qScore:
-					below++
-				case v == qScore:
-					equal++
-				}
-				sum += v
-				sumSq += v * v
-			}
-			rank := (float64(below) + 0.5*float64(equal)) / float64(len(refScores))
-			// Percentile ranks are coarse (multiples of 1/|R(q)|), so a
-			// measure that beats every reference in two facets produces
-			// an exact cross-measure tie at 1.0. A microscopic margin
-			// term — how many reference standard deviations q sits above
-			// the reference mean, squashed to (-1, 1) and scaled by 1e-6
-			// — breaks such ties by "how decisively" the measure ranks q
-			// first, without perceptibly moving the θ_I scale.
-			n := float64(len(refScores))
-			mean := sum / n
-			variance := sumSq/n - mean*mean
-			if variance < 0 {
-				variance = 0
-			}
-			z := 0.0
-			if sd := math.Sqrt(variance); sd > 0 {
-				z = (qScore - mean) / sd
-			}
-			ns.RefRelative[name] = rank + 1e-6*z/(1+math.Abs(z))
-		}
-		a.RefTimings.CalcRelative += time.Since(t2)
+		work = append(work, nodeWork{ns: ns, refs: refs})
 	}
+
+	cache := &execCache{m: make(map[execCacheKey]*execEntry)}
+	var tm refTimings
+	_ = parallel.ForEach(nil, len(work), opts.Workers, func(wi int) {
+		rankReferenceSet(a, work[wi].ns, work[wi].refs, minRefs, cache, &tm)
+	})
+	a.RefTimings.ActionExecution += time.Duration(tm.execNS.Load())
+	a.RefTimings.CalcInterestingness += time.Duration(tm.calcINS.Load())
+	a.RefTimings.CalcRelative += time.Duration(tm.calcRelNS.Load())
 	return nil
+}
+
+// rankReferenceSet runs Algorithm 1 for one recorded action.
+func rankReferenceSet(a *Analysis, ns *NodeScores, refs []*engine.Action, minRefs int, cache *execCache, tm *refTimings) {
+	parent := ns.Node.Parent.Display
+	root := ns.Session.Root().Display
+
+	// Lines 1-4: execute every reference action from the same parent
+	// display and score it with every measure.
+	refScores := make([]map[string]float64, 0, len(refs))
+	for _, ra := range refs {
+		scores := cache.get(execCacheKey{parent: parent, action: ra.String()}, func() map[string]float64 {
+			return executeAndScore(a, parent, root, ra, tm)
+		})
+		if scores != nil {
+			refScores = append(refScores, scores)
+		}
+	}
+
+	// Line 7: relative interestingness = the percentile rank of q's
+	// score among the reference actions (the scale of the paper's
+	// θ_I threshold for this method). Algorithm 1 counts
+	// |{q' : i(q') <= i(q)}|; with small discrete displays exact
+	// score collisions are frequent, so we count ties at half weight
+	// (midrank) — with continuous scores the two definitions
+	// coincide, and midranking prevents every measure that happens
+	// to collide with all references from inflating to rank 1.0.
+	// An action with too few executable, non-degenerate alternatives
+	// has no meaningful comparison base (a percentile over two or
+	// three references is dominated by quantization noise): it keeps
+	// an empty RefRelative map and yields no dominant measure, so
+	// training-set construction and the Figure-3 statistics skip it.
+	// Compare the paper's omission of reference actions whose results
+	// have fewer than two rows; its reference sets averaged 115
+	// alternatives, so this floor never binds on REACT-IDA-scale data.
+	if len(refScores) < minRefs {
+		mRefTooFew.Inc()
+		return
+	}
+	t2 := time.Now()
+	for name, qScore := range ns.Raw {
+		below, equal := 0, 0
+		var sum, sumSq float64
+		for _, rs := range refScores {
+			v := rs[name]
+			switch {
+			case v < qScore:
+				below++
+			case v == qScore:
+				equal++
+			}
+			sum += v
+			sumSq += v * v
+		}
+		rank := (float64(below) + 0.5*float64(equal)) / float64(len(refScores))
+		// Percentile ranks are coarse (multiples of 1/|R(q)|), so a
+		// measure that beats every reference in two facets produces
+		// an exact cross-measure tie at 1.0. A microscopic margin
+		// term — how many reference standard deviations q sits above
+		// the reference mean, squashed to (-1, 1) and scaled by 1e-6
+		// — breaks such ties by "how decisively" the measure ranks q
+		// first, without perceptibly moving the θ_I scale.
+		n := float64(len(refScores))
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		z := 0.0
+		if sd := math.Sqrt(variance); sd > 0 {
+			z = (qScore - mean) / sd
+		}
+		ns.RefRelative[name] = rank + 1e-6*z/(1+math.Abs(z))
+	}
+	tm.calcRelNS.Add(int64(time.Since(t2)))
 }
 
 // executeAndScore runs one reference action and scores it, updating the
 // Table-3 timing buckets. It returns nil for failed executions and for
 // degenerate results (fewer than two rows), which the paper omits from
 // reference sets.
-func executeAndScore(a *Analysis, parent, root *engine.Display, ra *engine.Action) map[string]float64 {
+func executeAndScore(a *Analysis, parent, root *engine.Display, ra *engine.Action, tm *refTimings) map[string]float64 {
 	mRefExecs.Inc()
 	t0 := time.Now()
 	d, err := engine.Execute(parent, ra)
-	a.RefTimings.ActionExecution += time.Since(t0)
+	tm.execNS.Add(int64(time.Since(t0)))
 	if err != nil || d.NumRows() < 2 {
 		mRefDegenerate.Inc()
 		return nil
@@ -218,6 +285,6 @@ func executeAndScore(a *Analysis, parent, root *engine.Display, ra *engine.Actio
 	for _, m := range a.Measures {
 		scores[m.Name()] = measures.ObservedScore(m, ctx)
 	}
-	a.RefTimings.CalcInterestingness += time.Since(t1)
+	tm.calcINS.Add(int64(time.Since(t1)))
 	return scores
 }

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/measures"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/session"
 	"repro/internal/stats"
 )
@@ -192,6 +193,13 @@ type Options struct {
 	MinRefs int
 	// Seed drives reference subsampling.
 	Seed uint64
+	// Workers bounds the analysis fan-out (raw scoring, reference-set
+	// execution, normalizer fits): <1 means one worker per CPU, 1 forces
+	// the sequential path. Scores and labels are bit-identical at every
+	// setting — reference subsampling stays on a single sequential RNG
+	// stream and all per-action outputs are index-addressed (DESIGN.md,
+	// "Determinism under fan-out").
+	Workers int
 }
 
 // Analyze runs the full offline analysis over every recorded action of the
@@ -213,7 +221,10 @@ func Analyze(repo *session.Repository, opts Options) (*Analysis, error) {
 	// Raw scores for every recorded action. This is the shared
 	// "calculate interestingness" component; it is attributed to the
 	// Normalized method's timing (the Reference-Based pass measures its
-	// much larger reference-set scoring separately).
+	// much larger reference-set scoring separately). The node list is
+	// assembled sequentially (repository order fixes sample order
+	// everywhere downstream), then the per-action scoring — independent
+	// pure computations — fans out across the worker pool.
 	spRaw := stRawScore.Start()
 	t0 := time.Now()
 	for _, s := range repo.Sessions() {
@@ -221,7 +232,6 @@ func Analyze(repo *session.Repository, opts Options) (*Analysis, error) {
 			ns := &NodeScores{
 				Session:      s,
 				Node:         n,
-				Raw:          scoreAction(msrs, s, n),
 				RefRelative:  make(map[string]float64, len(msrs)),
 				NormRelative: make(map[string]float64, len(msrs)),
 			}
@@ -229,6 +239,10 @@ func Analyze(repo *session.Repository, opts Options) (*Analysis, error) {
 			a.byNode[n] = ns
 		}
 	}
+	_ = parallel.ForEach(nil, len(a.Nodes), opts.Workers, func(i int) {
+		ns := a.Nodes[i]
+		ns.Raw = scoreAction(msrs, ns.Session, ns.Node)
+	})
 	rawDur := time.Since(t0)
 	spRaw.End()
 	a.NormTimings.CalcInterestingness = rawDur
@@ -238,16 +252,16 @@ func Analyze(repo *session.Repository, opts Options) (*Analysis, error) {
 
 	// Normalized comparison (Algorithm 2).
 	spNorm := stNormalize.Start()
-	norm, err := FitNormalizer(msrs, a.Nodes)
+	norm, err := FitNormalizerWorkers(msrs, a.Nodes, opts.Workers)
 	if err != nil {
 		spNorm.End()
 		return nil, err
 	}
 	a.Normalizer = norm
 	t1 := time.Now()
-	for _, ns := range a.Nodes {
-		norm.Apply(ns.Raw, ns.NormRelative)
-	}
+	_ = parallel.ForEach(nil, len(a.Nodes), opts.Workers, func(i int) {
+		norm.Apply(a.Nodes[i].Raw, a.Nodes[i].NormRelative)
+	})
 	a.NormTimings.CalcRelative = time.Since(t1) + norm.FitDuration
 	spNorm.End()
 
