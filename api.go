@@ -23,6 +23,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/measures"
 	"repro/internal/netlog"
 	"repro/internal/offline"
+	"repro/internal/pipeline"
 	"repro/internal/session"
 	"repro/internal/simulate"
 )
@@ -85,7 +87,33 @@ type (
 
 	// Metrics are the five evaluation metrics of Section 4.2.
 	Metrics = eval.Metrics
+
+	// PipelineError is the typed failure of one pipeline stage: it names
+	// the stage that stopped (e.g. "offline.reference", "knn.predict_all"),
+	// carries the underlying cause (unwrappable to context.Canceled /
+	// context.DeadlineExceeded), and reports partial progress (Done/Total
+	// items). Every context-taking entry point of this package returns one
+	// on cancellation, deadline expiry, or a recovered panic.
+	PipelineError = pipeline.Error
+
+	// FallbackPolicy selects what an abstaining kNN prediction degrades
+	// to (PredictorConfig.Fallback).
+	FallbackPolicy = knn.FallbackPolicy
 )
+
+// kNN fallback policies (the kNN rung of the degradation ladder).
+const (
+	// FallbackAbstain keeps abstentions (the paper's semantics; default).
+	FallbackAbstain = knn.FallbackAbstain
+	// FallbackNearest re-votes over the k nearest neighbors ignoring θ_δ.
+	FallbackNearest = knn.FallbackNearest
+	// FallbackPrior answers with the training set's most common label.
+	FallbackPrior = knn.FallbackPrior
+)
+
+// IsCanceled reports whether err (at any wrap depth) is a context
+// cancellation or deadline expiry.
+func IsCanceled(err error) bool { return pipeline.Canceled(err) }
 
 // Comparison methods.
 const (
@@ -136,7 +164,23 @@ func NewRepository() *Repository { return session.NewRepository() }
 // RunOfflineAnalysis computes raw and relative interestingness scores for
 // every recorded action under both comparison methods (Section 3.1).
 func (f *Framework) RunOfflineAnalysis(opts AnalysisOptions) error {
-	a, err := offline.Analyze(f.Repo, opts)
+	return f.RunOfflineAnalysisContext(nil, opts)
+}
+
+// RunOfflineAnalysisContext is RunOfflineAnalysis with cancellation: when
+// ctx is canceled or its deadline expires, the analysis stops between
+// per-action work items and a *PipelineError naming the interrupted stage
+// is returned; f.Analysis is left unchanged. Panics escaping the analysis
+// are recovered at this boundary and returned as a *PipelineError, so one
+// poisoned session or action cannot kill the caller. A nil ctx never
+// cancels.
+func (f *Framework) RunOfflineAnalysisContext(ctx context.Context, opts AnalysisOptions) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = pipeline.Recovered("api.offline", r)
+		}
+	}()
+	a, err := offline.AnalyzeContext(ctx, f.Repo, opts)
 	if err != nil {
 		return err
 	}
@@ -158,6 +202,10 @@ type PredictorConfig struct {
 	// per CPU, 1 forces the sequential path. Predictions are bit-identical
 	// at every setting.
 	Workers int
+	// Fallback selects the degradation policy applied when the model
+	// abstains. The zero value (FallbackAbstain) preserves the paper's
+	// abstention semantics exactly.
+	Fallback FallbackPolicy
 }
 
 // DefaultPredictorConfig returns the paper's default configuration for a
@@ -181,11 +229,30 @@ type Predictor struct {
 // TrainPredictor builds the labeled training set for (I, method) and
 // constructs the kNN model. RunOfflineAnalysis must have been called.
 func (f *Framework) TrainPredictor(I MeasureSet, method Method, cfg PredictorConfig) (*Predictor, error) {
+	return f.TrainPredictorContext(nil, I, method, cfg)
+}
+
+// TrainPredictorContext is TrainPredictor with cancellation and boundary
+// panic isolation: a ctx canceled before or during training-set
+// construction returns a *PipelineError for the "api.train" stage, and
+// panics escaping the build are recovered into the same type. A nil ctx
+// never cancels.
+func (f *Framework) TrainPredictorContext(ctx context.Context, I MeasureSet, method Method, cfg PredictorConfig) (p *Predictor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			p, err = nil, pipeline.Recovered("api.train", r)
+		}
+	}()
 	if f.Analysis == nil {
 		return nil, fmt.Errorf("repro: TrainPredictor requires RunOfflineAnalysis first")
 	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, pipeline.Wrap("api.train", 0, 0, ctx.Err())
+	}
 	if cfg.N < 1 {
+		fallback := cfg.Fallback
 		cfg = DefaultPredictorConfig(method)
+		cfg.Fallback = fallback
 	}
 	samples := offline.BuildTrainingSet(f.Analysis, I, offline.TrainingOptions{
 		N:              cfg.N,
@@ -196,10 +263,14 @@ func (f *Framework) TrainPredictor(I MeasureSet, method Method, cfg PredictorCon
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("repro: training set is empty (θ_I too strict?)")
 	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, pipeline.Wrap("api.train", 0, 0, ctx.Err())
+	}
 	clf := knn.New(samples, distance.NewMemoizedTreeEdit(nil), knn.Config{
 		K:          cfg.K,
 		ThetaDelta: cfg.ThetaDelta,
 		Workers:    cfg.Workers,
+		Fallback:   cfg.Fallback,
 	})
 	return &Predictor{clf: clf, I: I, method: method, cfg: cfg}, nil
 }
@@ -220,6 +291,22 @@ func (p *Predictor) Predict(ctx *NContext) (measureName string, ok bool) {
 	return pred.Label, pred.Covered
 }
 
+// PredictContext is Predict with cancellation and boundary panic
+// isolation: a canceled ctx (or a panic escaping the scan) returns a
+// *PipelineError instead of a prediction. A nil ctx never cancels.
+func (p *Predictor) PredictContext(ctx context.Context, query *NContext) (measureName string, ok bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			measureName, ok, err = "", false, pipeline.Recovered("api.predict", r)
+		}
+	}()
+	pred, err := p.clf.PredictCtx(ctx, query)
+	if err != nil {
+		return "", false, err
+	}
+	return pred.Label, pred.Covered, nil
+}
+
 // PredictState extracts the state's n-context (with the model's configured
 // n) and predicts.
 func (p *Predictor) PredictState(st State) (measureName string, ok bool) {
@@ -227,22 +314,39 @@ func (p *Predictor) PredictState(st State) (measureName string, ok bool) {
 }
 
 // BatchPrediction is one result of Predictor.PredictAll. OK is false when
-// the model abstained for that context.
+// the model abstained for that context. Fallback is true when the
+// prediction came from the configured FallbackPolicy rather than the
+// θ_δ-gated vote.
 type BatchPrediction struct {
 	MeasureName string
 	OK          bool
+	Fallback    bool
 }
 
 // PredictAll predicts a batch of n-contexts, fanning the queries out
 // across the model's worker pool. The result is index-aligned with ctxs
 // and identical to calling Predict per context.
 func (p *Predictor) PredictAll(ctxs []*NContext) []BatchPrediction {
-	preds := p.clf.PredictAll(ctxs)
-	out := make([]BatchPrediction, len(preds))
-	for i, pr := range preds {
-		out[i] = BatchPrediction{MeasureName: pr.Label, OK: pr.Covered}
-	}
+	out, _ := p.PredictAllContext(nil, ctxs)
 	return out
+}
+
+// PredictAllContext is PredictAll with cancellation and boundary panic
+// isolation: a canceled ctx stops the batch between queries and returns
+// the partial result slice alongside a *PipelineError carrying how many
+// predictions completed. A nil ctx never cancels.
+func (p *Predictor) PredictAllContext(ctx context.Context, ctxs []*NContext) (out []BatchPrediction, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, pipeline.Recovered("api.predict_all", r)
+		}
+	}()
+	preds, err := p.clf.PredictAllCtx(ctx, ctxs)
+	out = make([]BatchPrediction, len(preds))
+	for i, pr := range preds {
+		out[i] = BatchPrediction{MeasureName: pr.Label, OK: pr.Covered, Fallback: pr.Fallback}
+	}
+	return out, err
 }
 
 // Measure resolves a predicted measure name to its implementation within

@@ -1,0 +1,129 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// requirePipelineError asserts err is a typed *PipelineError that unwraps
+// to a context cancellation, and returns it.
+func requirePipelineError(t *testing.T, err error) *PipelineError {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected an error from a canceled context")
+	}
+	var pe *PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v (%T) is not a *PipelineError", err, err)
+	}
+	if pe.Stage == "" {
+		t.Error("PipelineError has no stage")
+	}
+	if !IsCanceled(err) {
+		t.Errorf("IsCanceled(%v) = false", err)
+	}
+	if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not unwrap to a context error", err)
+	}
+	return pe
+}
+
+func canceledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestRunOfflineAnalysisContextCanceled(t *testing.T) {
+	fw := testFramework(t)
+	fresh := NewFramework(fw.Repo)
+	err := fresh.RunOfflineAnalysisContext(canceledCtx(), AnalysisOptions{RefLimit: 20, MinRefs: 2})
+	requirePipelineError(t, err)
+	if fresh.Analysis != nil {
+		t.Error("canceled analysis must not be stored")
+	}
+}
+
+func TestRunOfflineAnalysisContextDeadline(t *testing.T) {
+	fw := testFramework(t)
+	fresh := NewFramework(fw.Repo)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Microsecond) // let the deadline expire
+	err := fresh.RunOfflineAnalysisContext(ctx, AnalysisOptions{RefLimit: 20, MinRefs: 2})
+	pe := requirePipelineError(t, err)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("cause = %v, want DeadlineExceeded", pe.Err)
+	}
+}
+
+func TestTrainPredictorContextCanceled(t *testing.T) {
+	fw := testFramework(t)
+	_, err := fw.TrainPredictorContext(canceledCtx(), DefaultMeasureSet(), Normalized,
+		PredictorConfig{N: 2, K: 3, ThetaDelta: 0.25, ThetaI: 0})
+	requirePipelineError(t, err)
+}
+
+func testContexts(t *testing.T, fw *Framework, n, limit int) []*NContext {
+	t.Helper()
+	var out []*NContext
+	for _, s := range fw.Repo.Sessions() {
+		ctx, err := ExtractContext(s, n)
+		if err != nil {
+			continue
+		}
+		out = append(out, ctx)
+		if len(out) == limit {
+			break
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no extractable contexts")
+	}
+	return out
+}
+
+func TestPredictContextCanceled(t *testing.T) {
+	fw, pred := trainedPredictor(t)
+	q := testContexts(t, fw, 2, 1)[0]
+	if _, _, err := pred.PredictContext(canceledCtx(), q); err == nil {
+		t.Fatal("expected error")
+	} else {
+		requirePipelineError(t, err)
+	}
+	// A live context predicts normally and matches the ctx-less path.
+	label, ok, err := pred.PredictContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLabel, wantOK := pred.Predict(q)
+	if label != wantLabel || ok != wantOK {
+		t.Errorf("PredictContext = (%q, %v), Predict = (%q, %v)", label, ok, wantLabel, wantOK)
+	}
+}
+
+func TestPredictAllContextCanceled(t *testing.T) {
+	fw, pred := trainedPredictor(t)
+	qs := testContexts(t, fw, 2, 16)
+	out, err := pred.PredictAllContext(canceledCtx(), qs)
+	pe := requirePipelineError(t, err)
+	if len(out) != len(qs) {
+		t.Fatalf("partial result length %d, want %d", len(out), len(qs))
+	}
+	if pe.Done < 0 || pe.Done > pe.Total || pe.Total != len(qs) {
+		t.Errorf("progress %d/%d out of range for %d queries", pe.Done, pe.Total, len(qs))
+	}
+	// And the live path is unchanged.
+	got, err := pred.PredictAllContext(context.Background(), qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pred.PredictAll(qs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: ctx path %+v, plain path %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,7 +47,7 @@ type benchReport struct {
 // cmdBench runs the pipeline benchmark suite in-process and writes the
 // regression artifact. The fixture is generated in memory (no -dir), so
 // the numbers are comparable across machines and runs.
-func cmdBench(args []string) error {
+func cmdBench(_ context.Context, args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "print the report as JSON on stdout")
 	out := fs.String("out", "", "report path (default BENCH_<date>.json; \"-\" to skip the file)")

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +20,7 @@ import (
 )
 
 // cmdReconstruct rebuilds session trees from a flat SQL query log.
-func cmdReconstruct(args []string) error {
+func cmdReconstruct(_ context.Context, args []string) error {
 	fs := flag.NewFlagSet("reconstruct", flag.ExitOnError)
 	dir := fs.String("dir", "data", "data directory with the base dataset CSVs")
 	logPath := fs.String("log", "", "flat query log (RFC3339<TAB>user<TAB>sql per line)")
@@ -64,7 +65,7 @@ func cmdReconstruct(args []string) error {
 }
 
 // cmdExport flattens recorded sessions into a query log.
-func cmdExport(args []string) error {
+func cmdExport(_ context.Context, args []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
 	dir := fs.String("dir", "data", "data directory")
 	out := fs.String("out", "querylog.tsv", "output flat log path")
@@ -101,7 +102,7 @@ func cmdExport(args []string) error {
 }
 
 // cmdEffectiveness runs the analyst-effectiveness meta-task.
-func cmdEffectiveness(args []string) error {
+func cmdEffectiveness(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("effectiveness", flag.ExitOnError)
 	dir := fs.String("dir", "data", "data directory")
 	threshold := fs.Float64("threshold", 0.7, "θ_I-scale interestingness threshold")
@@ -113,7 +114,7 @@ func cmdEffectiveness(args []string) error {
 	if err != nil {
 		return err
 	}
-	a, err := offline.Analyze(repo, offline.Options{SkipReference: true})
+	a, err := offline.AnalyzeContext(ctx, repo, offline.Options{SkipReference: true})
 	if err != nil {
 		return err
 	}
@@ -137,7 +138,7 @@ func cmdEffectiveness(args []string) error {
 }
 
 // cmdEval evaluates the predictive models on a stored benchmark.
-func cmdEval(args []string) error {
+func cmdEval(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("eval", flag.ExitOnError)
 	dir := fs.String("dir", "data", "data directory")
 	methodName := fs.String("method", "norm", "comparison method: norm or ref")
@@ -162,13 +163,16 @@ func cmdEval(args []string) error {
 		n, cfg = 3, eval.KNNConfig{K: 3, ThetaDelta: 0.2, ThetaI: 0.92}
 		opts = offline.Options{RefLimit: *refLimit, Workers: workerCount}
 	}
-	a, err := offline.Analyze(repo, opts)
+	a, err := offline.AnalyzeContext(ctx, repo, opts)
 	if err != nil {
 		return err
 	}
 	cache := eval.NewDistanceCache()
 	cache.Workers = workerCount
-	es := eval.BuildEvalSetCached(a, measures.DefaultSet(), method, n, cache)
+	es, err := eval.BuildEvalSetCachedCtx(ctx, a, measures.DefaultSet(), method, n, cache)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("%s, config %v, %d samples\n\n", method, measures.DefaultSet().Names(), len(es.Samples))
 	fmt.Printf("%-8s %s\n", "RANDOM", es.EvaluateRandom(cfg.ThetaI, 1))
 	fmt.Printf("%-8s %s\n", "BestSM", es.EvaluateBestSM(cfg.ThetaI))

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -22,11 +23,10 @@ func TestUsageCoversEveryCommand(t *testing.T) {
 			t.Errorf("command %q has no run function", c.name)
 		}
 	}
-	if !strings.Contains(u, "-telemetry") {
-		t.Error("usage text missing the global -telemetry flag")
-	}
-	if !strings.Contains(u, "-parallel") {
-		t.Error("usage text missing the global -parallel flag")
+	for _, g := range []string{"-telemetry", "-parallel", "-timeout", "-faults"} {
+		if !strings.Contains(u, g) {
+			t.Errorf("usage text missing the global %s flag", g)
+		}
 	}
 }
 
@@ -49,11 +49,10 @@ func TestDocCommentCoversEveryCommand(t *testing.T) {
 			t.Errorf("package doc comment missing subcommand %q", c.name)
 		}
 	}
-	if !strings.Contains(doc, "-telemetry") {
-		t.Error("package doc comment missing the -telemetry global flag")
-	}
-	if !strings.Contains(doc, "-parallel") {
-		t.Error("package doc comment missing the -parallel global flag")
+	for _, g := range []string{"-telemetry", "-parallel", "-timeout", "-faults"} {
+		if !strings.Contains(doc, g) {
+			t.Errorf("package doc comment missing the %s global flag", g)
+		}
 	}
 }
 
@@ -64,5 +63,39 @@ func TestCommandNamesUnique(t *testing.T) {
 			t.Errorf("duplicate command %q", c.name)
 		}
 		seen[c.name] = true
+	}
+}
+
+// TestRunCommandRecoversPanic pins the CLI panic boundary: a panicking
+// subcommand must come back as an error carrying the command's stage
+// name, never as a process crash.
+func TestRunCommandRecoversPanic(t *testing.T) {
+	boom := command{name: "boom", run: func(context.Context, []string) error {
+		panic("poisoned session")
+	}}
+	err := runCommand(context.Background(), boom, nil)
+	if err == nil {
+		t.Fatal("panic was not converted to an error")
+	}
+	if !strings.Contains(err.Error(), "cli.boom") || !strings.Contains(err.Error(), "poisoned session") {
+		t.Errorf("recovered error %q missing stage or panic value", err)
+	}
+}
+
+// TestRunCommandPropagatesContext checks the dispatcher hands the process
+// context through unchanged.
+func TestRunCommandPropagatesContext(t *testing.T) {
+	type key struct{}
+	ctx := context.WithValue(context.Background(), key{}, "v")
+	var got context.Context
+	c := command{name: "probe", run: func(ctx context.Context, _ []string) error {
+		got = ctx
+		return nil
+	}}
+	if err := runCommand(ctx, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Value(key{}) != "v" {
+		t.Error("context not propagated to the command")
 	}
 }

@@ -129,8 +129,20 @@ func (t *Table) ColumnByName(name string) *Column {
 	return nil
 }
 
-// Cell returns the value at (row, col).
+// Cell returns the value at (row, col). Out-of-range indices panic, like
+// slice indexing; CellAt is the checked counterpart.
 func (t *Table) Cell(row, col int) Value { return t.cols[col].Value(row) }
+
+// CellAt is the bounds-checked Cell: it reports ok=false instead of
+// panicking when row or col is out of range, so callers iterating
+// untrusted coordinates (replayed logs, fuzzed queries) can skip bad
+// cells without a recover.
+func (t *Table) CellAt(row, col int) (v Value, ok bool) {
+	if row < 0 || row >= t.rows || col < 0 || col >= len(t.cols) {
+		return Value{}, false
+	}
+	return t.cols[col].Value(row), true
+}
 
 // Row materializes row i as a slice of Values in schema order.
 func (t *Table) Row(i int) []Value {
@@ -141,8 +153,23 @@ func (t *Table) Row(i int) []Value {
 	return out
 }
 
+// SelectChecked is the error-returning Select: an out-of-range row index
+// yields an error identifying the offending index rather than a panic,
+// for callers whose row lists come from outside the library (query
+// replays, reconstructed logs).
+func (t *Table) SelectChecked(rows []int) (*Table, error) {
+	for i, r := range rows {
+		if r < 0 || r >= t.rows {
+			return nil, fmt.Errorf("dataset: select on %q: row index %d (position %d) out of range [0,%d)",
+				t.name, r, i, t.rows)
+		}
+	}
+	return t.Select(rows), nil
+}
+
 // Select builds a new table containing the given rows (in the given order).
-// Row indices must be within range; duplicates are allowed.
+// Row indices must be within range (SelectChecked validates them);
+// duplicates are allowed.
 func (t *Table) Select(rows []int) *Table {
 	cols := make([]*Column, len(t.cols))
 	for j, c := range t.cols {

@@ -100,6 +100,32 @@ func TestSelect(t *testing.T) {
 	}
 }
 
+func TestCellAtBounds(t *testing.T) {
+	tbl := packetsTable(t)
+	if v, ok := tbl.CellAt(2, 0); !ok || !v.Equal(S("DNS")) {
+		t.Errorf("CellAt(2,0) = %v, %v", v, ok)
+	}
+	for _, rc := range [][2]int{{-1, 0}, {5, 0}, {0, -1}, {0, 3}} {
+		if _, ok := tbl.CellAt(rc[0], rc[1]); ok {
+			t.Errorf("CellAt(%d,%d) should report out of range", rc[0], rc[1])
+		}
+	}
+}
+
+func TestSelectChecked(t *testing.T) {
+	tbl := packetsTable(t)
+	sub, err := tbl.SelectChecked([]int{4, 0})
+	if err != nil || sub.NumRows() != 2 {
+		t.Fatalf("SelectChecked = %v rows, err %v", sub.NumRows(), err)
+	}
+	if _, err := tbl.SelectChecked([]int{0, 5}); err == nil {
+		t.Error("row 5 of a 5-row table must error")
+	}
+	if _, err := tbl.SelectChecked([]int{-1}); err == nil {
+		t.Error("negative row index must error")
+	}
+}
+
 func TestValueCounts(t *testing.T) {
 	tbl := packetsTable(t)
 	counts := tbl.ValueCounts("protocol")

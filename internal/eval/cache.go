@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/distance"
@@ -54,11 +55,15 @@ func NewDistanceCache() *DistanceCache {
 // neighbor lists for the samples of one (n, method) slot. If a cached
 // entry's sample count mismatches (which would mean the caller's training
 // set diverged), it is recomputed rather than trusted.
-func (c *DistanceCache) distancesFor(n int, method offline.Method, samples []*offline.Sample) ([][]float64, [][]int32) {
+func (c *DistanceCache) distancesFor(ctx context.Context, n int, method offline.Method, samples []*offline.Sample) ([][]float64, [][]int32, error) {
 	if c == nil {
 		metric := distance.NewMemoizedTreeEdit(nil)
-		d := PairwiseDistances(samples, metric)
-		return d, sortNeighbors(d)
+		d, err := PairwiseDistancesCtx(ctx, samples, metric, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		nb, err := sortNeighborsCtx(ctx, d, 1)
+		return d, nb, err
 	}
 	key := cacheKey{n: n, method: method}
 	c.mu.Lock()
@@ -75,24 +80,43 @@ func (c *DistanceCache) distancesFor(n int, method offline.Method, samples []*of
 			}
 		}
 		if ok {
-			return entry.dist, entry.neighbors
+			return entry.dist, entry.neighbors, nil
 		}
 	}
-	d := PairwiseDistancesWorkers(samples, c.Metric, c.Workers)
-	nb := sortNeighborsWorkers(d, c.Workers)
+	d, err := PairwiseDistancesCtx(ctx, samples, c.Metric, c.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	nb, err := sortNeighborsCtx(ctx, d, c.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
 	c.mu.Lock()
 	c.m[key] = &cachedDistances{dist: d, neighbors: nb, signature: samples}
 	c.mu.Unlock()
-	return d, nb
+	return d, nb, nil
 }
 
 // BuildEvalSetCached is BuildEvalSet with distance-matrix sharing. The
 // EvalSet inherits the cache's Workers setting for its own LOOCV fan-out.
 func BuildEvalSetCached(a *offline.Analysis, I measures.Set, method offline.Method, n int, cache *DistanceCache) *EvalSet {
+	es, _ := BuildEvalSetCachedCtx(nil, a, I, method, n, cache)
+	return es
+}
+
+// BuildEvalSetCachedCtx is BuildEvalSetCached with cancellation: a
+// canceled ctx aborts the distance-matrix fill or neighbor sort and
+// returns the typed stage error (the partially built EvalSet is
+// discarded, never cached).
+func BuildEvalSetCachedCtx(ctx context.Context, a *offline.Analysis, I measures.Set, method offline.Method, n int, cache *DistanceCache) (*EvalSet, error) {
 	es := buildSamplesOnly(a, I, method, n)
-	es.Dist, es.neighbors = cache.distancesFor(n, method, es.Samples)
+	var err error
+	es.Dist, es.neighbors, err = cache.distancesFor(ctx, n, method, es.Samples)
+	if err != nil {
+		return nil, err
+	}
 	if cache != nil {
 		es.Workers = cache.Workers
 	}
-	return es
+	return es, nil
 }

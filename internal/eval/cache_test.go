@@ -78,8 +78,8 @@ func TestNilCacheFallback(t *testing.T) {
 	a := smallAnalysis(t)
 	var nilCache *DistanceCache
 	samples := buildSamplesOnly(a, measures.DefaultSet(), offline.Normalized, 2).Samples
-	d, nb := nilCache.distancesFor(2, offline.Normalized, samples)
-	if len(d) != len(samples) || len(nb) != len(samples) {
-		t.Fatal("nil cache fallback broken")
+	d, nb, err := nilCache.distancesFor(nil, 2, offline.Normalized, samples)
+	if err != nil || len(d) != len(samples) || len(nb) != len(samples) {
+		t.Fatalf("nil cache fallback broken (err=%v)", err)
 	}
 }

@@ -1,17 +1,38 @@
 package eval
 
 import (
+	"context"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/distance"
+	"repro/internal/faults"
 	"repro/internal/knn"
 	"repro/internal/measures"
+	"repro/internal/obs"
 	"repro/internal/offline"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
+	"repro/internal/session"
 	"repro/internal/stats"
 	"repro/internal/svm"
 )
+
+// mPairDropped counts pairwise distances lost to faults after retries
+// (they degrade to +Inf — "too far to be neighbors"); mOutcomeDropped
+// counts LOOCV outcomes degraded to abstentions the same way.
+var (
+	mPairDropped    = obs.C("eval.pairwise.dropped")
+	mOutcomeDropped = obs.C("eval.loocv.dropped")
+)
+
+// sampleFP is the content fingerprint used as a fault-probe key for one
+// sample: stable across runs and worker counts, unlike pointers or call
+// order.
+func sampleFP(s *offline.Sample) string {
+	return s.Context.SessionID + "@" + strconv.Itoa(s.Context.T) + "/" + strconv.Itoa(s.Context.N)
+}
 
 // EvalSet is a prepared evaluation dataset for one (I, method, n) triple:
 // the unfiltered labeled samples, their pairwise context distances and,
@@ -92,21 +113,70 @@ func PairwiseDistances(samples []*offline.Sample, metric distance.Metric) [][]fl
 // workers != 1 the metric must be safe for concurrent use (the tree edit
 // metric and its memoized wrapper both are).
 func PairwiseDistancesWorkers(samples []*offline.Sample, metric distance.Metric, workers int) [][]float64 {
+	d, _ := PairwiseDistancesCtx(nil, samples, metric, workers)
+	return d
+}
+
+// PairwiseDistancesCtx is PairwiseDistancesWorkers with cancellation (a
+// canceled ctx aborts between rows and returns the typed "eval.pairwise"
+// stage error) and per-pair fault isolation: a distance computation that
+// keeps faulting after retries — or panics — degrades to +Inf, i.e. "too
+// far to ever be neighbors", instead of poisoning the matrix.
+func PairwiseDistancesCtx(ctx context.Context, samples []*offline.Sample, metric distance.Metric, workers int) ([][]float64, error) {
 	n := len(samples)
 	d := make([][]float64, n)
 	for i := range d {
 		d[i] = make([]float64, n)
 	}
+	var fps []string
+	injecting := faults.Enabled()
+	if injecting {
+		fps = make([]string, n)
+		for i, s := range samples {
+			fps[i] = sampleFP(s)
+		}
+	}
 	// The atomic-cursor dispatch of ForEach load-balances the triangular
 	// row costs (row 0 holds n-1 distances, row n-1 none).
-	_ = parallel.ForEach(nil, n, workers, func(i int) {
+	done, err := parallel.ForEachN(ctx, n, workers, func(i int) {
 		for j := i + 1; j < n; j++ {
-			v := metric.Distance(samples[i].Context, samples[j].Context)
+			var v float64
+			if injecting {
+				v = guardedDistance(metric, samples[i].Context, samples[j].Context, fps[i]+"~"+fps[j])
+			} else {
+				v = metric.Distance(samples[i].Context, samples[j].Context)
+			}
 			d[i][j] = v
 			d[j][i] = v
 		}
 	})
-	return d
+	if err != nil {
+		return nil, pipeline.Wrap("eval.pairwise", done, n, err)
+	}
+	return d, nil
+}
+
+// guardedDistance computes one pairwise distance behind the eval.pairwise
+// fault probe, degrading to +Inf when retries exhaust.
+func guardedDistance(metric distance.Metric, a, b *session.Context, key string) float64 {
+	var v float64
+	err := faults.DefaultRetry.Do(nil, func(attempt int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = pipeline.Recovered(faults.SiteEvalPairwise, r)
+			}
+		}()
+		if err := faults.Inject(faults.SiteEvalPairwise, faults.Key(key, attempt), faults.KindAll); err != nil {
+			return err
+		}
+		v = metric.Distance(a, b)
+		return nil
+	})
+	if err != nil {
+		mPairDropped.Inc()
+		return math.Inf(1)
+	}
+	return v
 }
 
 func sortNeighbors(d [][]float64) [][]int32 {
@@ -118,9 +188,15 @@ func sortNeighbors(d [][]float64) [][]int32 {
 // keeps index order among equal distances, making every row — and hence
 // every downstream LOOCV outcome — identical at any width.
 func sortNeighborsWorkers(d [][]float64, workers int) [][]int32 {
+	out, _ := sortNeighborsCtx(nil, d, workers)
+	return out
+}
+
+// sortNeighborsCtx is sortNeighborsWorkers with cancellation.
+func sortNeighborsCtx(ctx context.Context, d [][]float64, workers int) ([][]int32, error) {
 	n := len(d)
 	out := make([][]int32, n)
-	_ = parallel.ForEach(nil, n, workers, func(i int) {
+	done, err := parallel.ForEachN(ctx, n, workers, func(i int) {
 		idx := make([]int32, 0, n-1)
 		for j := 0; j < n; j++ {
 			if j != i {
@@ -131,7 +207,10 @@ func sortNeighborsWorkers(d [][]float64, workers int) [][]int32 {
 		sort.SliceStable(idx, func(a, b int) bool { return row[idx[a]] < row[idx[b]] })
 		out[i] = idx
 	})
-	return out
+	if err != nil {
+		return nil, pipeline.Wrap("eval.sort_neighbors", done, n, err)
+	}
+	return out, nil
 }
 
 // KNNConfig is one grid-search configuration (Table 4's hyper-parameters;
@@ -145,7 +224,19 @@ type KNNConfig struct {
 // EvaluateKNN runs Leave-One-Out cross validation of the I-kNN model: each
 // θ_I-eligible sample is predicted from all other eligible samples.
 func (e *EvalSet) EvaluateKNN(cfg KNNConfig) Metrics {
-	return Compute(e.knnOutcomes(cfg), e.I.Names())
+	m, _ := e.EvaluateKNNCtx(nil, cfg)
+	return m
+}
+
+// EvaluateKNNCtx is EvaluateKNN with cancellation: a canceled ctx stops
+// the LOOCV loop between samples and returns the typed "eval.loocv"
+// stage error with how many outcomes completed.
+func (e *EvalSet) EvaluateKNNCtx(ctx context.Context, cfg KNNConfig) (Metrics, error) {
+	outcomes, err := e.knnOutcomesCtx(ctx, cfg)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Compute(outcomes, e.I.Names()), nil
 }
 
 // minParallelLOOCV is the smallest eligible-sample count worth fanning the
@@ -158,6 +249,11 @@ const minParallelLOOCV = 128
 // then each outcome — a pure read of the precomputed distance matrix and
 // neighbor lists — is filled into its own slot by the pool.
 func (e *EvalSet) knnOutcomes(cfg KNNConfig) []Outcome {
+	out, _ := e.knnOutcomesCtx(nil, cfg)
+	return out
+}
+
+func (e *EvalSet) knnOutcomesCtx(ctx context.Context, cfg KNNConfig) ([]Outcome, error) {
 	eligible := e.eligibleMask(cfg.ThetaI)
 	idxs := make([]int, 0, len(e.Samples))
 	for i := range e.Samples {
@@ -170,10 +266,41 @@ func (e *EvalSet) knnOutcomes(cfg KNNConfig) []Outcome {
 		workers = 1
 	}
 	outcomes := make([]Outcome, len(idxs))
-	_ = parallel.ForEach(nil, len(idxs), workers, func(oi int) {
-		outcomes[oi] = e.knnOutcome(idxs[oi], eligible, cfg)
+	done, err := parallel.ForEachN(ctx, len(idxs), workers, func(oi int) {
+		outcomes[oi] = e.knnOutcomeGuarded(idxs[oi], eligible, cfg)
 	})
-	return outcomes
+	if err != nil {
+		return nil, pipeline.Wrap("eval.loocv", done, len(idxs), err)
+	}
+	return outcomes, nil
+}
+
+// knnOutcomeGuarded wraps knnOutcome with the eval.loocv fault probe: an
+// outcome whose retries exhaust — or that panics — degrades to an
+// abstention for that sample (Covered false), keeping the ground-truth
+// labels so coverage-sensitive metrics stay honest.
+func (e *EvalSet) knnOutcomeGuarded(i int, eligible []bool, cfg KNNConfig) Outcome {
+	if !faults.Enabled() {
+		return e.knnOutcome(i, eligible, cfg)
+	}
+	var o Outcome
+	err := faults.DefaultRetry.Do(nil, func(attempt int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = pipeline.Recovered(faults.SiteEvalLOOCV, r)
+			}
+		}()
+		if err := faults.Inject(faults.SiteEvalLOOCV, faults.Key(sampleFP(e.Samples[i]), attempt), faults.KindAll); err != nil {
+			return err
+		}
+		o = e.knnOutcome(i, eligible, cfg)
+		return nil
+	})
+	if err != nil {
+		mOutcomeDropped.Inc()
+		return Outcome{Actual: e.Samples[i].Labels, Covered: false}
+	}
+	return o
 }
 
 // knnOutcome runs the leave-one-out prediction of one eligible sample.
@@ -212,6 +339,11 @@ func (e *EvalSet) eligibleMask(thetaI float64) []bool {
 // from I for every eligible sample (full coverage).
 func (e *EvalSet) EvaluateRandom(thetaI float64, seed uint64) Metrics {
 	names := e.I.Names()
+	if len(names) == 0 {
+		// An empty measure configuration has nothing to draw from;
+		// rng.Intn(0) would panic on this user-reachable path.
+		return Metrics{}
+	}
 	rng := stats.NewRNG(seed + 0xABCD)
 	eligible := e.eligibleMask(thetaI)
 	var outcomes []Outcome

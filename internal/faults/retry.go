@@ -1,0 +1,59 @@
+package faults
+
+import (
+	"context"
+	"time"
+)
+
+// RetryPolicy bounds a retry-with-backoff loop around a transient-fault
+// site. The zero value retries nothing (one attempt, no sleep).
+type RetryPolicy struct {
+	// Attempts is the total number of tries (>= 1; 0 is treated as 1).
+	Attempts int
+	// Backoff is the sleep before the first retry; it doubles on each
+	// subsequent retry. Zero retries immediately (the right setting for
+	// CPU-bound batch work, where the "transient" faults are injected and
+	// waiting on the wall clock would only slow the chaos suite down).
+	Backoff time.Duration
+}
+
+// DefaultRetry is the policy the batch paths (reference execution, raw
+// scoring) use: three tries, immediate. Injected faults re-roll per
+// attempt (see Key), so with p=0.05 the chance of exhausting the policy is
+// ~1e-4 per item — rare enough to exercise the next degradation rung
+// without starving it.
+var DefaultRetry = RetryPolicy{Attempts: 3}
+
+// Do runs fn up to p.Attempts times, passing the attempt index (0-based)
+// so fn can derive a fresh probe key per try. Only transient errors —
+// injected faults, per IsInjected — are retried; any other error, and a
+// context cancellation between attempts, returns immediately. The last
+// error is returned when every attempt fails.
+func (p RetryPolicy) Do(ctx context.Context, fn func(attempt int) error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := p.Backoff
+	var err error
+	for i := 0; i < attempts; i++ {
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if i > 0 {
+			mRetries.Inc()
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+		}
+		if err = fn(i); err == nil {
+			return nil
+		}
+		if !IsInjected(err) {
+			return err
+		}
+	}
+	mRetryExhausted.Inc()
+	return err
+}

@@ -8,13 +8,17 @@
 package knn
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/distance"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/offline"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 	"repro/internal/session"
 )
 
@@ -44,6 +48,42 @@ type Prediction struct {
 	// Covered is false when the model abstained (no close-enough
 	// neighbors).
 	Covered bool
+	// Fallback is true when Label was produced by the configured
+	// FallbackPolicy rather than the θ_δ-gated vote; such predictions
+	// count as covered but carry the policy's weaker guarantee.
+	Fallback bool
+}
+
+// FallbackPolicy decides what an abstaining prediction degrades to (the
+// kNN rung of the degradation ladder, DESIGN.md §7). The default keeps
+// the paper's behavior: abstention is the honest answer when no training
+// context is close enough.
+type FallbackPolicy uint8
+
+const (
+	// FallbackAbstain keeps the abstention (paper semantics; default).
+	FallbackAbstain FallbackPolicy = iota
+	// FallbackNearest re-votes over the k nearest neighbors ignoring
+	// θ_δ — always answers when the training set is non-empty, at the
+	// cost of consulting arbitrarily distant contexts.
+	FallbackNearest
+	// FallbackPrior answers with the most common label of the training
+	// set (ties broken lexicographically) — the zero-information prior.
+	FallbackPrior
+)
+
+// String names the policy for flags and logs.
+func (p FallbackPolicy) String() string {
+	switch p {
+	case FallbackAbstain:
+		return "abstain"
+	case FallbackNearest:
+		return "nearest"
+	case FallbackPrior:
+		return "prior"
+	default:
+		return fmt.Sprintf("fallback(%d)", uint8(p))
+	}
 }
 
 // Config holds the model hyper-parameters of the paper's Table 4.
@@ -61,6 +101,10 @@ type Config struct {
 	// sequential path. Predictions are bit-identical at every setting
 	// (see internal/parallel and DESIGN.md).
 	Workers int
+	// Fallback selects the degradation policy applied when the θ_δ-gated
+	// vote abstains. The zero value (FallbackAbstain) preserves the
+	// paper's abstention semantics exactly.
+	Fallback FallbackPolicy
 }
 
 // minParallelScan is the training-set size below which Predict stays on
@@ -74,11 +118,16 @@ type Classifier struct {
 	cfg     Config
 	metric  distance.Metric
 	samples []*offline.Sample
+	// prior is the training set's most common label (tie-weighted, ties
+	// broken lexicographically), precomputed for FallbackPrior and for
+	// fault-degraded queries; empty when no sample carries a label.
+	prior string
 
 	// Per-θ_δ outcome counters, resolved once at construction so Predict
 	// never formats metric names on the hot path.
-	mCovered *obs.Counter
-	mAbstain *obs.Counter
+	mCovered  *obs.Counter
+	mAbstain  *obs.Counter
+	mFallback *obs.Counter
 }
 
 // New builds a classifier from a labeled training set. A nil metric
@@ -95,12 +144,36 @@ func New(samples []*offline.Sample, metric distance.Metric, cfg Config) *Classif
 		theta = "[unbounded]"
 	}
 	return &Classifier{
-		cfg:      cfg,
-		metric:   metric,
-		samples:  samples,
-		mCovered: obs.C("knn.predict.covered" + theta),
-		mAbstain: obs.C("knn.predict.abstain" + theta),
+		cfg:       cfg,
+		metric:    metric,
+		samples:   samples,
+		prior:     priorLabel(samples),
+		mCovered:  obs.C("knn.predict.covered" + theta),
+		mAbstain:  obs.C("knn.predict.abstain" + theta),
+		mFallback: obs.C("knn.predict.fallback" + theta),
 	}
+}
+
+// priorLabel computes the training set's majority label with the same
+// tie-weighting and tie-breaking as voteSorted.
+func priorLabel(samples []*offline.Sample) string {
+	votes := make(map[string]float64)
+	for _, s := range samples {
+		if len(s.Labels) == 0 {
+			continue
+		}
+		w := 1 / float64(len(s.Labels))
+		for _, l := range s.Labels {
+			votes[l] += w
+		}
+	}
+	best := ""
+	for l, v := range votes {
+		if best == "" || v > votes[best] || (v == votes[best] && l < best) {
+			best = l
+		}
+	}
+	return best
 }
 
 // Samples returns the training set.
@@ -114,55 +187,64 @@ func (c *Classifier) Samples() []*offline.Sample { return c.samples }
 // Config.Workers); all three optimizations are bit-identical to the
 // plain sequential scan.
 func (c *Classifier) Predict(query *session.Context) Prediction {
+	p, _ := c.PredictCtx(nil, query)
+	return p
+}
+
+// PredictCtx is Predict with cancellation: a canceled ctx aborts the scan
+// between chunks and returns a typed *pipeline.Error for the
+// "knn.predict" stage. A nil ctx never cancels.
+func (c *Classifier) PredictCtx(ctx context.Context, query *session.Context) (Prediction, error) {
 	sp := stPredict.Start()
 	defer sp.End()
+	if ctx != nil && ctx.Err() != nil {
+		return Prediction{}, pipeline.Wrap("knn.predict", 0, 1, ctx.Err())
+	}
 	if obs.On() {
 		mScans.Inc()
 		mDistEvals.Add(uint64(len(c.samples)))
 	}
 	k := c.cfg.K
 	w := parallel.Workers(c.cfg.Workers)
-	var sorted []cand
+	var p Prediction
 	if w > 1 && len(c.samples) >= minParallelScan {
 		chunks := parallel.Chunks(len(c.samples), w)
 		accs := make([]*topK, len(chunks))
-		_ = parallel.ForEach(nil, len(chunks), w, func(ci int) {
+		done, err := parallel.ForEachN(ctx, len(chunks), w, func(ci int) {
 			acc := newTopK(k)
-			c.scanRange(query, chunks[ci][0], chunks[ci][1], acc)
+			c.scanRange(query, chunks[ci][0], chunks[ci][1], acc, c.scanLimit())
 			accs[ci] = acc
 		})
-		sorted = mergeTopK(k, accs)
-	} else {
-		acc := newTopK(k)
-		c.scanRange(query, 0, len(c.samples), acc)
-		sorted = acc.drain()
-	}
-	ns := make([]Neighbor, len(sorted))
-	for i, cd := range sorted {
-		ns[i] = Neighbor{Sample: c.samples[cd.idx], Dist: cd.dist}
-	}
-	p := voteSorted(ns)
-	if obs.On() {
-		if p.Covered {
-			c.mCovered.Inc()
-		} else {
-			c.mAbstain.Inc()
+		if err != nil {
+			return Prediction{}, pipeline.Wrap("knn.predict", done, len(chunks), err)
 		}
+		p = c.voteCands(mergeTopK(k, accs))
+	} else {
+		p = c.predictOne(query)
 	}
-	return p
+	p = c.applyFallback(query, p)
+	if obs.On() {
+		c.countOutcome(p)
+	}
+	return p, nil
+}
+
+// scanLimit is the distance threshold the θ_δ-gated scan starts from.
+func (c *Classifier) scanLimit() float64 {
+	if c.cfg.Unbounded {
+		return math.Inf(1)
+	}
+	return c.cfg.ThetaDelta
 }
 
 // scanRange scans samples[lo:hi] into acc. The abandon bound starts at
-// θ_δ (+∞ when Unbounded) and tightens to the accumulator's k-th-best
+// limit (θ_δ for the gated scan, +∞ when Unbounded or for the
+// FallbackNearest rescan) and tightens to the accumulator's k-th-best
 // distance once it fills: a candidate strictly farther than the bound can
 // neither pass the threshold nor displace a kept neighbor — ties at the
 // bound are still computed exactly, so (dist, idx) tie-breaking matches
 // the sequential scan.
-func (c *Classifier) scanRange(query *session.Context, lo, hi int, acc *topK) {
-	limit := math.Inf(1)
-	if !c.cfg.Unbounded {
-		limit = c.cfg.ThetaDelta
-	}
+func (c *Classifier) scanRange(query *session.Context, lo, hi int, acc *topK, limit float64) {
 	for i := lo; i < hi; i++ {
 		bound := limit
 		if acc.full() {
@@ -178,36 +260,118 @@ func (c *Classifier) scanRange(query *session.Context, lo, hi int, acc *topK) {
 	}
 }
 
+// voteCands materializes neighbors from top-k candidates and votes.
+func (c *Classifier) voteCands(sorted []cand) Prediction {
+	ns := make([]Neighbor, len(sorted))
+	for i, cd := range sorted {
+		ns[i] = Neighbor{Sample: c.samples[cd.idx], Dist: cd.dist}
+	}
+	return voteSorted(ns)
+}
+
+// predictOne runs the sequential pruned scan-and-vote for one query
+// behind the knn.scan fault probe: injected errors and panics retry, and
+// a query whose retries exhaust degrades to an abstention (which the
+// FallbackPolicy may then rescue). The probe key is the query context's
+// identity (session, position, n) — content, not call order — so the
+// same queries degrade at every worker count.
+func (c *Classifier) predictOne(query *session.Context) Prediction {
+	scan := func() Prediction {
+		acc := newTopK(c.cfg.K)
+		c.scanRange(query, 0, len(c.samples), acc, c.scanLimit())
+		return c.voteCands(acc.drain())
+	}
+	if !faults.Enabled() {
+		return scan()
+	}
+	base := query.SessionID + "@" + strconv.Itoa(query.T) + "/" + strconv.Itoa(query.N)
+	var p Prediction
+	err := faults.DefaultRetry.Do(nil, func(attempt int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = pipeline.Recovered(faults.SiteKNNScan, r)
+			}
+		}()
+		if err := faults.Inject(faults.SiteKNNScan, faults.Key(base, attempt), faults.KindAll); err != nil {
+			return err
+		}
+		p = scan()
+		return nil
+	})
+	if err != nil {
+		return Prediction{Covered: false}
+	}
+	return p
+}
+
+// applyFallback implements the kNN rung of the degradation ladder: an
+// abstaining prediction is rewritten according to Config.Fallback.
+func (c *Classifier) applyFallback(query *session.Context, p Prediction) Prediction {
+	if p.Covered || c.cfg.Fallback == FallbackAbstain {
+		return p
+	}
+	switch c.cfg.Fallback {
+	case FallbackNearest:
+		acc := newTopK(c.cfg.K)
+		c.scanRange(query, 0, len(c.samples), acc, math.Inf(1))
+		if np := c.voteCands(acc.drain()); np.Covered {
+			np.Fallback = true
+			return np
+		}
+	case FallbackPrior:
+		if c.prior != "" {
+			p.Label = c.prior
+			p.Covered = true
+			p.Fallback = true
+		}
+	}
+	return p
+}
+
+// countOutcome records the covered/abstain/fallback split for one
+// prediction (callers guard with obs.On()).
+func (c *Classifier) countOutcome(p Prediction) {
+	switch {
+	case p.Fallback:
+		c.mFallback.Inc()
+	case p.Covered:
+		c.mCovered.Inc()
+	default:
+		c.mAbstain.Inc()
+	}
+}
+
 // PredictAll classifies a batch of queries, fanning the batch out across
 // the worker pool (each query runs a sequential pruned scan). The result
 // slice is index-aligned with queries and bit-identical to calling
 // Predict per query.
 func (c *Classifier) PredictAll(queries []*session.Context) []Prediction {
+	out, _ := c.PredictAllCtx(nil, queries)
+	return out
+}
+
+// PredictAllCtx is PredictAll with cancellation: a canceled ctx stops the
+// batch between queries and returns the typed "knn.predict_all" stage
+// error carrying how many predictions completed. The returned slice is
+// always len(queries); entries past the cancellation point are zero.
+func (c *Classifier) PredictAllCtx(ctx context.Context, queries []*session.Context) ([]Prediction, error) {
 	out := make([]Prediction, len(queries))
-	_ = parallel.ForEach(nil, len(queries), c.cfg.Workers, func(i int) {
+	done, err := parallel.ForEachN(ctx, len(queries), c.cfg.Workers, func(i int) {
 		if obs.On() {
 			mScans.Inc()
 			mDistEvals.Add(uint64(len(c.samples)))
 		}
-		acc := newTopK(c.cfg.K)
-		c.scanRange(queries[i], 0, len(c.samples), acc)
-		sorted := acc.drain()
-		ns := make([]Neighbor, len(sorted))
-		for j, cd := range sorted {
-			ns[j] = Neighbor{Sample: c.samples[cd.idx], Dist: cd.dist}
-		}
-		out[i] = voteSorted(ns)
+		out[i] = c.applyFallback(queries[i], c.predictOne(queries[i]))
 	})
 	if obs.On() {
 		for i := range out {
-			if out[i].Covered {
-				c.mCovered.Inc()
-			} else {
-				c.mAbstain.Inc()
-			}
+			c.countOutcome(out[i])
 		}
 	}
-	return out
+	if err != nil {
+		return out, pipeline.Wrap("knn.predict_all", done, len(queries), err)
+	}
+	return out, nil
 }
 
 // Vote implements the majority vote over an eligible (threshold-filtered)

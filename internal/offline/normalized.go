@@ -1,19 +1,30 @@
 package offline
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/measures"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 	"repro/internal/stats"
 )
 
 // mNormFits counts per-measure normalizer fits; each fit's duration lands
 // in the per-measure "offline.normalize.fit[<measure>]" histogram (fits
 // are once-per-analysis, so the clock reads are not hot-path).
-var mNormFits = obs.C("offline.normalize.fits")
+// mNormZOnly counts fits that took the z-score-only degradation rung
+// (identity transform instead of a fitted Box-Cox λ) because the series
+// was degenerate — constant, non-finite, un-fittable — or a fault was
+// injected at the fit site.
+var (
+	mNormFits  = obs.C("offline.normalize.fits")
+	mNormZOnly = obs.C("offline.normalize.zscore_fallbacks")
+)
 
 // MeasureNorm holds the fitted Algorithm-2 parameters of one measure:
 // the Box-Cox transformation (λ and the positivity shift) and the mean and
@@ -53,11 +64,18 @@ func FitNormalizer(msrs []measures.Measure, nodes []*NodeScores) (*Normalizer, e
 // pure function of each measure's own series, so results are bit-identical
 // at every width.
 func FitNormalizerWorkers(msrs []measures.Measure, nodes []*NodeScores, workers int) (*Normalizer, error) {
+	return FitNormalizerCtx(nil, msrs, nodes, workers)
+}
+
+// FitNormalizerCtx is FitNormalizerWorkers with cancellation: a canceled
+// ctx stops the fan-out between measure fits and returns a typed
+// pipeline error for the "offline.normalize" stage.
+func FitNormalizerCtx(ctx context.Context, msrs []measures.Measure, nodes []*NodeScores, workers int) (*Normalizer, error) {
 	t0 := time.Now()
 	n := &Normalizer{Params: make(map[string]MeasureNorm, len(msrs))}
 	fits := make([]MeasureNorm, len(msrs))
 	errs := make([]error, len(msrs))
-	_ = parallel.ForEach(nil, len(msrs), workers, func(i int) {
+	done, ferr := parallel.ForEachN(ctx, len(msrs), workers, func(i int) {
 		m := msrs[i]
 		series := make([]float64, 0, len(nodes))
 		for _, ns := range nodes {
@@ -66,12 +84,15 @@ func FitNormalizerWorkers(msrs []measures.Measure, nodes []*NodeScores, workers 
 			}
 		}
 		tFit := time.Now()
-		fits[i], errs[i] = fitOne(series)
+		fits[i], errs[i] = fitOneGuarded(ctx, m.Name(), series)
 		if obs.On() {
 			mNormFits.Inc()
 			obs.H("offline.normalize.fit[" + m.Name() + "]").ObserveSince(tFit)
 		}
 	})
+	if ferr != nil {
+		return nil, pipeline.Wrap("offline.normalize", done, len(msrs), ferr)
+	}
 	for i, m := range msrs {
 		if errs[i] != nil {
 			return nil, fmt.Errorf("offline: normalize %s: %w", m.Name(), errs[i])
@@ -82,17 +103,76 @@ func FitNormalizerWorkers(msrs []measures.Measure, nodes []*NodeScores, workers 
 	return n, nil
 }
 
+// fitOneGuarded wraps fitOne with the normalize.fit fault probe: an
+// injected error or panic at this site retries, and on exhaustion the fit
+// degrades to the z-score-only rung instead of failing the analysis.
+func fitOneGuarded(ctx context.Context, name string, series []float64) (MeasureNorm, error) {
+	if !faults.Enabled() {
+		return fitOne(series)
+	}
+	var mn MeasureNorm
+	var fitErr error
+	err := faults.DefaultRetry.Do(ctx, func(attempt int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = pipeline.Recovered(faults.SiteNormalizeFit, r)
+			}
+		}()
+		if err := faults.Inject(faults.SiteNormalizeFit, faults.Key(name, attempt), faults.KindAll); err != nil {
+			return err
+		}
+		mn, fitErr = fitOne(series)
+		return nil
+	})
+	if err != nil {
+		if pipeline.Canceled(err) {
+			return MeasureNorm{}, err
+		}
+		// Retries exhausted: z-score-only rung over the raw series.
+		mNormZOnly.Inc()
+		return zScoreOnly(series), nil
+	}
+	return mn, fitErr
+}
+
+// zScoreOnly builds the degradation-rung normalization for a series the
+// Box-Cox fit cannot (or was not allowed to) handle: identity transform,
+// moments over the finite observations only. With no finite observations
+// Std stays 0, so every relative score collapses to the "no signal" z=0.
+func zScoreOnly(series []float64) MeasureNorm {
+	finite := series
+	for _, v := range series {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			finite = make([]float64, 0, len(series))
+			for _, w := range series {
+				if !math.IsNaN(w) && !math.IsInf(w, 0) {
+					finite = append(finite, w)
+				}
+			}
+			break
+		}
+	}
+	return MeasureNorm{
+		BoxCox: stats.BoxCoxParams{Lambda: 1},
+		Mean:   stats.Mean(finite),
+		Std:    stats.StdDev(finite),
+	}
+}
+
 func fitOne(series []float64) (MeasureNorm, error) {
 	if len(series) == 0 {
 		return MeasureNorm{BoxCox: stats.BoxCoxParams{Lambda: 1}, Std: 0}, nil
 	}
 	transformed, params, err := stats.BoxCoxTransform(series)
 	if err != nil {
-		// Degenerate series (e.g. constant): fall back to the identity
-		// transform; z-scores will be 0 which is the right "no signal".
-		params = stats.BoxCoxParams{Lambda: 1}
-		transformed = make([]float64, len(series))
-		copy(transformed, series)
+		// Degenerate series — constant, or containing NaN/±Inf — cannot
+		// carry a fitted λ: take the z-score-only rung (identity
+		// transform, moments over the finite observations). Constant
+		// all-finite series keep their historical behavior bit-for-bit
+		// (Std 0 → z 0); non-finite series previously poisoned the
+		// moments to NaN, which this guards against.
+		mNormZOnly.Inc()
+		return zScoreOnly(series), nil
 	}
 	return MeasureNorm{
 		BoxCox: params,

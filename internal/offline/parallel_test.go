@@ -110,9 +110,9 @@ func TestExecCacheSingleflight(t *testing.T) {
 	calls := 0
 	key := execCacheKey{action: "x"}
 	for i := 0; i < 5; i++ {
-		v := c.get(key, func() map[string]float64 {
+		v, _ := c.get(key, func() (map[string]float64, bool) {
 			calls++
-			return map[string]float64{"m": 1}
+			return map[string]float64{"m": 1}, false
 		})
 		if v["m"] != 1 {
 			t.Fatalf("cached value %v", v)

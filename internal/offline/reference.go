@@ -1,16 +1,20 @@
 package offline
 
 import (
+	"context"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/measures"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 	"repro/internal/session"
 	"repro/internal/stats"
 )
@@ -18,7 +22,10 @@ import (
 // Telemetry handles for the Reference-Based pass: how many reference sets
 // were enumerated, how many alternative actions they contained, how the
 // per-(parent, action) execution cache behaved, and how many actions were
-// skipped for lacking a meaningful comparison base.
+// skipped for lacking a meaningful comparison base. The last three count
+// the degradation ladder at work: executions that overran the RefBudget,
+// executions lost to faults (injected or recovered panics) after retries,
+// and actions rescued by the normalized-comparison fallback rung.
 var (
 	mRefSets       = obs.C("offline.ref.sets")
 	mRefActions    = obs.C("offline.ref.actions")
@@ -26,6 +33,9 @@ var (
 	mRefExecCached = obs.C("offline.ref.exec_cache_hits")
 	mRefDegenerate = obs.C("offline.ref.degenerate")
 	mRefTooFew     = obs.C("offline.ref.skipped_too_few")
+	mRefBudget     = obs.C("offline.ref.budget_exceeded")
+	mRefAbnormal   = obs.C("offline.ref.exec_faulted")
+	mRefFallback   = obs.C("offline.ref.fallback_normalized")
 )
 
 // refPool holds the distinct recorded actions of one dataset, partitioned
@@ -115,24 +125,34 @@ type execCache struct {
 type execEntry struct {
 	done   chan struct{}
 	scores map[string]float64 // nil for failed/degenerate executions
+	// abnormal marks a nil result caused by something other than the
+	// data itself — an exhausted fault-retry budget, a recovered panic,
+	// or a blown RefBudget. Natural degeneracy (execution error, <2
+	// rows) is not abnormal: those references were always silently
+	// omitted, and keeping the distinction is what lets the fallback
+	// rung fire only under abnormal conditions while the fault-free
+	// path stays bit-identical.
+	abnormal bool
 }
 
 // get returns the cached scores for key, computing them via compute on
 // first demand.
-func (c *execCache) get(key execCacheKey, compute func() map[string]float64) map[string]float64 {
+func (c *execCache) get(key execCacheKey, compute func() (map[string]float64, bool)) (map[string]float64, bool) {
 	c.mu.Lock()
 	if e, ok := c.m[key]; ok {
 		c.mu.Unlock()
 		<-e.done
 		mRefExecCached.Inc()
-		return e.scores
+		return e.scores, e.abnormal
 	}
 	e := &execEntry{done: make(chan struct{})}
 	c.m[key] = e
 	c.mu.Unlock()
-	e.scores = compute()
-	close(e.done)
-	return e.scores
+	// Close unconditionally so waiters can never deadlock, even if
+	// compute panics out from under us.
+	defer close(e.done)
+	e.scores, e.abnormal = compute()
+	return e.scores, e.abnormal
 }
 
 // refTimings accumulates the Table-3 component costs across workers. The
@@ -156,7 +176,7 @@ type refTimings struct {
 // only stateful step, and it is cheap); phase 2 fans the expensive
 // execute-score-rank work out across the pool, with each node writing
 // only its own RefRelative map.
-func applyReferenceBased(a *Analysis, opts Options) error {
+func applyReferenceBased(ctx context.Context, a *Analysis, opts Options) error {
 	pools := buildRefPools(a.Repo)
 	rng := stats.NewRNG(opts.Seed + 0x5EED)
 	minRefs := opts.MinRefs
@@ -182,29 +202,35 @@ func applyReferenceBased(a *Analysis, opts Options) error {
 
 	cache := &execCache{m: make(map[execCacheKey]*execEntry)}
 	var tm refTimings
-	_ = parallel.ForEach(nil, len(work), opts.Workers, func(wi int) {
-		rankReferenceSet(a, work[wi].ns, work[wi].refs, minRefs, cache, &tm)
+	done, err := parallel.ForEachN(ctx, len(work), opts.Workers, func(wi int) {
+		rankReferenceSet(ctx, a, work[wi].ns, work[wi].refs, minRefs, opts.RefBudget, cache, &tm)
 	})
 	a.RefTimings.ActionExecution += time.Duration(tm.execNS.Load())
 	a.RefTimings.CalcInterestingness += time.Duration(tm.calcINS.Load())
 	a.RefTimings.CalcRelative += time.Duration(tm.calcRelNS.Load())
-	return nil
+	return pipeline.Wrap("offline.reference", done, len(work), err)
 }
 
 // rankReferenceSet runs Algorithm 1 for one recorded action.
-func rankReferenceSet(a *Analysis, ns *NodeScores, refs []*engine.Action, minRefs int, cache *execCache, tm *refTimings) {
+func rankReferenceSet(ctx context.Context, a *Analysis, ns *NodeScores, refs []*engine.Action, minRefs int, budget time.Duration, cache *execCache, tm *refTimings) {
 	parent := ns.Node.Parent.Display
 	root := ns.Session.Root().Display
 
 	// Lines 1-4: execute every reference action from the same parent
-	// display and score it with every measure.
+	// display and score it with every measure. abnormal counts the
+	// references lost to faults or budget overruns (as opposed to
+	// naturally degenerate ones): they decide below whether a
+	// too-small comparison base falls back or, as always, skips.
 	refScores := make([]map[string]float64, 0, len(refs))
+	abnormal := 0
 	for _, ra := range refs {
-		scores := cache.get(execCacheKey{parent: parent, action: ra.String()}, func() map[string]float64 {
-			return executeAndScore(a, parent, root, ra, tm)
+		scores, bad := cache.get(execCacheKey{parent: parent, action: ra.String()}, func() (map[string]float64, bool) {
+			return executeAndScore(ctx, a, ns.Session.Dataset, parent, root, ra, budget, tm)
 		})
 		if scores != nil {
 			refScores = append(refScores, scores)
+		} else if bad {
+			abnormal++
 		}
 	}
 
@@ -225,6 +251,22 @@ func rankReferenceSet(a *Analysis, ns *NodeScores, refs []*engine.Action, minRef
 	// have fewer than two rows; its reference sets averaged 115
 	// alternatives, so this floor never binds on REACT-IDA-scale data.
 	if len(refScores) < minRefs {
+		// Degradation ladder, rung 1 (DESIGN.md §7): when the comparison
+		// base was eroded by abnormal losses — injected faults, recovered
+		// panics, blown execution budgets — rather than by the data
+		// itself, fall back to the Normalized method's verdict, mapped
+		// onto the Reference-Based [0, 1] percentile scale through the
+		// standard normal CDF (the z-score's own percentile under
+		// normality, which is exactly what Algorithm 2's Box-Cox step
+		// works to make plausible). Naturally thin reference sets keep
+		// the historical skip so fault-free outputs stay bit-identical.
+		if abnormal > 0 {
+			mRefFallback.Inc()
+			for name, z := range ns.NormRelative {
+				ns.RefRelative[name] = stats.NormalCDF(z)
+			}
+			return
+		}
 		mRefTooFew.Inc()
 		return
 	}
@@ -267,24 +309,61 @@ func rankReferenceSet(a *Analysis, ns *NodeScores, refs []*engine.Action, minRef
 }
 
 // executeAndScore runs one reference action and scores it, updating the
-// Table-3 timing buckets. It returns nil for failed executions and for
-// degenerate results (fewer than two rows), which the paper omits from
-// reference sets.
-func executeAndScore(a *Analysis, parent, root *engine.Display, ra *engine.Action, tm *refTimings) map[string]float64 {
-	mRefExecs.Inc()
-	t0 := time.Now()
-	d, err := engine.Execute(parent, ra)
-	tm.execNS.Add(int64(time.Since(t0)))
-	if err != nil || d.NumRows() < 2 {
-		mRefDegenerate.Inc()
+// Table-3 timing buckets. It returns (nil, false) for naturally failed
+// executions and degenerate results (fewer than two rows), which the
+// paper omits from reference sets, and (nil, true) for abnormal losses:
+// injected faults that survive the retry policy, panics recovered inside
+// the execution, and executions that overran the per-action budget.
+func executeAndScore(ctx context.Context, a *Analysis, dataset string, parent, root *engine.Display, ra *engine.Action, budget time.Duration, tm *refTimings) (map[string]float64, bool) {
+	// The probe key is content — dataset, parent cardinality, action
+	// text — never pointers or call order, so the same executions fault
+	// at every worker count and the chaos equivalence tests hold.
+	var base string
+	injecting := faults.Enabled()
+	if injecting {
+		base = dataset + "|" + strconv.Itoa(parent.NumRows()) + "|" + ra.String()
+	}
+	var scores map[string]float64
+	var overBudget bool
+	err := faults.DefaultRetry.Do(ctx, func(attempt int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = pipeline.Recovered(faults.SiteRefExecute, r)
+			}
+		}()
+		if injecting {
+			if err := faults.Inject(faults.SiteRefExecute, faults.Key(base, attempt), faults.KindAll); err != nil {
+				return err
+			}
+		}
+		mRefExecs.Inc()
+		t0 := time.Now()
+		d, execErr := engine.Execute(parent, ra)
+		elapsed := time.Since(t0)
+		tm.execNS.Add(int64(elapsed))
+		if budget > 0 && elapsed > budget {
+			mRefBudget.Inc()
+			overBudget = true
+			scores = nil
+			return nil
+		}
+		if execErr != nil || d.NumRows() < 2 {
+			mRefDegenerate.Inc()
+			scores = nil
+			return nil
+		}
+		t1 := time.Now()
+		mctx := &measures.Context{Action: ra, Display: d, Parent: parent, Root: root}
+		scores = make(map[string]float64, len(a.Measures))
+		for _, m := range a.Measures {
+			scores[m.Name()] = measures.ObservedScore(m, mctx)
+		}
+		tm.calcINS.Add(int64(time.Since(t1)))
 		return nil
+	})
+	if err != nil {
+		mRefAbnormal.Inc()
+		return nil, true
 	}
-	t1 := time.Now()
-	ctx := &measures.Context{Action: ra, Display: d, Parent: parent, Root: root}
-	scores := make(map[string]float64, len(a.Measures))
-	for _, m := range a.Measures {
-		scores[m.Name()] = measures.ObservedScore(m, ctx)
-	}
-	tm.calcINS.Add(int64(time.Since(t1)))
-	return scores
+	return scores, overBudget
 }

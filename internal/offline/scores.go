@@ -7,12 +7,16 @@
 package offline
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/measures"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 	"repro/internal/session"
 	"repro/internal/stats"
 )
@@ -27,6 +31,11 @@ var (
 	stReference = obs.S("offline.reference")
 
 	mActionsScored = obs.C("offline.actions_scored")
+	// mRawDropped counts actions whose raw scoring exhausted its retry
+	// budget under fault injection: they keep an empty Raw map and fall
+	// out of labeling downstream, the same shape as a node with no
+	// dominant measure.
+	mRawDropped = obs.C("offline.raw_scores.dropped")
 )
 
 // Method selects one of the two interestingness comparison methods.
@@ -193,6 +202,12 @@ type Options struct {
 	MinRefs int
 	// Seed drives reference subsampling.
 	Seed uint64
+	// RefBudget caps the wall-clock cost of a single reference-action
+	// execution. An execution that overruns it is treated as failed
+	// (abnormal), which can push the affected actions onto the
+	// normalized-fallback rung of the degradation ladder. <=0 means no
+	// budget.
+	RefBudget time.Duration
 	// Workers bounds the analysis fan-out (raw scoring, reference-set
 	// execution, normalizer fits): <1 means one worker per CPU, 1 forces
 	// the sequential path. Scores and labels are bit-identical at every
@@ -206,6 +221,15 @@ type Options struct {
 // repository (Section 4.1: "We re-executed the recorded actions ... and
 // computed their interestingness scores w.r.t. all measures").
 func Analyze(repo *session.Repository, opts Options) (*Analysis, error) {
+	return AnalyzeContext(nil, repo, opts)
+}
+
+// AnalyzeContext is Analyze with cancellation: a ctx that is canceled or
+// exceeds its deadline stops the analysis between per-action work items
+// and returns a typed *pipeline.Error naming the stage that was cut short
+// ("offline.raw_scores", "offline.normalize" or "offline.reference") with
+// partial-progress counts. A nil ctx never cancels.
+func AnalyzeContext(ctx context.Context, repo *session.Repository, opts Options) (*Analysis, error) {
 	sp := stOffline.Start()
 	defer sp.End()
 	msrs := opts.Measures
@@ -239,12 +263,14 @@ func Analyze(repo *session.Repository, opts Options) (*Analysis, error) {
 			a.byNode[n] = ns
 		}
 	}
-	_ = parallel.ForEach(nil, len(a.Nodes), opts.Workers, func(i int) {
-		ns := a.Nodes[i]
-		ns.Raw = scoreAction(msrs, ns.Session, ns.Node)
+	done, rawErr := parallel.ForEachN(ctx, len(a.Nodes), opts.Workers, func(i int) {
+		scoreActionGuarded(ctx, msrs, a.Nodes[i], i)
 	})
 	rawDur := time.Since(t0)
 	spRaw.End()
+	if rawErr != nil {
+		return nil, pipeline.Wrap("offline.raw_scores", done, len(a.Nodes), rawErr)
+	}
 	a.NormTimings.CalcInterestingness = rawDur
 	a.NormTimings.ActionsScored = len(a.Nodes)
 	a.RefTimings.ActionsScored = len(a.Nodes)
@@ -252,29 +278,63 @@ func Analyze(repo *session.Repository, opts Options) (*Analysis, error) {
 
 	// Normalized comparison (Algorithm 2).
 	spNorm := stNormalize.Start()
-	norm, err := FitNormalizerWorkers(msrs, a.Nodes, opts.Workers)
+	norm, err := FitNormalizerCtx(ctx, msrs, a.Nodes, opts.Workers)
 	if err != nil {
 		spNorm.End()
 		return nil, err
 	}
 	a.Normalizer = norm
 	t1 := time.Now()
-	_ = parallel.ForEach(nil, len(a.Nodes), opts.Workers, func(i int) {
+	done, applyErr := parallel.ForEachN(ctx, len(a.Nodes), opts.Workers, func(i int) {
 		norm.Apply(a.Nodes[i].Raw, a.Nodes[i].NormRelative)
 	})
 	a.NormTimings.CalcRelative = time.Since(t1) + norm.FitDuration
 	spNorm.End()
+	if applyErr != nil {
+		return nil, pipeline.Wrap("offline.normalize", done, len(a.Nodes), applyErr)
+	}
 
 	// Reference-Based comparison (Algorithm 1).
 	if !opts.SkipReference {
 		spRef := stReference.Start()
-		err := applyReferenceBased(a, opts)
+		err := applyReferenceBased(ctx, a, opts)
 		spRef.End()
 		if err != nil {
 			return nil, err
 		}
 	}
 	return a, nil
+}
+
+// scoreActionGuarded computes one action's raw scores behind the
+// offline.raw_score fault probe: injected errors and panics retry with a
+// fresh probe key, and on exhaustion the node keeps an empty Raw map (the
+// degraded shape downstream code already tolerates). With the injector
+// disarmed this is exactly scoreAction. The probe key is the repository
+// position plus the action text — content, not call order — so the set of
+// degraded nodes is identical at every worker count.
+func scoreActionGuarded(ctx context.Context, msrs []measures.Measure, ns *NodeScores, idx int) {
+	if !faults.Enabled() {
+		ns.Raw = scoreAction(msrs, ns.Session, ns.Node)
+		return
+	}
+	base := strconv.Itoa(idx) + ":" + ns.Node.Action.String()
+	err := faults.DefaultRetry.Do(ctx, func(attempt int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = pipeline.Recovered(faults.SiteOfflineRawScore, r)
+			}
+		}()
+		if err := faults.Inject(faults.SiteOfflineRawScore, faults.Key(base, attempt), faults.KindAll); err != nil {
+			return err
+		}
+		ns.Raw = scoreAction(msrs, ns.Session, ns.Node)
+		return nil
+	})
+	if err != nil {
+		mRawDropped.Inc()
+		ns.Raw = map[string]float64{}
+	}
 }
 
 // averageRelative is shared by reporting code: the mean of the per-action

@@ -59,8 +59,18 @@ func Workers(n int) int {
 // not at all — never halfway. A panic in fn is re-raised on the calling
 // goroutine after the remaining workers drain.
 func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
+	_, err := ForEachN(ctx, n, workers, fn)
+	return err
+}
+
+// ForEachN is ForEach with partial-progress reporting: it additionally
+// returns the number of items that ran to completion, which is n on
+// success and the count of finished items when the fan-out stopped early
+// on cancellation. Callers surfacing typed pipeline errors feed this into
+// the error's Done field.
+func ForEachN(ctx context.Context, n, workers int, fn func(i int)) (done int, err error) {
 	if n <= 0 {
-		return nil
+		return 0, nil
 	}
 	w := Workers(workers)
 	if w > n {
@@ -73,11 +83,11 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 		}
 		for i := 0; i < n; i++ {
 			if ctx != nil && ctx.Err() != nil {
-				return ctx.Err()
+				return i, ctx.Err()
 			}
 			fn(i)
 		}
-		return nil
+		return n, nil
 	}
 	if obs.On() {
 		mBatches.Inc()
@@ -86,8 +96,9 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 	}
 
 	var (
-		cursor atomic.Int64
-		wg     sync.WaitGroup
+		cursor    atomic.Int64
+		completed atomic.Int64
+		wg        sync.WaitGroup
 
 		panicMu  sync.Mutex
 		panicVal any
@@ -116,6 +127,7 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 				return
 			}
 			fn(i)
+			completed.Add(1)
 		}
 	}
 	wg.Add(w)
@@ -127,9 +139,9 @@ func ForEach(ctx context.Context, n, workers int, fn func(i int)) error {
 		panic(panicVal)
 	}
 	if ctx != nil && ctx.Err() != nil {
-		return ctx.Err()
+		return int(completed.Load()), ctx.Err()
 	}
-	return nil
+	return n, nil
 }
 
 // Chunks splits [0, n) into at most `parts` contiguous half-open ranges of

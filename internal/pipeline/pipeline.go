@@ -1,0 +1,98 @@
+// Package pipeline defines the typed error contract of the prediction
+// pipeline's long-running stages (offline analysis, training, kNN
+// prediction, evaluation): when a stage is canceled, times out, or fails
+// unrecoverably, callers receive an *Error carrying the stage name, the
+// underlying cause, and partial-progress information instead of a bare
+// context error, a hang, or a panic.
+//
+// The package sits below every pipeline subsystem (it depends only on
+// internal/obs), so offline, knn, eval and the public facade all tag
+// failures through the same type and errors.As(err, &*pipeline.Error)
+// works uniformly at every layer.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Fault-family telemetry (see the "Failure model" section of DESIGN.md):
+// ctx_canceled counts stage aborts caused by context cancellation or
+// deadline expiry, recovered counts panics converted to errors at a
+// pipeline boundary.
+var (
+	mCanceled  = obs.C("faults.ctx_canceled")
+	mRecovered = obs.C("faults.panics_recovered")
+)
+
+// Error is the typed failure of one pipeline stage.
+type Error struct {
+	// Stage names the failed stage (e.g. "offline.reference",
+	// "knn.predict_all", "api.train").
+	Stage string
+	// Done is the number of items the stage fully processed before it
+	// stopped; in-flight items run to completion, so every counted item
+	// either ran fully or not at all.
+	Done int
+	// Total is the number of items the stage was asked to process. Zero
+	// when the stage has no item granularity.
+	Total int
+	// Err is the underlying cause — typically context.Canceled,
+	// context.DeadlineExceeded, or a recovered panic.
+	Err error
+}
+
+// Error formats the stage, cause, and partial progress.
+func (e *Error) Error() string {
+	if e.Total > 0 {
+		return fmt.Sprintf("pipeline: stage %s: %v (%d/%d items completed)", e.Stage, e.Err, e.Done, e.Total)
+	}
+	return fmt.Sprintf("pipeline: stage %s: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As, so
+// errors.Is(err, context.Canceled) keeps working through the wrapper.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Canceled reports whether the error (at any wrap depth) is a context
+// cancellation or deadline expiry.
+func Canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Wrap tags err with a stage and progress info. A nil err returns nil, and
+// an err that is already a *Error is passed through unchanged so the
+// innermost (most precise) stage tag wins when stages nest.
+func Wrap(stage string, done, total int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *Error
+	if errors.As(err, &pe) {
+		return err
+	}
+	if Canceled(err) {
+		mCanceled.Inc()
+	}
+	return &Error{Stage: stage, Done: done, Total: total, Err: err}
+}
+
+// Recovered converts a recovered panic value into a stage-tagged *Error
+// and counts it. Intended for use inside a deferred recover() at pipeline
+// boundaries:
+//
+//	defer func() {
+//		if r := recover(); r != nil {
+//			err = pipeline.Recovered(stage, r)
+//		}
+//	}()
+func Recovered(stage string, r any) error {
+	mRecovered.Inc()
+	if err, ok := r.(error); ok {
+		return &Error{Stage: stage, Err: fmt.Errorf("recovered panic: %w", err)}
+	}
+	return &Error{Stage: stage, Err: fmt.Errorf("recovered panic: %v", r)}
+}

@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWrapNilAndPassThrough(t *testing.T) {
+	if Wrap("s", 0, 0, nil) != nil {
+		t.Error("Wrap(nil) must be nil")
+	}
+	inner := Wrap("inner", 2, 5, context.Canceled)
+	outer := Wrap("outer", 0, 0, inner)
+	var pe *Error
+	if !errors.As(outer, &pe) || pe.Stage != "inner" {
+		t.Errorf("outer wrap must keep the innermost stage, got %v", outer)
+	}
+	// Even a *Error already wrapped inside another error chain passes
+	// through without re-tagging.
+	chained := Wrap("outer", 0, 0, fmt.Errorf("while doing x: %w", inner))
+	if !errors.As(chained, &pe) || pe.Stage != "inner" {
+		t.Errorf("chained wrap lost the inner stage: %v", chained)
+	}
+}
+
+func TestErrorFormatting(t *testing.T) {
+	withItems := Wrap("knn.predict_all", 3, 10, context.DeadlineExceeded)
+	if msg := withItems.Error(); !strings.Contains(msg, "knn.predict_all") || !strings.Contains(msg, "3/10") {
+		t.Errorf("message %q missing stage or progress", msg)
+	}
+	noItems := Wrap("api.train", 0, 0, context.Canceled)
+	if msg := noItems.Error(); strings.Contains(msg, "0/0") {
+		t.Errorf("message %q must not report item progress for item-less stages", msg)
+	}
+}
+
+func TestCanceledDetection(t *testing.T) {
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		if !Canceled(Wrap("s", 0, 0, cause)) {
+			t.Errorf("Canceled(wrap(%v)) = false", cause)
+		}
+		if !errors.Is(Wrap("s", 0, 0, cause), cause) {
+			t.Errorf("wrap of %v does not unwrap to it", cause)
+		}
+	}
+	if Canceled(Wrap("s", 0, 0, errors.New("boom"))) {
+		t.Error("a plain error must not count as canceled")
+	}
+	if Canceled(nil) {
+		t.Error("nil is not canceled")
+	}
+}
+
+func TestRecoveredPreservesErrorChain(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	err := Recovered("api.offline", fmt.Errorf("wrapped: %w", sentinel))
+	var pe *Error
+	if !errors.As(err, &pe) || pe.Stage != "api.offline" {
+		t.Fatalf("Recovered = %v, want *Error at api.offline", err)
+	}
+	// An error panic value stays unwrappable, so fault classification
+	// (e.g. faults.IsInjected) works through recovered panics.
+	if !errors.Is(err, sentinel) {
+		t.Error("error panic value lost its chain")
+	}
+	plain := Recovered("cli.eval", "string panic value")
+	if !strings.Contains(plain.Error(), "string panic value") {
+		t.Errorf("non-error panic value not included: %v", plain)
+	}
+}

@@ -1,0 +1,69 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParse throws arbitrary byte strings at the SQL dialect's lexer and
+// parser. The properties under test:
+//
+//  1. Parse never panics (the lexer/parser must fail with an error, not
+//     an index out of range, for any input).
+//  2. An accepted statement survives a Format -> Parse round trip with
+//     the same action count (the two directions cannot drift apart).
+//
+// Run the full fuzzer with:
+//
+//	go test -fuzz=FuzzParse -fuzztime=10s ./internal/query
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM packets WHERE protocol = 'HTTP'",
+		"SELECT proto, COUNT(*) FROM packets GROUP BY proto",
+		"SELECT src, SUM(length) FROM packets WHERE length > 100 GROUP BY src",
+		"SELECT * FROM packets ORDER BY length DESC LIMIT 10",
+		"SELECT * FROM t WHERE a != 1 AND b <= 2.5 AND c CONTAINS 'x'",
+		"SELECT * FROM t WHERE ts >= TIMESTAMP '2018-03-01T09:00:00Z'",
+		"SELECT * FROM t ORDER BY count ASC LIMIT 3",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t WHERE a = 9999999999999999999999",
+		"SELECT MAX(x) FROM t GROUP BY",
+		"\x00\xff\xfe",
+		strings.Repeat("(", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		st, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if st.Table == "" || len(st.Actions) == 0 {
+			t.Fatalf("accepted statement with no table/actions: %q", input)
+		}
+		// Only statements the dialect can express flow back out; when
+		// Format succeeds, the rendering must re-parse to the same shape.
+		rendered, err := Format(st.Table, st.Actions)
+		if err != nil {
+			return
+		}
+		if !utf8.ValidString(rendered) {
+			// A non-UTF-8 identifier renders byte-for-byte; the lexer may
+			// legitimately reject it on the way back in.
+			return
+		}
+		st2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round trip failed for %q -> %q: %v", input, rendered, err)
+		}
+		if len(st2.Actions) != len(st.Actions) {
+			t.Fatalf("round trip changed action count: %q (%d) -> %q (%d)",
+				input, len(st.Actions), rendered, len(st2.Actions))
+		}
+	})
+}

@@ -114,6 +114,33 @@ func Max(xs []float64) float64 {
 	return m
 }
 
+// Extent returns the minimum and maximum of xs and reports whether xs was
+// non-empty. It is the error-free counterpart of Min/Max for call sites
+// that can see user-controlled (possibly empty) input.
+func Extent(xs []float64) (min, max float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, 0, false
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, true
+}
+
+// NormalCDF returns Φ(z), the standard normal cumulative distribution
+// function, computed via the complementary error function. The degradation
+// ladder uses it to map a z-score from the Normalized method onto the
+// [0, 1] percentile scale of the Reference-Based method.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
 // Median returns the median of xs (average of middle two for even n),
 // or 0 for an empty slice. The input is not modified.
 func Median(xs []float64) float64 {

@@ -125,8 +125,11 @@ func (m *Multiclass) Sigma() float64 { return m.sigma }
 func Train(dist [][]float64, y []string, classes []string, cfg Config) (*Multiclass, error) {
 	cfg = cfg.withDefaults()
 	n := len(dist)
-	if n == 0 || len(y) != n {
-		return nil, fmt.Errorf("svm: need a square distance matrix with matching labels (n=%d, len(y)=%d)", n, len(y))
+	if n < 2 || len(y) != n {
+		// n == 1 could only ever produce a constant decision, and letting
+		// it through would put trainSMO one refactor away from an
+		// rng.Intn(0) panic; reject it like the other degenerate inputs.
+		return nil, fmt.Errorf("svm: need a square distance matrix of at least 2 points with matching labels (n=%d, len(y)=%d)", n, len(y))
 	}
 	if len(classes) < 2 {
 		return nil, fmt.Errorf("svm: need at least 2 classes, got %d", len(classes))
