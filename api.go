@@ -25,6 +25,8 @@ package repro
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
 
 	"repro/internal/dataset"
 	"repro/internal/distance"
@@ -35,8 +37,10 @@ import (
 	"repro/internal/netlog"
 	"repro/internal/offline"
 	"repro/internal/pipeline"
+	"repro/internal/serve"
 	"repro/internal/session"
 	"repro/internal/simulate"
+	"repro/internal/snapshot"
 )
 
 // Re-exported types: the data substrate.
@@ -110,6 +114,12 @@ const (
 	// FallbackPrior answers with the training set's most common label.
 	FallbackPrior = knn.FallbackPrior
 )
+
+// ParseFallbackPolicy parses a fallback policy name ("abstain",
+// "nearest" or "prior"), the inverse of FallbackPolicy.String.
+func ParseFallbackPolicy(s string) (FallbackPolicy, error) {
+	return knn.ParseFallbackPolicy(s)
+}
 
 // IsCanceled reports whether err (at any wrap depth) is a context
 // cancellation or deadline expiry.
@@ -224,6 +234,10 @@ type Predictor struct {
 	I      MeasureSet
 	method Method
 	cfg    PredictorConfig
+	// norm is the fitted Algorithm-2 normalization state captured at
+	// training time so a snapshot can carry it (nil when the analysis
+	// had no normalizer).
+	norm *offline.Normalizer
 }
 
 // TrainPredictor builds the labeled training set for (I, method) and
@@ -272,7 +286,7 @@ func (f *Framework) TrainPredictorContext(ctx context.Context, I MeasureSet, met
 		Workers:    cfg.Workers,
 		Fallback:   cfg.Fallback,
 	})
-	return &Predictor{clf: clf, I: I, method: method, cfg: cfg}, nil
+	return &Predictor{clf: clf, I: I, method: method, cfg: cfg, norm: f.Analysis.Normalizer}, nil
 }
 
 // TrainingSize returns the number of labeled samples behind the model.
@@ -280,6 +294,17 @@ func (p *Predictor) TrainingSize() int { return len(p.clf.Samples()) }
 
 // Config returns the model's hyper-parameters.
 func (p *Predictor) Config() PredictorConfig { return p.cfg }
+
+// Method returns the comparison method the model was trained under.
+func (p *Predictor) Method() Method { return p.method }
+
+// SetWorkers rebounds the prediction fan-out width after construction or
+// load — a deployment knob, not a model parameter: predictions are
+// bit-identical at every setting. Set it before serving traffic.
+func (p *Predictor) SetWorkers(n int) {
+	p.cfg.Workers = n
+	p.clf.SetWorkers(n)
+}
 
 // MeasureSet returns the measure configuration the model predicts over.
 func (p *Predictor) MeasureSet() MeasureSet { return p.I }
@@ -356,4 +381,167 @@ func (p *Predictor) Measure(name string) (Measure, error) {
 		return p.I[i], nil
 	}
 	return nil, fmt.Errorf("repro: measure %q is not in the model's configuration %v", name, p.I.Names())
+}
+
+// snapshotModel assembles the serializable form of the trained model:
+// hyper-parameters, measure names, normalization state, and every
+// training context with its labels, displays interned in a shared pool
+// (see internal/snapshot).
+func (p *Predictor) snapshotModel() *snapshot.Model {
+	m := &snapshot.Model{
+		Method:     p.method.String(),
+		Measures:   p.I.Names(),
+		N:          p.cfg.N,
+		K:          p.cfg.K,
+		ThetaDelta: p.cfg.ThetaDelta,
+		ThetaI:     p.cfg.ThetaI,
+		Workers:    p.cfg.Workers,
+		Fallback:   p.cfg.Fallback.String(),
+	}
+	if p.norm != nil {
+		m.Norms = p.norm.Params
+	}
+	pool := snapshot.NewPool()
+	m.Samples = make([]snapshot.SampleRec, len(p.clf.Samples()))
+	for i, s := range p.clf.Samples() {
+		m.Samples[i] = snapshot.SampleRec{
+			Context: snapshot.EncodeContext(s.Context, pool),
+			Labels:  append([]string(nil), s.Labels...),
+			Best:    s.Best,
+		}
+	}
+	m.Displays = pool.Displays()
+	return m
+}
+
+// WriteSnapshot serializes the trained model to w in the versioned
+// snapshot format (see internal/snapshot): a restored predictor produces
+// bit-identical predictions, abstentions included.
+func (p *Predictor) WriteSnapshot(w io.Writer) error {
+	return snapshot.Write(w, p.snapshotModel())
+}
+
+// Save writes the model snapshot to a file path atomically: a crash or
+// write error mid-save never leaves a truncated snapshot visible.
+func (p *Predictor) Save(path string) error {
+	return snapshot.Save(path, p.snapshotModel())
+}
+
+// ReadPredictor reconstructs a predictor from a snapshot stream. Measure
+// names resolve against the built-in registry — models configured with
+// user-defined (Func) measures cannot be restored by name and fail here.
+func ReadPredictor(r io.Reader) (*Predictor, error) {
+	m, err := snapshot.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return predictorFromModel(m)
+}
+
+// LoadPredictor reads a model snapshot from a file path (the counterpart
+// of Predictor.Save).
+func LoadPredictor(path string) (*Predictor, error) {
+	m, err := snapshot.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return predictorFromModel(m)
+}
+
+func predictorFromModel(m *snapshot.Model) (*Predictor, error) {
+	method, err := offline.ParseMethod(m.Method)
+	if err != nil {
+		return nil, fmt.Errorf("repro: load predictor: %w", err)
+	}
+	fb, err := knn.ParseFallbackPolicy(m.Fallback)
+	if err != nil {
+		return nil, fmt.Errorf("repro: load predictor: %w", err)
+	}
+	reg := measures.NewRegistry()
+	I := make(MeasureSet, len(m.Measures))
+	for i, name := range m.Measures {
+		msr, err := reg.Get(name)
+		if err != nil {
+			return nil, fmt.Errorf("repro: load predictor: %w", err)
+		}
+		I[i] = msr
+	}
+	displays := snapshot.DecodeDisplays(m.Displays)
+	samples := make([]*offline.Sample, len(m.Samples))
+	for i, rec := range m.Samples {
+		ctx, err := snapshot.DecodeContext(rec.Context, displays)
+		if err != nil {
+			return nil, fmt.Errorf("repro: load predictor: sample %d: %w", i, err)
+		}
+		samples[i] = &offline.Sample{Context: ctx, Labels: rec.Labels, Best: rec.Best}
+	}
+	cfg := PredictorConfig{
+		N:          m.N,
+		K:          m.K,
+		ThetaDelta: m.ThetaDelta,
+		ThetaI:     m.ThetaI,
+		Workers:    m.Workers,
+		Fallback:   fb,
+	}
+	clf := knn.New(samples, distance.NewMemoizedTreeEdit(nil), knn.Config{
+		K:          cfg.K,
+		ThetaDelta: cfg.ThetaDelta,
+		Workers:    cfg.Workers,
+		Fallback:   cfg.Fallback,
+	})
+	p := &Predictor{clf: clf, I: I, method: method, cfg: cfg}
+	if len(m.Norms) > 0 {
+		p.norm = &offline.Normalizer{Params: m.Norms}
+	}
+	return p, nil
+}
+
+// Serving layer re-exports.
+type (
+	// ServeOptions bounds the HTTP prediction server's resource envelope
+	// (in-flight requests, batch size, body size, shutdown grace).
+	ServeOptions = serve.Options
+	// ServeModelInfo is the /v1/model description of a served model.
+	ServeModelInfo = serve.ModelInfo
+)
+
+// EncodeWireContext converts an n-context to the self-contained JSON wire
+// form the prediction server accepts (the "context"/"contexts" request
+// fields).
+func EncodeWireContext(c *NContext) *snapshot.WireContext {
+	return snapshot.EncodeContext(c, nil)
+}
+
+// modelInfo describes the predictor for /v1/model.
+func (p *Predictor) modelInfo() ServeModelInfo {
+	return ServeModelInfo{
+		Method:       p.method.String(),
+		Measures:     p.I.Names(),
+		N:            p.cfg.N,
+		K:            p.cfg.K,
+		ThetaDelta:   p.cfg.ThetaDelta,
+		ThetaI:       p.cfg.ThetaI,
+		Fallback:     p.cfg.Fallback.String(),
+		TrainingSize: p.TrainingSize(),
+	}
+}
+
+// NewServer wraps the predictor in an HTTP prediction server (see
+// internal/serve for the endpoint surface and degradation behavior).
+func (p *Predictor) NewServer(opts ServeOptions) *serve.Server {
+	return serve.New(p.clf, p.modelInfo(), opts)
+}
+
+// Handler returns the predictor's HTTP handler — /healthz, /readyz,
+// /v1/model, /v1/predict, /v1/predict/batch — for mounting under an
+// existing server or httptest.
+func (p *Predictor) Handler(opts ServeOptions) http.Handler {
+	return p.NewServer(opts).Handler()
+}
+
+// Serve runs the HTTP prediction server on addr until ctx is canceled,
+// then drains gracefully (readiness flips first, in-flight requests
+// complete). A clean drain returns nil.
+func (p *Predictor) Serve(ctx context.Context, addr string, opts ServeOptions) error {
+	return p.NewServer(opts).Run(ctx, addr)
 }

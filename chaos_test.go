@@ -1,7 +1,12 @@
 package repro
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -184,5 +189,76 @@ func TestChaosBatchMatchesSingleUnderFaults(t *testing.T) {
 			t.Fatalf("query %d: batch (%q,%v) != single (%q,%v) under faults",
 				i, batch[i].MeasureName, batch[i].OK, label, ok)
 		}
+	}
+}
+
+// TestChaosServePredict drives the HTTP prediction server with the
+// serve.predict probe armed: requests must degrade to 503s (the retryable
+// kind) or answer exactly — never crash the server, never change a
+// successful answer. The probe keys on request content, so which requests
+// degrade is deterministic across runs.
+func TestChaosServePredict(t *testing.T) {
+	fw := chaosFramework(t)
+	if err := fw.RunOfflineAnalysis(AnalysisOptions{RefLimit: 10, MinRefs: 2, SkipReference: true}); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := fw.TrainPredictor(DefaultMeasureSet(), Normalized, PredictorConfig{
+		N: 2, K: 5, ThetaDelta: 0.5, ThetaI: -10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := testContexts(t, fw, 2, 24)
+	want := pred.PredictAll(qs)
+
+	srv := httptest.NewServer(pred.Handler(ServeOptions{}))
+	defer srv.Close()
+	armFaults(t, faults.Config{
+		Prob:  0.5,
+		Seed:  1,
+		Kinds: faults.KindError | faults.KindPanic,
+		Sites: []string{faults.SiteServePredict},
+	})
+
+	degraded, answered := 0, 0
+	for i, q := range qs {
+		body, err := json.Marshal(map[string]any{"context": EncodeWireContext(q)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(srv.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable:
+			degraded++
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("query %d: degraded 503 without Retry-After", i)
+			}
+		case http.StatusOK:
+			answered++
+			var got struct {
+				Measure  string `json:"measure"`
+				OK       bool   `json:"ok"`
+				Fallback bool   `json:"fallback"`
+			}
+			if err := json.Unmarshal(blob, &got); err != nil {
+				t.Fatal(err)
+			}
+			if got.Measure != want[i].MeasureName || got.OK != want[i].OK || got.Fallback != want[i].Fallback {
+				t.Fatalf("query %d: faulted 200 drifted from unfaulted prediction: %+v vs %+v", i, got, want[i])
+			}
+		default:
+			t.Fatalf("query %d: status %d under chaos (body %s)", i, resp.StatusCode, blob)
+		}
+	}
+	if degraded == 0 || answered == 0 {
+		t.Fatalf("chaos run is vacuous: %d degraded, %d answered", degraded, answered)
 	}
 }

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
 	"testing"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/distance"
 	"repro/internal/eval"
 	"repro/internal/knn"
@@ -200,7 +202,10 @@ func cmdBench(_ context.Context, args []string) error {
 		if path == "" {
 			path = "BENCH_" + rep.Date + ".json"
 		}
-		if err := os.WriteFile(path, blob, 0o644); err != nil {
+		if err := atomicio.WriteFile(path, func(w io.Writer) error {
+			_, werr := w.Write(blob)
+			return werr
+		}); err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, "wrote", path)

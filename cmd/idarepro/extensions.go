@@ -4,10 +4,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
+	"repro/internal/atomicio"
 	"repro/internal/dataset"
 	"repro/internal/effectiveness"
 	"repro/internal/eval"
@@ -86,15 +88,9 @@ func cmdExport(_ context.Context, args []string) error {
 	if skipped > 0 {
 		fmt.Printf("skipped %d steps the flat dialect cannot express\n", skipped)
 	}
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := querylog.WriteLog(f, entries); err != nil {
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := atomicio.WriteFile(*out, func(w io.Writer) error {
+		return querylog.WriteLog(w, entries)
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("exported %d query-log entries -> %s\n", len(entries), *out)

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/atomicio"
+	"repro/internal/obs"
+	"repro/internal/offline"
+	"repro/internal/session"
+	"repro/internal/snapshot"
+)
+
+// cmdTrain runs the offline analysis, trains the I-kNN predictor, and
+// saves it as a versioned snapshot another process can serve from.
+func cmdTrain(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	dir := fs.String("dir", "data", "data directory")
+	out := fs.String("o", "model.snap", "snapshot output path")
+	methodName := fs.String("method", "norm", "comparison method: norm or ref")
+	refLimit := fs.Int("reflimit", 120, "reference set cap for the offline pass (0 = full)")
+	fallbackName := fs.String("fallback", "abstain", "abstention degradation policy: abstain, nearest or prior")
+	ctxOut := fs.String("contexts", "", "also export up to -ctxlimit wire contexts (server request bodies) to this path")
+	ctxLimit := fs.Int("ctxlimit", 64, "cap on exported wire contexts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	method, err := offline.ParseMethod(*methodName)
+	if err != nil {
+		return err
+	}
+	fb, err := repro.ParseFallbackPolicy(*fallbackName)
+	if err != nil {
+		return err
+	}
+	repo, err := loadRepo(*dir)
+	if err != nil {
+		return err
+	}
+	fw := repro.NewFramework(repo)
+	if err := fw.RunOfflineAnalysisContext(ctx, repro.AnalysisOptions{
+		RefLimit:      *refLimit,
+		SkipReference: method == repro.Normalized,
+		Workers:       workerCount,
+	}); err != nil {
+		return err
+	}
+	cfg := repro.DefaultPredictorConfig(method)
+	cfg.Workers = workerCount
+	cfg.Fallback = fb
+	pred, err := fw.TrainPredictorContext(ctx, repro.DefaultMeasureSet(), method, cfg)
+	if err != nil {
+		return err
+	}
+	if err := pred.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("trained %s predictor on %d samples (n=%d k=%d θ_δ=%g θ_I=%g fallback=%s)\n",
+		method, pred.TrainingSize(), cfg.N, cfg.K, cfg.ThetaDelta, cfg.ThetaI, fb)
+	fmt.Println("wrote", *out)
+	if *ctxOut != "" {
+		n, err := exportContexts(*ctxOut, repo, cfg.N, *ctxLimit)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d contexts)\n", *ctxOut, n)
+	}
+	return nil
+}
+
+// exportContexts writes up to limit n-contexts (one per session state, in
+// repository order) as a JSON array of self-contained wire contexts — the
+// exact value the server's batch endpoint accepts as "contexts".
+func exportContexts(path string, repo *session.Repository, n, limit int) (int, error) {
+	var wire []*snapshot.WireContext
+	for _, s := range repo.Sessions() {
+		for t := 0; t < s.Steps() && (limit < 1 || len(wire) < limit); t++ {
+			st, err := s.StateAt(t)
+			if err != nil {
+				continue
+			}
+			wire = append(wire, repro.EncodeWireContext(session.Extract(st, n)))
+		}
+		if limit >= 1 && len(wire) >= limit {
+			break
+		}
+	}
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		return enc.Encode(wire)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return len(wire), nil
+}
+
+// cmdServe loads a predictor snapshot and serves predictions over HTTP
+// until the process context is canceled (SIGINT or -timeout), then drains
+// gracefully and exits 0.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	model := fs.String("model", "model.snap", "predictor snapshot path (written by idarepro train)")
+	addr := fs.String("addr", ":8080", "listen address")
+	maxInFlight := fs.Int("maxinflight", 0, "max concurrently served prediction requests (0 = one per CPU)")
+	maxBatch := fs.Int("maxbatch", 0, "max contexts per batch request (0 = 1024)")
+	verbose := fs.Bool("v", false, "print the telemetry snapshot (request counters, latency) at exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *verbose {
+		obs.SetMode(obs.ModeTiming)
+		defer func() { fmt.Fprint(os.Stderr, "\n"+obs.Default.Snapshot().Table()) }()
+	}
+	pred, err := repro.LoadPredictor(*model)
+	if err != nil {
+		return err
+	}
+	if workerCount != 0 {
+		pred.SetWorkers(workerCount)
+	}
+	cfg := pred.Config()
+	fmt.Fprintf(os.Stderr, "serve: loaded %s model from %s (%d samples, n=%d k=%d θ_δ=%g fallback=%s)\n",
+		pred.Method(), *model, pred.TrainingSize(), cfg.N, cfg.K, cfg.ThetaDelta, cfg.Fallback)
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (endpoints: /healthz /readyz /v1/model /v1/predict /v1/predict/batch)\n", *addr)
+	return pred.Serve(ctx, *addr, repro.ServeOptions{
+		MaxInFlight: *maxInFlight,
+		MaxBatch:    *maxBatch,
+	})
+}

@@ -1,0 +1,66 @@
+// Package atomicio is the shared durable-write helper behind every
+// persistence path of the repository (dataset CSVs, session logs,
+// predictor snapshots, benchmark reports).
+//
+// The original writers followed the os.Create + defer Close + explicit
+// Close pattern, which has two failure modes this package exists to kill:
+// the file was closed twice (the deferred Close reported a spurious error
+// on some platforms and masked the real one), and a crash or write error
+// mid-save left a truncated file at the destination path — a torn dataset
+// or session log that poisoned every later load. WriteFile never exposes a
+// partial file: content lands in a hidden temp file in the destination
+// directory, is flushed to stable storage, and only then renamed over the
+// destination. Rename within one directory is atomic on POSIX filesystems,
+// so readers observe either the old complete file or the new complete
+// file, never a prefix.
+package atomicio
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically replaces path with the bytes produced by write.
+// The write callback receives the temp file; any error it returns (and any
+// sync, close or rename error) aborts the save, removes the temp file, and
+// leaves a pre-existing destination untouched. The destination gets mode
+// 0o644 (modulo umask) when created fresh.
+func WriteFile(path string, write func(w io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("atomicio: create temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	// Until the rename succeeds the temp file is garbage; remove it on
+	// every early exit (Remove after a successful rename fails harmlessly).
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("atomicio: write %s: %w", path, err)
+	}
+	// Flush file content to stable storage before the rename publishes it,
+	// so a crash right after the rename cannot surface an empty file.
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicio: sync %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicio: close %s: %w", path, err)
+	}
+	if err = os.Chmod(tmpName, 0o644); err != nil {
+		return fmt.Errorf("atomicio: chmod %s: %w", path, err)
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("atomicio: rename %s: %w", path, err)
+	}
+	return nil
+}

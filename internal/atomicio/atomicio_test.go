@@ -1,0 +1,121 @@
+package atomicio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := os.WriteFile(path, []byte("old complete content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
+// TestWriteFileFailureLeavesOldFile is the torn-write regression test: a
+// write callback that fails after emitting a partial prefix must leave the
+// pre-existing destination byte-identical and must not leak its temp file.
+func TestWriteFileFailureLeavesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	const old = "old complete content"
+	if err := os.WriteFile(path, []byte(old), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk full")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial prefix that must never be visible")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	got, readErr := os.ReadFile(path)
+	if readErr != nil || string(got) != old {
+		t.Fatalf("destination changed after failed save: %q, %v", got, readErr)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+// TestWriteFileFailureCreatesNothing: a failed first-time save must not
+// materialize the destination at all.
+func TestWriteFileFailureCreatesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.txt")
+	err := WriteFile(path, func(w io.Writer) error { return fmt.Errorf("no") })
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("destination exists after failed save: %v", statErr)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileRelativePath(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(wd) })
+	if err := WriteFile("rel.txt", func(w io.Writer) error {
+		_, err := io.WriteString(w, "x")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "rel.txt")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leaked temp file %s", e.Name())
+		}
+	}
+}

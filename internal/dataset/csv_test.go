@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -62,13 +63,99 @@ func TestReadCSVErrors(t *testing.T) {
 	if _, err := ReadCSV(strings.NewReader(""), "x"); err == nil {
 		t.Error("empty input should fail")
 	}
-	bad := "a\n#kinds:bogus\n1\n"
-	if _, err := ReadCSV(strings.NewReader(bad), "x"); err == nil {
-		t.Error("unknown kind should fail")
-	}
 	badCell := "a\n#kinds:int\nnotanint\n"
 	if _, err := ReadCSV(strings.NewReader(badCell), "x"); err == nil {
 		t.Error("bad cell should fail")
+	}
+}
+
+// TestReadCSVSentinelNotAKindsRow pins the sentinel-collision fix: a
+// schema-less CSV whose first data cell merely begins with "#kinds:" must
+// come back as data, not be swallowed as a schema row or rejected.
+func TestReadCSVSentinelNotAKindsRow(t *testing.T) {
+	in := "a,b\n#kinds:bogus,1\nplain,2\n"
+	tbl, err := ReadCSV(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2 (sentinel row swallowed?)", tbl.NumRows())
+	}
+	if got := tbl.Cell(0, 0).String(); got != "#kinds:bogus" {
+		t.Errorf("cell(0,0) = %q, want the literal sentinel-shaped value", got)
+	}
+	// A width-mismatched sentinel row is data too (and then fails the
+	// ordinary row-width check).
+	if _, err := ReadCSV(strings.NewReader("a,b\n#kinds:string\n"), "x"); err == nil {
+		t.Error("width-mismatched row should fail as a data row")
+	}
+}
+
+// TestCSVSentinelRoundTrip writes tables whose first-column values collide
+// with the kinds sentinel (raw and pre-escaped) and checks they survive the
+// write→read round trip byte-identically.
+func TestCSVSentinelRoundTrip(t *testing.T) {
+	for _, cell := range []string{"#kinds:string", "#kinds:whatever", "##kinds:already", "###kinds:deep", "#kinds:", "plain"} {
+		b := NewBuilder("s", Schema{{Name: "a", Kind: KindString}, {Name: "n", Kind: KindInt}})
+		b.Append(S(cell), I(7))
+		orig := b.MustBuild()
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCSV(&buf, "s")
+		if err != nil {
+			t.Fatalf("cell %q: %v", cell, err)
+		}
+		if back.NumRows() != 1 || !back.Cell(0, 0).Equal(S(cell)) {
+			t.Errorf("cell %q round-tripped to %q", cell, back.Cell(0, 0))
+		}
+		if back.ColumnByName("n").Kind != KindInt {
+			t.Errorf("cell %q: kinds row lost", cell)
+		}
+	}
+}
+
+// TestBaseName pins the filepath.Base fix: the hand-rolled '/' split broke
+// trailing separators (empty name) and only understood one separator.
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		"data/packets.csv":      "packets.csv",
+		"packets.csv":           "packets.csv",
+		"/abs/path/flows.csv":   "flows.csv",
+		"data/":                 "data",
+		"a/b/c/connections.csv": "connections.csv",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestSaveCSVAtomicOnFailedWrite simulates a mid-save failure (destination
+// directory removed out from under the writer is hard to fake portably, so
+// we point the save at a directory path, which must fail) and checks a
+// pre-existing file survives a failed overwrite byte-identically.
+func TestSaveCSVAtomicOnFailedWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keep.csv")
+	b := NewBuilder("keep", Schema{{Name: "v", Kind: KindInt}})
+	b.Append(I(1))
+	if err := SaveCSV(path, b.MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saving into a missing directory fails before any rename can happen.
+	if err := SaveCSV(filepath.Join(dir, "absent", "x.csv"), b.MustBuild()); err == nil {
+		t.Error("save into missing directory should fail")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(before, after) {
+		t.Fatalf("existing file disturbed: %v", err)
 	}
 }
 

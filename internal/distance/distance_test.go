@@ -291,3 +291,45 @@ func TestDisplayDistanceBitDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestDisplayDistanceReflexiveWithDuplicateColumns pins the fix for the
+// snapshot-reload prediction drift: an aggregated display can carry two
+// columns with one name (e.g. grouping by "count" into a count aggregate),
+// and pairing shared columns through a plain by-name lookup compared both
+// duplicates against the same column — making d(x, x) = 0.2 instead of 0.
+// In-process the memo's pointer-identity shortcut hid the asymmetry;
+// snapshot-decoded displays stopped sharing pointers and exposed it as
+// near-threshold kNN predictions flipping after reload.
+func TestDisplayDistanceReflexiveWithDuplicateColumns(t *testing.T) {
+	mk := func(freqs ...map[string]float64) *engine.Display {
+		cols := make([]engine.ColumnProfile, len(freqs))
+		for i, f := range freqs {
+			cols[i] = engine.ColumnProfile{Name: "count", TopFreq: f}
+		}
+		return engine.NewSummaryDisplay(1, true, "count", "count", engine.NewProfile(1, cols))
+	}
+	a := mk(map[string]float64{"37": 1}, map[string]float64{"1": 1})
+	b := mk(map[string]float64{"37": 1}, map[string]float64{"1": 1})
+	if d := DisplayDistance(a, a); d != 0 {
+		t.Fatalf("self distance with duplicate column names = %v, want 0", d)
+	}
+	if d := DisplayDistance(a, b); d != 0 {
+		t.Fatalf("content-identical twin distance = %v, want 0", d)
+	}
+	// The memoized ground metric must agree with the direct one — the
+	// pointer shortcut is only sound when the metric is reflexive.
+	memo := NewMemo()
+	if d := memo.DisplayDistance(a, b); d != 0 {
+		t.Fatalf("memoized twin distance = %v, want 0", d)
+	}
+	// Swapping the duplicates changes the display: columns pair by
+	// (name, occurrence ordinal), in declaration order.
+	c := mk(map[string]float64{"1": 1}, map[string]float64{"37": 1})
+	d1, d2 := DisplayDistance(a, c), DisplayDistance(c, a)
+	if d1 == 0 {
+		t.Fatal("swapped duplicate columns should not compare as identical")
+	}
+	if d1 != d2 {
+		t.Fatalf("asymmetric: %v vs %v", d1, d2)
+	}
+}

@@ -161,10 +161,19 @@ func DisplayDistance(a, b *engine.Display) float64 {
 		rowD = 1
 	}
 
+	// Pair shared columns by (name, occurrence ordinal), not by a plain
+	// name lookup: an aggregated display can carry duplicate column names
+	// (e.g. grouping by "count" and counting into "count"), and a by-name
+	// index would compare both duplicates against the same column — making
+	// the metric non-reflexive (d(x, x) > 0). That asymmetry stayed hidden
+	// in-process behind the memo's pointer-identity shortcut and only
+	// surfaced once snapshot-reloaded displays stopped sharing pointers.
 	contentD, shared := 0.0, 0
+	occ := make(map[string]int, len(pa.Columns))
 	for i := range pa.Columns {
 		ca := &pa.Columns[i]
-		cb := pb.Column(ca.Name)
+		cb := nthColumn(pb, ca.Name, occ[ca.Name])
+		occ[ca.Name]++
 		if cb == nil {
 			continue
 		}
@@ -185,6 +194,22 @@ func DisplayDistance(a, b *engine.Display) float64 {
 	}
 
 	return 0.25*schemaD + 0.15*rowD + 0.4*contentD + 0.2*aggD
+}
+
+// nthColumn returns the n-th (0-based) column named name in declaration
+// order, or nil when fewer than n+1 columns carry the name.
+func nthColumn(p *engine.Profile, name string, n int) *engine.ColumnProfile {
+	for i := range p.Columns {
+		c := &p.Columns[i]
+		if c.Name != name {
+			continue
+		}
+		if n == 0 {
+			return c
+		}
+		n--
+	}
+	return nil
 }
 
 func columnNames(p *engine.Profile) []string {

@@ -38,6 +38,11 @@ type Display struct {
 	// aggregation.
 	CoveredRows int
 
+	// summaryRows is the row count of a summary display (one restored
+	// from a snapshot or a wire context, which carries a profile but no
+	// materialized table); NumRows falls back to it when Table is nil.
+	summaryRows int
+
 	profileOnce sync.Once
 	profile     *Profile
 }
@@ -52,9 +57,36 @@ func NewRootDisplay(t *dataset.Table) *Display {
 	}
 }
 
+// NewSummaryDisplay builds a table-less display from its distance-relevant
+// summary: row count, aggregation shape and a precomputed profile. It is
+// the decode target of snapshot/wire contexts — the session distance
+// metric (see internal/distance) reads only NumRows, Aggregated,
+// GroupColumn and the profile's column names and TopFreq histograms, so a
+// summary display compares bit-identically to the materialized display it
+// was encoded from. Methods that need the table (AggValues, String's table
+// rendering) are not available on summary displays.
+func NewSummaryDisplay(rows int, aggregated bool, groupColumn, valueColumn string, profile *Profile) *Display {
+	d := &Display{
+		Aggregated:  aggregated,
+		GroupColumn: groupColumn,
+		ValueColumn: valueColumn,
+		summaryRows: rows,
+		profile:     profile,
+	}
+	// Burn the once so GetProfile never tries to build from the nil table.
+	d.profileOnce.Do(func() {})
+	return d
+}
+
 // NumRows returns the display's own row count m (the "number of elements"
-// in the conciseness measures).
-func (d *Display) NumRows() int { return d.Table.NumRows() }
+// in the conciseness measures). For a summary display (no materialized
+// table) it is the encoded row count.
+func (d *Display) NumRows() int {
+	if d.Table == nil {
+		return d.summaryRows
+	}
+	return d.Table.NumRows()
+}
 
 // AggValues returns the aggregate values v_j of an aggregated display in
 // row order, or nil for a raw display.
@@ -113,6 +145,19 @@ type Profile struct {
 
 // Column returns the named column profile, or nil.
 func (p *Profile) Column(name string) *ColumnProfile { return p.byName[name] }
+
+// NewProfile assembles a profile from externally supplied column
+// summaries (the decode path of snapshot/wire displays), wiring the
+// by-name index. The cols slice is retained; column order is preserved —
+// the distance ground metric iterates columns in declaration order, so
+// order is part of a display's identity.
+func NewProfile(rows int, cols []ColumnProfile) *Profile {
+	p := &Profile{Rows: rows, Columns: cols, byName: make(map[string]*ColumnProfile, len(cols))}
+	for i := range p.Columns {
+		p.byName[p.Columns[i].Name] = &p.Columns[i]
+	}
+	return p
+}
 
 // GetProfile computes (once) and returns the display's profile.
 func (d *Display) GetProfile() *Profile {

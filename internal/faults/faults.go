@@ -86,6 +86,10 @@ const (
 	// SiteEvalLOOCV guards one leave-one-out outcome of EvaluateKNN
 	// (degrades to an abstained outcome).
 	SiteEvalLOOCV = "eval.loocv"
+	// SiteServePredict guards one HTTP prediction request of the serving
+	// layer (degrades to a 503 the client can retry; the server itself
+	// stays up).
+	SiteServePredict = "serve.predict"
 )
 
 // Sites lists every named injection site (for docs, tests, and chaos
@@ -98,6 +102,7 @@ func Sites() []string {
 		SiteKNNScan,
 		SiteEvalPairwise,
 		SiteEvalLOOCV,
+		SiteServePredict,
 	}
 }
 

@@ -86,6 +86,20 @@ func (p FallbackPolicy) String() string {
 	}
 }
 
+// ParseFallbackPolicy is the inverse of FallbackPolicy.String.
+func ParseFallbackPolicy(s string) (FallbackPolicy, error) {
+	switch s {
+	case "abstain", "":
+		return FallbackAbstain, nil
+	case "nearest":
+		return FallbackNearest, nil
+	case "prior":
+		return FallbackPrior, nil
+	default:
+		return 0, fmt.Errorf("knn: unknown fallback policy %q (want abstain, nearest or prior)", s)
+	}
+}
+
 // Config holds the model hyper-parameters of the paper's Table 4.
 type Config struct {
 	// K is the number of nearest neighbors consulted.
@@ -178,6 +192,15 @@ func priorLabel(samples []*offline.Sample) string {
 
 // Samples returns the training set.
 func (c *Classifier) Samples() []*offline.Sample { return c.samples }
+
+// Config returns the classifier's hyper-parameters.
+func (c *Classifier) Config() Config { return c.cfg }
+
+// SetWorkers rebounds the scan/batch fan-out width (see Config.Workers)
+// after construction — a deployment knob, not a model parameter:
+// predictions are bit-identical at every setting. Not safe to call
+// concurrently with predictions; set it before serving traffic.
+func (c *Classifier) SetWorkers(n int) { c.cfg.Workers = n }
 
 // Predict classifies a query n-context. The training-set scan keeps a
 // bounded top-k accumulator (O(n log k), O(k) space) instead of

@@ -65,6 +65,19 @@ func (m Method) String() string {
 	}
 }
 
+// ParseMethod is the inverse of Method.String, also accepting the CLI
+// short forms "ref" and "norm".
+func ParseMethod(s string) (Method, error) {
+	switch s {
+	case "reference-based", "ref":
+		return ReferenceBased, nil
+	case "normalized", "norm":
+		return Normalized, nil
+	default:
+		return 0, fmt.Errorf("offline: unknown comparison method %q (want reference-based or normalized)", s)
+	}
+}
+
 // NodeScores holds, for one recorded action (a non-root session node), the
 // raw score of every measure plus the relative (bias-free) scores under
 // each comparison method.

@@ -1,0 +1,413 @@
+// Package serve is the HTTP prediction server over a trained I-kNN
+// classifier: it answers single and batch measure predictions for JSON
+// wire contexts (internal/snapshot's self-contained form), with the
+// operational envelope a long-running process needs — health/readiness
+// probes, bounded in-flight concurrency with explicit load-shedding,
+// request telemetry through internal/obs, a deterministic fault-injection
+// site for chaos coverage, and graceful drain on context cancellation.
+//
+// Degradation under load is deliberate and layered (DESIGN.md §8): when
+// more requests are in flight than the configured bound, new prediction
+// requests are rejected immediately with 503 + Retry-After instead of
+// queueing without bound; health endpoints never shed, so orchestrators
+// keep seeing the process as alive-but-saturated. During shutdown the
+// readiness probe flips to 503 first, so load balancers drain the
+// instance while in-flight requests complete.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/knn"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+	"repro/internal/session"
+	"repro/internal/snapshot"
+)
+
+// Request telemetry: the covered/abstain/fallback split mirrors the
+// classifier's own counters but is attributed to the serving layer, so the
+// -v snapshot and the -telemetry expvar page show what HTTP traffic (as
+// opposed to in-process batches) experienced.
+var (
+	mRequests    = obs.C("serve.requests")
+	mRejected    = obs.C("serve.rejected")
+	mErrors      = obs.C("serve.errors")
+	mPredictions = obs.C("serve.predictions")
+	mAbstain     = obs.C("serve.abstain")
+	mFallback    = obs.C("serve.fallback")
+	hLatency     = obs.H("serve.latency")
+	stServe      = obs.S("serve.predict")
+)
+
+// ModelInfo describes the loaded model on /v1/model.
+type ModelInfo struct {
+	Method       string   `json:"method"`
+	Measures     []string `json:"measures"`
+	N            int      `json:"n"`
+	K            int      `json:"k"`
+	ThetaDelta   float64  `json:"theta_delta"`
+	ThetaI       float64  `json:"theta_i"`
+	Fallback     string   `json:"fallback"`
+	TrainingSize int      `json:"training_size"`
+}
+
+// Options bounds the server's resource envelope.
+type Options struct {
+	// MaxInFlight caps concurrently served prediction requests; excess
+	// requests are shed with 503 + Retry-After. <1 sizes the bound like a
+	// worker pool: one slot per CPU (see parallel.Workers).
+	MaxInFlight int
+	// MaxBatch caps the contexts accepted by one batch request
+	// (413 beyond it). <1 means 1024.
+	MaxBatch int
+	// MaxBodyBytes caps a request body. <1 means 32 MiB.
+	MaxBodyBytes int64
+	// ShutdownGrace bounds the graceful drain on Run cancellation. <=0
+	// means 10s.
+	ShutdownGrace time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	o.MaxInFlight = parallel.Workers(o.MaxInFlight)
+	if o.MaxBatch < 1 {
+		o.MaxBatch = 1024
+	}
+	if o.MaxBodyBytes < 1 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.ShutdownGrace <= 0 {
+		o.ShutdownGrace = 10 * time.Second
+	}
+	return o
+}
+
+// Server serves predictions from a trained classifier.
+type Server struct {
+	clf  *knn.Classifier
+	info ModelInfo
+	opts Options
+	sem  chan struct{}
+	mux  *http.ServeMux
+
+	readyMu sync.Mutex
+	ready   bool
+}
+
+// New builds a server. The classifier must be fully constructed; the
+// server never mutates it.
+func New(clf *knn.Classifier, info ModelInfo, opts Options) *Server {
+	s := &Server{
+		clf:  clf,
+		info: info,
+		opts: opts.withDefaults(),
+	}
+	s.sem = make(chan struct{}, s.opts.MaxInFlight)
+	s.ready = true
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/v1/model", s.handleModel)
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/predict/batch", s.handleBatch)
+	return s
+}
+
+// Handler returns the server's HTTP handler (also usable under httptest
+// or an existing mux).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// MaxInFlight reports the resolved in-flight bound.
+func (s *Server) MaxInFlight() int { return s.opts.MaxInFlight }
+
+// SetReady flips the readiness probe (Run flips it to false when
+// draining).
+func (s *Server) SetReady(v bool) {
+	s.readyMu.Lock()
+	s.ready = v
+	s.readyMu.Unlock()
+}
+
+func (s *Server) isReady() bool {
+	s.readyMu.Lock()
+	defer s.readyMu.Unlock()
+	return s.ready
+}
+
+// Run listens on addr and serves until ctx is canceled, then drains
+// gracefully: readiness flips to 503, the listener closes, and in-flight
+// requests get ShutdownGrace to complete. A clean drain returns nil — the
+// path a SIGINT through signal.NotifyContext takes.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	return s.RunListener(ctx, ln)
+}
+
+// RunListener is Run over an existing listener (tests use :0).
+func (s *Server) RunListener(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	s.SetReady(false)
+	shCtx, cancel := context.WithTimeout(context.Background(), s.opts.ShutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// predictResponse is one prediction result on the wire. OK=false is an
+// abstention (measure empty); Fallback marks a prediction produced by the
+// configured degradation policy rather than the θ_δ-gated vote.
+type predictResponse struct {
+	Measure  string `json:"measure,omitempty"`
+	OK       bool   `json:"ok"`
+	Fallback bool   `json:"fallback,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.isReady() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.info)
+}
+
+// acquire claims an in-flight slot without queueing; a saturated server
+// sheds the request immediately so the client (or load balancer) can
+// retry elsewhere instead of piling latency onto a full queue.
+func (s *Server) acquire(w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		if obs.On() {
+			mRejected.Inc()
+		}
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server saturated; retry"})
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.servePrediction(w, r, false)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.servePrediction(w, r, true)
+}
+
+// servePrediction is the shared single/batch prediction path: bound the
+// body, decode wire contexts, run the classifier under the in-flight
+// bound, and translate abstentions/fallbacks to the wire form. A panic
+// below (a poisoned context, an injected fault) is recovered into a 500
+// for this request only; the server stays up.
+func (s *Server) servePrediction(w http.ResponseWriter, r *http.Request, batch bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	if obs.On() {
+		mRequests.Inc()
+	}
+	if !s.acquire(w) {
+		return
+	}
+	defer s.release()
+	sp := stServe.Start()
+	defer sp.End()
+	t0 := time.Now()
+	defer func() {
+		if obs.On() {
+			hLatency.ObserveSince(t0)
+		}
+		if rec := recover(); rec != nil {
+			if obs.On() {
+				mErrors.Inc()
+			}
+			err := pipeline.Recovered("serve.predict", rec)
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
+	}()
+
+	wire, ok := s.decodeRequest(w, r, batch)
+	if !ok {
+		return
+	}
+	ctxs, err := decodeAll(wire)
+	if err != nil {
+		s.clientError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Chaos probe: one deterministic, content-keyed fault site per
+	// request, so the chaos suite exercises the server's degradation
+	// (503, never a crash or a wrong answer). Keyed by the first
+	// context's identity plus the batch size — call order and goroutine
+	// identity never factor in.
+	if faults.Enabled() {
+		key := fmt.Sprintf("%s@%d/%d#%d", wire[0].SessionID, wire[0].T, wire[0].N, len(wire))
+		if err := injectGuarded(key); err != nil {
+			if obs.On() {
+				mErrors.Inc()
+			}
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "degraded: " + err.Error()})
+			return
+		}
+	}
+
+	preds, err := s.clf.PredictAllCtx(r.Context(), ctxs)
+	if err != nil {
+		if obs.On() {
+			mErrors.Inc()
+		}
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		return
+	}
+	out := make([]predictResponse, len(preds))
+	for i, p := range preds {
+		out[i] = predictResponse{Measure: p.Label, OK: p.Covered, Fallback: p.Fallback}
+		if obs.On() {
+			mPredictions.Inc()
+			switch {
+			case p.Fallback:
+				mFallback.Inc()
+			case !p.Covered:
+				mAbstain.Inc()
+			}
+		}
+	}
+	if batch {
+		writeJSON(w, http.StatusOK, struct {
+			Predictions []predictResponse `json:"predictions"`
+		}{out})
+		return
+	}
+	writeJSON(w, http.StatusOK, out[0])
+}
+
+// decodeRequest bounds and parses the request body into wire contexts.
+// On failure it has already written the error response.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, batch bool) ([]*snapshot.WireContext, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		s.clientError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("read body: %w", err))
+		return nil, false
+	}
+	var wire []*snapshot.WireContext
+	if batch {
+		var req struct {
+			Contexts []*snapshot.WireContext `json:"contexts"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			s.clientError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return nil, false
+		}
+		wire = req.Contexts
+	} else {
+		var req struct {
+			Context *snapshot.WireContext `json:"context"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			s.clientError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return nil, false
+		}
+		if req.Context == nil {
+			s.clientError(w, http.StatusBadRequest, errors.New(`missing "context"`))
+			return nil, false
+		}
+		wire = []*snapshot.WireContext{req.Context}
+	}
+	if len(wire) == 0 {
+		s.clientError(w, http.StatusBadRequest, errors.New("no contexts in request"))
+		return nil, false
+	}
+	if len(wire) > s.opts.MaxBatch {
+		s.clientError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d exceeds the %d-context cap", len(wire), s.opts.MaxBatch))
+		return nil, false
+	}
+	return wire, true
+}
+
+// injectGuarded runs the serve.predict probe, converting an injected
+// panic into an error (the handler's recover would answer 500; the
+// probe's contract is the gentler 503 degradation).
+func injectGuarded(key string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = pipeline.Recovered(faults.SiteServePredict, r)
+		}
+	}()
+	return faults.Inject(faults.SiteServePredict, key, faults.KindAll)
+}
+
+func decodeAll(wire []*snapshot.WireContext) ([]*session.Context, error) {
+	out := make([]*session.Context, len(wire))
+	for i, wc := range wire {
+		c, err := snapshot.DecodeContext(wc, nil)
+		if err != nil {
+			return nil, fmt.Errorf("context %d: %w", i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+func (s *Server) clientError(w http.ResponseWriter, code int, err error) {
+	if obs.On() {
+		mErrors.Inc()
+	}
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

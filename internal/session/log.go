@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/atomicio"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 )
@@ -188,17 +189,18 @@ func ReadLog(r io.Reader) (*LogFile, error) {
 	return &lf, nil
 }
 
-// SaveLog writes sessions to a file path.
+// SaveLog writes sessions to a file path. The write is atomic (temp file +
+// fsync + rename, see internal/atomicio): a crash or write error mid-save
+// leaves any pre-existing log untouched instead of a truncated JSON file,
+// and the close error is no longer masked by a doubled Close.
 func SaveLog(path string, sessions []*Session) error {
-	f, err := os.Create(path)
+	err := atomicio.WriteFile(path, func(w io.Writer) error {
+		return WriteLog(w, sessions)
+	})
 	if err != nil {
 		return fmt.Errorf("session: save log: %w", err)
 	}
-	defer f.Close()
-	if err := WriteLog(f, sessions); err != nil {
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
 // LoadLog reads a log file from a path.
