@@ -24,10 +24,12 @@ package repro
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 
+	"repro/internal/checkpoint"
 	"repro/internal/dataset"
 	"repro/internal/distance"
 	"repro/internal/engine"
@@ -238,7 +240,17 @@ type Predictor struct {
 	// training time so a snapshot can carry it (nil when the analysis
 	// had no normalizer).
 	norm *offline.Normalizer
+	// model caches the serializable form. A predictor restored from a
+	// checkpoint or snapshot keeps the exact model it was restored from,
+	// so re-serializing it is byte-identical to the original — the
+	// property the kill-resume-compare chaos test pins down.
+	model *snapshot.Model
 }
+
+// ckptStageTrain is the training-stage checkpoint record: the complete
+// snapshot.Model, written once training finishes. Named after the
+// "api.train" pipeline stage it protects.
+const ckptStageTrain = "api.train"
 
 // TrainPredictor builds the labeled training set for (I, method) and
 // constructs the kNN model. RunOfflineAnalysis must have been called.
@@ -268,6 +280,10 @@ func (f *Framework) TrainPredictorContext(ctx context.Context, I MeasureSet, met
 		cfg = DefaultPredictorConfig(method)
 		cfg.Fallback = fallback
 	}
+	ck := f.Analysis.Checkpoint
+	if p := resumeTrainedModel(ck, I, method, cfg); p != nil {
+		return p, nil
+	}
 	samples := offline.BuildTrainingSet(f.Analysis, I, offline.TrainingOptions{
 		N:              cfg.N,
 		Method:         method,
@@ -286,7 +302,54 @@ func (f *Framework) TrainPredictorContext(ctx context.Context, I MeasureSet, met
 		Workers:    cfg.Workers,
 		Fallback:   cfg.Fallback,
 	})
-	return &Predictor{clf: clf, I: I, method: method, cfg: cfg, norm: f.Analysis.Normalizer}, nil
+	p = &Predictor{clf: clf, I: I, method: method, cfg: cfg, norm: f.Analysis.Normalizer}
+	if ck != nil {
+		// Persist the finished model so a killed-and-resumed run skips
+		// training entirely and re-serializes these exact bytes.
+		_ = ck.Update(ckptStageTrain, checkpoint.Progress{Done: 1, Total: 1, Complete: true}, p.snapshotModel())
+		_ = ck.Sync()
+	}
+	return p, nil
+}
+
+// resumeTrainedModel restores a predictor from a completed train-stage
+// checkpoint, or returns nil when there is none (or it was taken under a
+// different model configuration — the analysis fingerprint already
+// matched, so a config echo mismatch means the caller changed the train
+// request, and the honest move is to retrain, not to resume the wrong
+// model). Restore failures also fall back to retraining: the checkpoint
+// is advisory, never load-bearing for correctness.
+func resumeTrainedModel(ck *checkpoint.Manager, I MeasureSet, method Method, cfg PredictorConfig) *Predictor {
+	if ck == nil || !ck.Resumed() {
+		return nil
+	}
+	raw, prog, ok := ck.Stage(ckptStageTrain)
+	if !ok || !prog.Complete {
+		return nil
+	}
+	var m snapshot.Model
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil
+	}
+	names := I.Names()
+	if m.Method != method.String() || len(m.Measures) != len(names) ||
+		m.N != cfg.N || m.K != cfg.K || m.ThetaDelta != cfg.ThetaDelta ||
+		m.ThetaI != cfg.ThetaI || m.Fallback != cfg.Fallback.String() {
+		return nil
+	}
+	for i, n := range names {
+		if m.Measures[i] != n {
+			return nil
+		}
+	}
+	p, err := predictorFromModel(&m)
+	if err != nil {
+		return nil
+	}
+	if p.cfg.Workers != cfg.Workers {
+		p.SetWorkers(cfg.Workers)
+	}
+	return p
 }
 
 // TrainingSize returns the number of labeled samples behind the model.
@@ -383,11 +446,28 @@ func (p *Predictor) Measure(name string) (Measure, error) {
 	return nil, fmt.Errorf("repro: measure %q is not in the model's configuration %v", name, p.I.Names())
 }
 
-// snapshotModel assembles the serializable form of the trained model:
+// snapshotModel returns the serializable form of the trained model,
+// building and caching it on first use. A predictor restored from a
+// snapshot or checkpoint already carries its model verbatim; only the
+// Workers field — a deployment knob, not a model parameter — is patched
+// (on a copy) when SetWorkers changed it after restore.
+func (p *Predictor) snapshotModel() *snapshot.Model {
+	if p.model == nil {
+		p.model = p.buildModel()
+	}
+	if p.model.Workers != p.cfg.Workers {
+		clone := *p.model
+		clone.Workers = p.cfg.Workers
+		p.model = &clone
+	}
+	return p.model
+}
+
+// buildModel assembles the serializable form of the trained model:
 // hyper-parameters, measure names, normalization state, and every
 // training context with its labels, displays interned in a shared pool
 // (see internal/snapshot).
-func (p *Predictor) snapshotModel() *snapshot.Model {
+func (p *Predictor) buildModel() *snapshot.Model {
 	m := &snapshot.Model{
 		Method:     p.method.String(),
 		Measures:   p.I.Names(),
@@ -489,7 +569,7 @@ func predictorFromModel(m *snapshot.Model) (*Predictor, error) {
 		Workers:    cfg.Workers,
 		Fallback:   cfg.Fallback,
 	})
-	p := &Predictor{clf: clf, I: I, method: method, cfg: cfg}
+	p := &Predictor{clf: clf, I: I, method: method, cfg: cfg, model: m}
 	if len(m.Norms) > 0 {
 		p.norm = &offline.Normalizer{Params: m.Norms}
 	}
@@ -499,11 +579,33 @@ func predictorFromModel(m *snapshot.Model) (*Predictor, error) {
 // Serving layer re-exports.
 type (
 	// ServeOptions bounds the HTTP prediction server's resource envelope
-	// (in-flight requests, batch size, body size, shutdown grace).
+	// (in-flight requests, batch size, body size, shutdown grace,
+	// Retry-After scaling, hot-reload source).
 	ServeOptions = serve.Options
-	// ServeModelInfo is the /v1/model description of a served model.
+	// ServeModelInfo is the model description part of /v1/model.
 	ServeModelInfo = serve.ModelInfo
+	// ServeModelStatus is the full /v1/model response: the model
+	// description plus reload generation and load time.
+	ServeModelStatus = serve.ModelStatus
+	// ServeReloader builds a replacement model for hot reload (see
+	// SnapshotReloader for the snapshot-file-backed implementation).
+	ServeReloader = serve.Reloader
 )
+
+// SnapshotReloader returns a reloader that re-reads the model snapshot
+// at path on every reload: wire it into ServeOptions.Reloader and a
+// SIGHUP (or POST /v1/admin/reload) swaps in whatever model the file
+// holds — after checksum verification and a self-test, atomically, with
+// in-flight requests finishing on the model they started with.
+func SnapshotReloader(path string) ServeReloader {
+	return func() (*knn.Classifier, ServeModelInfo, error) {
+		p, err := LoadPredictor(path)
+		if err != nil {
+			return nil, ServeModelInfo{}, err
+		}
+		return p.clf, p.modelInfo(), nil
+	}
+}
 
 // EncodeWireContext converts an n-context to the self-contained JSON wire
 // form the prediction server accepts (the "context"/"contexts" request
@@ -523,6 +625,7 @@ func (p *Predictor) modelInfo() ServeModelInfo {
 		ThetaI:       p.cfg.ThetaI,
 		Fallback:     p.cfg.Fallback.String(),
 		TrainingSize: p.TrainingSize(),
+		Prior:        p.clf.Prior(),
 	}
 }
 

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/client"
+	"repro/internal/snapshot"
+)
+
+// cmdClient exercises a running prediction server through the resilient
+// client (internal/client): retries with jittered backoff honoring
+// Retry-After, a circuit breaker, and prior-label degradation while the
+// breaker is open. Input is the wire-context JSON array that
+// `idarepro train -contexts` writes.
+func cmdClient(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("client", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "server base URL")
+	ctxPath := fs.String("contexts", "", "wire-context JSON array (written by idarepro train -contexts)")
+	limit := fs.Int("limit", 0, "cap on contexts sent (0 = all)")
+	prior := fs.String("prior", "", "pin the degraded-mode prior label (default: learned from /v1/model)")
+	batch := fs.Bool("batch", false, "send everything as one /v1/predict/batch request instead of per-context calls")
+	verbose := fs.Bool("v", false, "print one line per prediction, not just the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *ctxPath == "" {
+		return fmt.Errorf("client: -contexts FILE is required")
+	}
+	blob, err := os.ReadFile(*ctxPath)
+	if err != nil {
+		return err
+	}
+	var wire []*snapshot.WireContext
+	if err := json.Unmarshal(blob, &wire); err != nil {
+		return fmt.Errorf("client: parse %s: %w", *ctxPath, err)
+	}
+	if len(wire) == 0 {
+		return fmt.Errorf("client: %s holds no contexts", *ctxPath)
+	}
+	if *limit > 0 && len(wire) > *limit {
+		wire = wire[:*limit]
+	}
+
+	cl, err := client.New(client.Options{BaseURL: *addr, PriorLabel: *prior})
+	if err != nil {
+		return err
+	}
+	// Best-effort: the model status names the prior label the client
+	// degrades to; a down server is exactly what the breaker is for, so
+	// a failure here is reported but not fatal.
+	if st, err := cl.Model(ctx); err == nil {
+		fmt.Fprintf(os.Stderr, "client: server model %s generation %d (%d samples, prior %q)\n",
+			st.Method, st.Generation, st.TrainingSize, st.Prior)
+	} else {
+		fmt.Fprintln(os.Stderr, "client: /v1/model unavailable:", err)
+	}
+
+	var preds []client.Prediction
+	failed := 0
+	if *batch {
+		preds, err = cl.PredictBatch(ctx, wire)
+		if err != nil {
+			return err
+		}
+	} else {
+		preds = make([]client.Prediction, 0, len(wire))
+		for i, wc := range wire {
+			p, err := cl.Predict(ctx, wc)
+			if err != nil {
+				// Per-context failures are the client's normal weather —
+				// keep going so the breaker can open and later contexts
+				// degrade to the prior instead of erroring. A canceled
+				// command context is the one non-recoverable case.
+				if ctx.Err() != nil {
+					return err
+				}
+				failed++
+				fmt.Fprintf(os.Stderr, "client: context %d: %v\n", i, err)
+				continue
+			}
+			preds = append(preds, p)
+		}
+	}
+	if len(preds) == 0 && failed > 0 {
+		return fmt.Errorf("client: all %d requests failed (breaker %s)", failed, cl.BreakerState())
+	}
+
+	var predicted, abstained, fallback, degraded int
+	for i, p := range preds {
+		switch {
+		case p.Degraded:
+			degraded++
+		case !p.OK:
+			abstained++
+		case p.Fallback:
+			fallback++
+		default:
+			predicted++
+		}
+		if *verbose {
+			label := p.Measure
+			if !p.OK {
+				label = "(abstain)"
+			}
+			fmt.Printf("context %3d: %-12s fallback=%v degraded=%v\n", i, label, p.Fallback, p.Degraded)
+		}
+	}
+	fmt.Printf("sent %d contexts: %d predicted, %d by fallback, %d abstained, %d degraded, %d failed (breaker %s)\n",
+		len(wire), predicted, fallback, abstained, degraded, failed, cl.BreakerState())
+	return nil
+}

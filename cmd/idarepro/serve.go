@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
 	"repro/internal/atomicio"
@@ -27,8 +29,13 @@ func cmdTrain(ctx context.Context, args []string) error {
 	fallbackName := fs.String("fallback", "abstain", "abstention degradation policy: abstain, nearest or prior")
 	ctxOut := fs.String("contexts", "", "also export up to -ctxlimit wire contexts (server request bodies) to this path")
 	ctxLimit := fs.Int("ctxlimit", 64, "cap on exported wire contexts")
+	ckptDir := fs.String("checkpoint", "", "persist crash-safe analysis/training progress under this directory")
+	resume := fs.Bool("resume", false, "resume from a compatible checkpoint in -checkpoint DIR, skipping completed work")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *ckptDir == "" {
+		return fmt.Errorf("train: -resume requires -checkpoint DIR")
 	}
 	method, err := offline.ParseMethod(*methodName)
 	if err != nil {
@@ -47,8 +54,13 @@ func cmdTrain(ctx context.Context, args []string) error {
 		RefLimit:      *refLimit,
 		SkipReference: method == repro.Normalized,
 		Workers:       workerCount,
+		CheckpointDir: *ckptDir,
+		Resume:        *resume,
 	}); err != nil {
 		return err
+	}
+	if ck := fw.Analysis.Checkpoint; ck != nil && ck.Resumed() {
+		fmt.Fprintf(os.Stderr, "train: resumed from checkpoint %s (completed stages skipped)\n", *ckptDir)
 	}
 	cfg := repro.DefaultPredictorConfig(method)
 	cfg.Workers = workerCount
@@ -110,6 +122,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	maxInFlight := fs.Int("maxinflight", 0, "max concurrently served prediction requests (0 = one per CPU)")
 	maxBatch := fs.Int("maxbatch", 0, "max contexts per batch request (0 = 1024)")
+	reload := fs.Bool("reload", false, "enable hot model reload: SIGHUP or POST /v1/admin/reload re-reads -model and swaps it in without dropping requests")
 	verbose := fs.Bool("v", false, "print the telemetry snapshot (request counters, latency) at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,9 +141,35 @@ func cmdServe(ctx context.Context, args []string) error {
 	cfg := pred.Config()
 	fmt.Fprintf(os.Stderr, "serve: loaded %s model from %s (%d samples, n=%d k=%d θ_δ=%g fallback=%s)\n",
 		pred.Method(), *model, pred.TrainingSize(), cfg.N, cfg.K, cfg.ThetaDelta, cfg.Fallback)
-	fmt.Fprintf(os.Stderr, "serve: listening on %s (endpoints: /healthz /readyz /v1/model /v1/predict /v1/predict/batch)\n", *addr)
-	return pred.Serve(ctx, *addr, repro.ServeOptions{
+	opts := repro.ServeOptions{
 		MaxInFlight: *maxInFlight,
 		MaxBatch:    *maxBatch,
-	})
+	}
+	endpoints := "/healthz /readyz /v1/model /v1/predict /v1/predict/batch"
+	if *reload {
+		opts.Reloader = repro.SnapshotReloader(*model)
+		endpoints += " /v1/admin/reload"
+	}
+	srv := pred.NewServer(opts)
+	if *reload {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-hup:
+					if st, err := srv.Reload(); err != nil {
+						fmt.Fprintln(os.Stderr, "serve: reload:", err)
+					} else {
+						fmt.Fprintf(os.Stderr, "serve: reloaded %s (generation %d)\n", *model, st.Generation)
+					}
+				}
+			}
+		}()
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (endpoints: %s)\n", *addr, endpoints)
+	return srv.Run(ctx, *addr)
 }

@@ -1,0 +1,506 @@
+// Package client is the self-healing HTTP client for the prediction
+// server (internal/serve): the piece that keeps a caller useful while
+// the server restarts, reloads, or sheds load.
+//
+// Resilience is layered (DESIGN.md §9). Each request gets a bounded
+// per-attempt timeout; transient failures — network errors, timeouts,
+// 5xx — retry under the shared jittered-backoff policy of
+// internal/faults, honoring the server's Retry-After hint (the
+// occupancy-scaled value internal/serve computes). Above the retry
+// loop sits a rolling-window circuit breaker: when the recent failure
+// rate crosses the threshold the breaker opens and requests stop
+// hitting the dying server; while open, predictions degrade to the
+// model's prior label (the same zero-information answer as
+// knn.FallbackPrior, learned from /v1/model or configured directly)
+// instead of failing. After a cooldown the breaker lets one probe
+// through; success closes it, failure re-opens it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/snapshot"
+)
+
+var (
+	mRequests    = obs.C("client.requests")
+	mFailures    = obs.C("client.failures")
+	mDegraded    = obs.C("client.degraded")
+	mBreakerOpen = obs.C("client.breaker_open")
+)
+
+// ErrBreakerOpen reports a request refused by an open circuit breaker
+// with no prior label to degrade to.
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// Options configures the client. The zero value is usable given a
+// BaseURL.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport. nil means http.DefaultClient.
+	HTTPClient *http.Client
+	// RequestTimeout bounds each attempt (not the whole retry loop).
+	// <=0 means 5s.
+	RequestTimeout time.Duration
+	// Retry is the per-request retry policy. Zero Attempts means 3
+	// attempts with 100ms jittered exponential backoff capped at 2s.
+	// The policy's Retryable is always overridden with the client's
+	// transient/permanent classification.
+	Retry faults.RetryPolicy
+	// BreakerWindow is the rolling outcome window size. <1 means 16.
+	BreakerWindow int
+	// BreakerThreshold opens the breaker when the window's failure
+	// rate reaches it (window full). <=0 means 0.5.
+	BreakerThreshold float64
+	// BreakerCooldown is how long an open breaker waits before letting
+	// a probe through. <=0 means 5s.
+	BreakerCooldown time.Duration
+	// PriorLabel seeds the degraded answer served while the breaker is
+	// open. When empty the client learns it from /v1/model's "prior".
+	PriorLabel string
+}
+
+func (o Options) withDefaults() Options {
+	if o.HTTPClient == nil {
+		o.HTTPClient = http.DefaultClient
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.Retry.Attempts < 1 {
+		o.Retry.Attempts = 3
+		o.Retry.Backoff = 100 * time.Millisecond
+		o.Retry.MaxBackoff = 2 * time.Second
+		o.Retry.Jitter = true
+	}
+	if o.BreakerWindow < 1 {
+		o.BreakerWindow = 16
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 0.5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	return o
+}
+
+// Prediction is one answer. Degraded marks a prior-label answer the
+// client synthesized while the breaker was open — the server never saw
+// the request.
+type Prediction struct {
+	Measure  string `json:"measure"`
+	OK       bool   `json:"ok"`
+	Fallback bool   `json:"fallback,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
+}
+
+// Client is a resilient prediction-server client. Safe for concurrent
+// use.
+type Client struct {
+	opts Options
+	// now is the clock, swappable in tests.
+	now func() time.Time
+
+	br breaker
+
+	priorMu sync.Mutex
+	prior   string
+}
+
+// New builds a client for the server at opts.BaseURL.
+func New(opts Options) (*Client, error) {
+	if opts.BaseURL == "" {
+		return nil, errors.New("client: BaseURL required")
+	}
+	o := opts.withDefaults()
+	c := &Client{opts: o, now: time.Now, prior: o.PriorLabel}
+	c.br = breaker{
+		window:    make([]bool, o.BreakerWindow),
+		threshold: o.BreakerThreshold,
+		cooldown:  o.BreakerCooldown,
+	}
+	return c, nil
+}
+
+// BreakerState reports the breaker position ("closed", "open" or
+// "half-open") for logs and tests.
+func (c *Client) BreakerState() string { return c.br.state(c.now()) }
+
+// Model fetches /v1/model and remembers the model's prior label as the
+// degraded answer (unless Options.PriorLabel pinned one).
+func (c *Client) Model(ctx context.Context) (serve.ModelStatus, error) {
+	var st serve.ModelStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/model", "model", nil, &st); err != nil {
+		return serve.ModelStatus{}, err
+	}
+	if c.opts.PriorLabel == "" && st.Prior != "" {
+		c.priorMu.Lock()
+		c.prior = st.Prior
+		c.priorMu.Unlock()
+	}
+	return st, nil
+}
+
+// Predict asks for the best measure for one wire context. While the
+// breaker is open it returns the prior-label degradation (Degraded set)
+// instead of an error, or ErrBreakerOpen when no prior is known.
+func (c *Client) Predict(ctx context.Context, wc *snapshot.WireContext) (Prediction, error) {
+	preds, err := c.predict(ctx, "/v1/predict", predictKey(wc, 1),
+		map[string]any{"context": wc}, 1, false)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return preds[0], nil
+}
+
+// PredictBatch is Predict over several contexts; the result is
+// index-aligned with ctxs.
+func (c *Client) PredictBatch(ctx context.Context, ctxs []*snapshot.WireContext) ([]Prediction, error) {
+	if len(ctxs) == 0 {
+		return nil, errors.New("client: empty batch")
+	}
+	return c.predict(ctx, "/v1/predict/batch", predictKey(ctxs[0], len(ctxs)),
+		map[string]any{"contexts": ctxs}, len(ctxs), true)
+}
+
+func (c *Client) predict(ctx context.Context, path, key string, body any, n int, batch bool) ([]Prediction, error) {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode request: %w", err)
+	}
+	var (
+		single Prediction
+		multi  struct {
+			Predictions []Prediction `json:"predictions"`
+		}
+	)
+	out := any(&single)
+	if batch {
+		out = &multi
+	}
+	err = c.do(ctx, http.MethodPost, path, key, blob, out)
+	if err != nil {
+		if preds, ok := c.degraded(err, n); ok {
+			return preds, nil
+		}
+		return nil, err
+	}
+	if batch {
+		if len(multi.Predictions) != n {
+			return nil, fmt.Errorf("client: server answered %d predictions for %d contexts", len(multi.Predictions), n)
+		}
+		return multi.Predictions, nil
+	}
+	return []Prediction{single}, nil
+}
+
+// degraded synthesizes prior-label answers for a breaker-refused
+// request; ok is false when the failure should surface instead (breaker
+// closed, or no prior known).
+func (c *Client) degraded(err error, n int) ([]Prediction, bool) {
+	if !errors.Is(err, ErrBreakerOpen) {
+		return nil, false
+	}
+	c.priorMu.Lock()
+	prior := c.prior
+	c.priorMu.Unlock()
+	if prior == "" {
+		return nil, false
+	}
+	if obs.On() {
+		mDegraded.Add(uint64(n))
+	}
+	preds := make([]Prediction, n)
+	for i := range preds {
+		preds[i] = Prediction{Measure: prior, OK: true, Fallback: true, Degraded: true}
+	}
+	return preds, true
+}
+
+// do runs one logical request through the breaker and retry loop,
+// decoding a 200 response into out.
+func (c *Client) do(ctx context.Context, method, path, key string, body []byte, out any) error {
+	if !c.br.allow(c.now()) {
+		return ErrBreakerOpen
+	}
+	if obs.On() {
+		mRequests.Inc()
+	}
+	retry := c.opts.Retry
+	retry.Retryable = transient
+	err := retry.Do(ctx, func(attempt int) error {
+		return c.attempt(ctx, method, path, faults.Key(key, attempt), body, out)
+	})
+	if c.br.record(err == nil || permanent(err), c.now()) && obs.On() {
+		mBreakerOpen.Inc()
+	}
+	if err != nil {
+		if obs.On() {
+			mFailures.Inc()
+		}
+		return err
+	}
+	return nil
+}
+
+// attempt is one HTTP round trip under the per-attempt timeout and the
+// client.request fault site.
+func (c *Client) attempt(ctx context.Context, method, path, key string, body []byte, out any) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = recoveredErr(r)
+		}
+	}()
+	if err := faults.Inject(faults.SiteClientRequest, key, faults.KindAll); err != nil {
+		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	actx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.opts.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		// The caller's context ending is final; this attempt's timeout
+		// is a transient slow-server signal.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return &transportError{err: err}
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return &transportError{err: err}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &httpError{
+			code:       resp.StatusCode,
+			body:       errBody(blob),
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(blob, out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+func recoveredErr(r any) error {
+	if err, ok := r.(error); ok {
+		return fmt.Errorf("client: recovered panic: %w", err)
+	}
+	return fmt.Errorf("client: recovered panic: %v", r)
+}
+
+// transient classifies an attempt failure for the retry loop: injected
+// faults, transport errors, per-attempt timeouts and 5xx/429 retry;
+// other HTTP errors and caller cancellation do not.
+func transient(err error) bool {
+	if faults.IsInjected(err) {
+		return true
+	}
+	var te *transportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.code >= 500 || he.code == http.StatusTooManyRequests
+	}
+	return false
+}
+
+// permanent reports an error that says nothing about server health — a
+// 4xx is the caller's bug, not an outage — so it must not trip the
+// breaker.
+func permanent(err error) bool {
+	var he *httpError
+	return errors.As(err, &he) && he.code < 500 && he.code != http.StatusTooManyRequests
+}
+
+// transportError is a network-level failure (connection refused, reset,
+// attempt timeout): always retryable, always a breaker failure.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "client: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// httpError is a non-200 response. It carries the server's Retry-After
+// hint through faults.RetryAfterHinter, so the shared retry loop waits
+// as long as the server asked before the next attempt.
+type httpError struct {
+	code       int
+	body       string
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string {
+	if e.body != "" {
+		return fmt.Sprintf("client: server answered %d: %s", e.code, e.body)
+	}
+	return fmt.Sprintf("client: server answered %d", e.code)
+}
+
+// StatusCode reports the HTTP status.
+func (e *httpError) StatusCode() int { return e.code }
+
+// RetryAfterHint implements faults.RetryAfterHinter.
+func (e *httpError) RetryAfterHint() (time.Duration, bool) {
+	return e.retryAfter, e.retryAfter > 0
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the only
+// form internal/serve emits).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// errBody extracts the server's {"error": ...} message when present.
+func errBody(blob []byte) string {
+	var er struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(blob, &er) == nil && er.Error != "" {
+		return er.Error
+	}
+	return ""
+}
+
+// predictKey is the deterministic fault-site key for a prediction
+// request: the first context's identity plus the batch size, the same
+// shape the server's own probe uses, so chaos runs line up across both
+// sides of the wire.
+func predictKey(wc *snapshot.WireContext, n int) string {
+	return fmt.Sprintf("%s@%d/%d#%d", wc.SessionID, wc.T, wc.N, n)
+}
+
+// breaker is a rolling-window circuit breaker. Closed: outcomes feed a
+// ring buffer; a full window at or above the failure threshold opens
+// it. Open: requests are refused until cooldown elapses. Half-open: one
+// probe goes through; success closes and clears the window, failure
+// re-opens and restarts the cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	window    []bool // ring of outcomes, true = success
+	idx       int
+	count     int
+	opened    time.Time
+	openState int // 0 closed, 1 open, 2 half-open (probe in flight)
+	threshold float64
+	cooldown  time.Duration
+}
+
+func (b *breaker) state(now time.Time) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.openState {
+	case 1:
+		if now.Sub(b.opened) >= b.cooldown {
+			return "half-open"
+		}
+		return "open"
+	case 2:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.openState {
+	case 0:
+		return true
+	case 1:
+		if now.Sub(b.opened) < b.cooldown {
+			return false
+		}
+		b.openState = 2 // claim the single half-open probe
+		return true
+	default: // half-open, a probe already in flight
+		return false
+	}
+}
+
+// record feeds one outcome back, reporting whether it opened (or
+// re-opened) the breaker.
+func (b *breaker) record(ok bool, now time.Time) (opened bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openState == 2 {
+		if ok {
+			b.openState = 0
+			b.count, b.idx = 0, 0
+			return false
+		}
+		b.openState = 1
+		b.opened = now
+		return true
+	}
+	if b.openState == 1 {
+		// A request that started before the breaker opened; its outcome
+		// is stale.
+		return false
+	}
+	b.window[b.idx] = ok
+	b.idx = (b.idx + 1) % len(b.window)
+	if b.count < len(b.window) {
+		b.count++
+	}
+	if b.count < len(b.window) {
+		return false
+	}
+	fails := 0
+	for _, s := range b.window {
+		if !s {
+			fails++
+		}
+	}
+	if float64(fails)/float64(len(b.window)) >= b.threshold {
+		b.openState = 1
+		b.opened = now
+		b.count, b.idx = 0, 0
+		return true
+	}
+	return false
+}

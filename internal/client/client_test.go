@@ -1,0 +1,403 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/distance"
+	"repro/internal/faults"
+	"repro/internal/knn"
+	"repro/internal/offline"
+	"repro/internal/serve"
+	"repro/internal/session"
+	"repro/internal/snapshot"
+)
+
+func trainCtx(id string, t int) *session.Context {
+	return &session.Context{SessionID: id, T: t, N: 2, Size: 1, Root: &session.CtxNode{Step: t}}
+}
+
+func wire(id string, t int) *snapshot.WireContext {
+	return snapshot.EncodeContext(trainCtx(id, t), nil)
+}
+
+// realServer runs an actual serve.Server over a one-sample classifier
+// answering "variance".
+func realServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	sample := &offline.Sample{Context: trainCtx("train", 1), Labels: []string{"variance"}}
+	clf := knn.New([]*offline.Sample{sample}, distance.NewMemoizedTreeEdit(nil), knn.Config{
+		K: 1, ThetaDelta: 0.25, Workers: 1,
+	})
+	s := serve.New(clf, serve.ModelInfo{Method: "normalized", TrainingSize: 1, Prior: "variance"}, serve.Options{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// fastRetry keeps test retries sub-millisecond.
+func fastRetry(attempts int) faults.RetryPolicy {
+	return faults.RetryPolicy{Attempts: attempts, Backoff: time.Microsecond, MaxBackoff: time.Millisecond}
+}
+
+func TestPredictRoundTrip(t *testing.T) {
+	ts := realServer(t)
+	c, err := New(Options{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Predict(context.Background(), wire("q", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.OK || p.Measure != "variance" || p.Degraded {
+		t.Fatalf("predict = %+v, want covered variance", p)
+	}
+
+	batch, err := c.PredictBatch(context.Background(), []*snapshot.WireContext{wire("a", 1), wire("b", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 {
+		t.Fatalf("batch returned %d predictions, want 2", len(batch))
+	}
+	for i, p := range batch {
+		if !p.OK || p.Measure != "variance" {
+			t.Fatalf("batch[%d] = %+v, want covered variance", i, p)
+		}
+	}
+
+	st, err := c.Model(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != 1 || st.Prior != "variance" {
+		t.Fatalf("model status = %+v, want generation 1 prior variance", st)
+	}
+}
+
+func TestRetriesTransient503(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"saturated"}`)
+			return
+		}
+		fmt.Fprint(w, `{"measure":"variance","ok":true}`)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{BaseURL: ts.URL, Retry: fastRetry(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Predict(context.Background(), wire("q", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Measure != "variance" || calls.Load() != 2 {
+		t.Fatalf("predict = %+v after %d calls, want variance after 2", p, calls.Load())
+	}
+	if st := c.BreakerState(); st != "closed" {
+		t.Fatalf("breaker after recovered retry: %s, want closed", st)
+	}
+}
+
+func TestPermanent4xxDoesNotRetryOrTrip(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"bad context"}`)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{BaseURL: ts.URL, Retry: fastRetry(3), BreakerWindow: 2, BreakerThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Predict(context.Background(), wire("q", 1)); err == nil {
+			t.Fatal("400 response did not surface as an error")
+		}
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("server saw %d calls for 4 predicts, want 4 (no retries on 4xx)", calls.Load())
+	}
+	if st := c.BreakerState(); st != "closed" {
+		t.Fatalf("breaker after 4xx streak: %s, want closed (client bugs are not outages)", st)
+	}
+}
+
+func TestBreakerOpensAndDegradesToPrior(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{
+		BaseURL:          ts.URL,
+		Retry:            fastRetry(1),
+		BreakerWindow:    4,
+		BreakerThreshold: 0.5,
+		BreakerCooldown:  time.Hour,
+		PriorLabel:       "variance",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Predict(context.Background(), wire(fmt.Sprintf("q%d", i), 1)); err == nil {
+			t.Fatal("500 streak did not surface errors")
+		}
+	}
+	if st := c.BreakerState(); st != "open" {
+		t.Fatalf("breaker after failure streak: %s, want open", st)
+	}
+
+	before := calls.Load()
+	p, err := c.Predict(context.Background(), wire("degraded", 1))
+	if err != nil {
+		t.Fatalf("open-breaker predict failed instead of degrading: %v", err)
+	}
+	if !p.Degraded || !p.Fallback || !p.OK || p.Measure != "variance" {
+		t.Fatalf("degraded prediction = %+v, want prior variance with Degraded set", p)
+	}
+	if calls.Load() != before {
+		t.Fatal("degraded prediction still hit the dying server")
+	}
+
+	// Batch degrades the same way, index-aligned.
+	batch, err := c.PredictBatch(context.Background(), []*snapshot.WireContext{wire("a", 1), wire("b", 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 || !batch[0].Degraded || !batch[1].Degraded {
+		t.Fatalf("degraded batch = %+v, want 2 degraded priors", batch)
+	}
+}
+
+func TestBreakerOpenWithoutPriorSurfaces(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{
+		BaseURL: ts.URL, Retry: fastRetry(1),
+		BreakerWindow: 2, BreakerThreshold: 0.5, BreakerCooldown: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		c.Predict(context.Background(), wire("q", 1))
+	}
+	if _, err := c.Predict(context.Background(), wire("q", 1)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker with no prior: err = %v, want ErrBreakerOpen", err)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	var healthy atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprint(w, `{"measure":"variance","ok":true}`)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{
+		BaseURL: ts.URL, Retry: fastRetry(1),
+		BreakerWindow: 2, BreakerThreshold: 0.5, BreakerCooldown: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1000, 0)
+	c.now = func() time.Time { return clock }
+
+	for i := 0; i < 2; i++ {
+		c.Predict(context.Background(), wire("q", 1))
+	}
+	if st := c.BreakerState(); st != "open" {
+		t.Fatalf("breaker = %s, want open", st)
+	}
+
+	// Still inside the cooldown: refused.
+	if _, err := c.Predict(context.Background(), wire("q", 1)); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("mid-cooldown predict: %v, want ErrBreakerOpen", err)
+	}
+
+	// Server heals, cooldown elapses: the single half-open probe goes
+	// through and closes the breaker.
+	healthy.Store(true)
+	clock = clock.Add(2 * time.Minute)
+	p, err := c.Predict(context.Background(), wire("probe", 1))
+	if err != nil || p.Measure != "variance" {
+		t.Fatalf("half-open probe = %+v, %v; want variance", p, err)
+	}
+	if st := c.BreakerState(); st != "closed" {
+		t.Fatalf("breaker after successful probe: %s, want closed", st)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{
+		BaseURL: ts.URL, Retry: fastRetry(1),
+		BreakerWindow: 2, BreakerThreshold: 0.5, BreakerCooldown: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1000, 0)
+	c.now = func() time.Time { return clock }
+	for i := 0; i < 2; i++ {
+		c.Predict(context.Background(), wire("q", 1))
+	}
+	clock = clock.Add(2 * time.Minute)
+	if _, err := c.Predict(context.Background(), wire("probe", 1)); err == nil {
+		t.Fatal("failed probe reported success")
+	}
+	if st := c.BreakerState(); st != "open" {
+		t.Fatalf("breaker after failed probe: %s, want open (cooldown restarted)", st)
+	}
+}
+
+func TestModelLearnsPrior(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/model" {
+			json.NewEncoder(w).Encode(serve.ModelStatus{
+				ModelInfo: serve.ModelInfo{Method: "normalized", Prior: "osf"}, Generation: 3,
+			})
+			return
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{
+		BaseURL: ts.URL, Retry: fastRetry(1),
+		BreakerWindow: 2, BreakerThreshold: 0.5, BreakerCooldown: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Model(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != 3 {
+		t.Fatalf("generation = %d, want 3", st.Generation)
+	}
+	for i := 0; i < 2; i++ {
+		c.Predict(context.Background(), wire("q", 1))
+	}
+	p, err := c.Predict(context.Background(), wire("q", 1))
+	if err != nil || p.Measure != "osf" || !p.Degraded {
+		t.Fatalf("degraded predict = %+v, %v; want learned prior osf", p, err)
+	}
+}
+
+// TestCancelMidBackoff: a caller canceling while the retry loop sleeps
+// on the server's long Retry-After hint returns promptly with the
+// context error — the client never holds a dead request hostage.
+func TestCancelMidBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "10")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{BaseURL: ts.URL, Retry: fastRetry(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	_, err = c.Predict(ctx, wire("q", 1))
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("canceled predict took %v; the 10s Retry-After hint was not interruptible", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestInjectedFaultSite(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		fmt.Fprint(w, `{"measure":"variance","ok":true}`)
+	}))
+	defer ts.Close()
+
+	faults.Enable(faults.Config{
+		Prob: 1, Seed: 1, Kinds: faults.KindError,
+		Sites: []string{faults.SiteClientRequest},
+	})
+	t.Cleanup(faults.Disable)
+
+	c, err := New(Options{BaseURL: ts.URL, Retry: fastRetry(2), PriorLabel: "variance"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Predict(context.Background(), wire("q", 1))
+	if err == nil || !faults.IsInjected(err) {
+		t.Fatalf("p=1 client.request fault: err = %v, want injected", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("server saw %d calls under a p=1 client fault, want 0", calls.Load())
+	}
+
+	// Disarmed, the same client recovers on the next request.
+	faults.Disable()
+	p, err := c.Predict(context.Background(), wire("q", 1))
+	if err != nil || p.Measure != "variance" {
+		t.Fatalf("post-chaos predict = %+v, %v; want variance", p, err)
+	}
+}
+
+func TestConnectionRefusedRetriesAndFails(t *testing.T) {
+	// A port nothing listens on: every attempt is a transport error.
+	c, err := New(Options{BaseURL: "http://127.0.0.1:1", Retry: fastRetry(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Predict(context.Background(), wire("q", 1))
+	if err == nil {
+		t.Fatal("predict against a dead port succeeded")
+	}
+	var te *transportError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T %v, want transportError", err, err)
+	}
+}
+
+func TestNewRequiresBaseURL(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("New without BaseURL succeeded")
+	}
+}

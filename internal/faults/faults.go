@@ -90,6 +90,16 @@ const (
 	// layer (degrades to a 503 the client can retry; the server itself
 	// stays up).
 	SiteServePredict = "serve.predict"
+	// SiteCheckpointWrite guards one checkpoint flush of the crash-safe
+	// training layer (degrades to a skipped write: progress stays dirty in
+	// memory and the next flush retries it; the run itself continues).
+	SiteCheckpointWrite = "checkpoint.write"
+	// SiteServeReload guards one hot model reload of the serving layer
+	// (degrades to a rejected reload: the previous model keeps serving).
+	SiteServeReload = "serve.reload"
+	// SiteClientRequest guards one outbound request of the resilient HTTP
+	// client (degrades to a retried, then breaker-counted, failure).
+	SiteClientRequest = "client.request"
 )
 
 // Sites lists every named injection site (for docs, tests, and chaos
@@ -103,6 +113,9 @@ func Sites() []string {
 		SiteEvalPairwise,
 		SiteEvalLOOCV,
 		SiteServePredict,
+		SiteCheckpointWrite,
+		SiteServeReload,
+		SiteClientRequest,
 	}
 }
 

@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// hintedErr is a transient error carrying a server Retry-After hint.
+type hintedErr struct{ after time.Duration }
+
+func (e hintedErr) Error() string                         { return "hinted 503" }
+func (e hintedErr) RetryAfterHint() (time.Duration, bool) { return e.after, true }
+
+func TestRetryCancelMidBackoff(t *testing.T) {
+	withConfig(t, Config{Prob: 1, Seed: 1, Kinds: KindError})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		done <- RetryPolicy{Attempts: 3, Backoff: time.Hour}.Do(ctx, func(attempt int) error {
+			return Inject(SiteRefExecute, Key("slow", attempt), KindError)
+		})
+	}()
+	// Let the first attempt fail and the backoff timer start, then cancel:
+	// Do must return promptly instead of sleeping out the hour.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("cancel took %v to interrupt the backoff", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after mid-backoff cancellation")
+	}
+}
+
+func TestRetryJitterStaysBounded(t *testing.T) {
+	// With full jitter every sleep is in [0, backoff]; 3 retries at 10ms
+	// doubling to 40ms can sleep at most 70ms total. Allow generous
+	// scheduler slack but reject a policy that ignored the jitter and
+	// stacked hint-free full backoffs plus extra waits.
+	transient := errors.New("transient")
+	policy := RetryPolicy{
+		Attempts:  4,
+		Backoff:   10 * time.Millisecond,
+		Jitter:    true,
+		Retryable: func(err error) bool { return errors.Is(err, transient) },
+	}
+	start := time.Now()
+	err := policy.Do(context.Background(), func(int) error { return transient })
+	if !errors.Is(err, transient) {
+		t.Fatalf("err = %v, want the transient error after exhaustion", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("4 jittered attempts at 10ms base took %v", elapsed)
+	}
+}
+
+func TestRetryHonorsRetryAfterHint(t *testing.T) {
+	calls := 0
+	policy := RetryPolicy{
+		Attempts:  2,
+		Backoff:   time.Nanosecond,
+		Jitter:    true,
+		Retryable: func(error) bool { return true },
+	}
+	start := time.Now()
+	err := policy.Do(context.Background(), func(int) error {
+		calls++
+		return hintedErr{after: 50 * time.Millisecond}
+	})
+	if err == nil || calls != 2 {
+		t.Fatalf("err=%v calls=%d, want exhaustion after 2 calls", err, calls)
+	}
+	// The hint must floor the sleep: even with a nanosecond backoff the
+	// retry waits the server-specified 50ms.
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("retry slept only %v, hint asked for 50ms", elapsed)
+	}
+}
+
+func TestRetryCustomRetryable(t *testing.T) {
+	permanent := errors.New("permanent")
+	calls := 0
+	err := RetryPolicy{
+		Attempts:  5,
+		Retryable: func(err error) bool { return !errors.Is(err, permanent) },
+	}.Do(context.Background(), func(int) error {
+		calls++
+		return permanent
+	})
+	if !errors.Is(err, permanent) || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want the permanent error after exactly 1 call", err, calls)
+	}
+}
+
+func TestRetryBackoffCap(t *testing.T) {
+	// MaxBackoff caps the doubling; with Jitter off the sleeps are exact,
+	// so 4 retries at 5ms capped to 8ms sleep 5+8+8+8 = 29ms ± slack.
+	transient := errors.New("transient")
+	policy := RetryPolicy{
+		Attempts:   5,
+		Backoff:    5 * time.Millisecond,
+		MaxBackoff: 8 * time.Millisecond,
+		Retryable:  func(error) bool { return true },
+	}
+	start := time.Now()
+	_ = policy.Do(context.Background(), func(int) error { return transient })
+	elapsed := time.Since(start)
+	if elapsed < 29*time.Millisecond {
+		t.Fatalf("capped backoff slept %v, want >= 29ms", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("capped backoff slept %v, cap not applied", elapsed)
+	}
+}

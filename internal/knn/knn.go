@@ -193,6 +193,11 @@ func priorLabel(samples []*offline.Sample) string {
 // Samples returns the training set.
 func (c *Classifier) Samples() []*offline.Sample { return c.samples }
 
+// Prior returns the training set's most common label (the FallbackPrior
+// answer), or "" when no sample carries a label. Clients use it as the
+// zero-information degradation answer when the server is unreachable.
+func (c *Classifier) Prior() string { return c.prior }
+
 // Config returns the classifier's hyper-parameters.
 func (c *Classifier) Config() Config { return c.cfg }
 

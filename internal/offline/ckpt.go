@@ -1,0 +1,170 @@
+package offline
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
+
+	"repro/internal/checkpoint"
+	"repro/internal/faults"
+	"repro/internal/measures"
+	"repro/internal/obs"
+	"repro/internal/session"
+)
+
+// Checkpoint stage names. They match the pipeline.Error stage tags of the
+// phases they protect, so an interrupted run's error and its resumable
+// checkpoint describe the same place.
+const (
+	ckptStageRaw  = "offline.raw_scores"
+	ckptStageNorm = "offline.normalize"
+	ckptStageRef  = "offline.reference"
+)
+
+// defaultCheckpointEvery is the reference-pass flush cadence: completed
+// nodes between checkpoint writes. Reference execution dominates analysis
+// cost by orders of magnitude, so a write every few dozen nodes bounds
+// lost work to seconds while keeping write amplification negligible.
+const defaultCheckpointEvery = 32
+
+var mCkptNodesSkipped = obs.C("checkpoint.ref_nodes_skipped")
+
+// rawCkpt is the raw-scores stage payload: one score map per node, in
+// repository order (the stable index every stage shares).
+type rawCkpt struct {
+	Scores []map[string]float64 `json:"scores"`
+}
+
+// normCkpt is the normalize stage payload: the fitted Box-Cox λs, shifts
+// and moments per measure.
+type normCkpt struct {
+	Params map[string]MeasureNorm `json:"params"`
+}
+
+// refCkpt is the reference stage payload. Done/Rel are indexed by node
+// position (not work order): a resumed run restores exactly the completed
+// nodes' RefRelative maps and recomputes the rest, which — references
+// being pure functions of (parent display, action) — reproduces the
+// uninterrupted run bit for bit.
+type refCkpt struct {
+	Done []bool               `json:"done"`
+	Rel  []map[string]float64 `json:"rel"`
+}
+
+// analysisFingerprint identifies the inputs of one analysis run: the
+// repository content plus every result-affecting option. Workers is
+// deliberately excluded (outputs are bit-identical at every width, see
+// DESIGN.md §6), as are the checkpoint options themselves. The armed
+// fault-injection spec is included: a checkpoint taken under one chaos
+// configuration must not resume under another, or the merged output would
+// match neither run.
+func analysisFingerprint(repo *session.Repository, opts Options, msrs []measures.Measure) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, "idarepro-offline-v1\n")
+	fmt.Fprintf(h, "repo=%016x\n", repo.Fingerprint())
+	names := make([]string, len(msrs))
+	for i, m := range msrs {
+		names[i] = m.Name()
+	}
+	fmt.Fprintf(h, "measures=%s\n", strings.Join(names, ","))
+	fmt.Fprintf(h, "reflimit=%d skipref=%v minrefs=%d seed=%d refbudget=%d\n",
+		opts.RefLimit, opts.SkipReference, opts.MinRefs, opts.Seed, opts.RefBudget)
+	if cfg, ok := faults.Active(); ok {
+		fmt.Fprintf(h, "faults=p%v/s%d/k%s/sites%s\n",
+			cfg.Prob, cfg.Seed, cfg.Kinds, strings.Join(cfg.Sites, ";"))
+	}
+	return h.Sum64()
+}
+
+// openCheckpoint prepares the analysis checkpoint manager per Options;
+// nil when checkpointing is off.
+func openCheckpoint(repo *session.Repository, opts Options, msrs []measures.Measure) (*checkpoint.Manager, error) {
+	if opts.CheckpointDir == "" {
+		return nil, nil
+	}
+	return checkpoint.Open(opts.CheckpointDir, analysisFingerprint(repo, opts, msrs), opts.Resume)
+}
+
+// restoreRawStage loads a completed raw-scores stage into the assembled
+// nodes, reporting whether the stage can be skipped.
+func restoreRawStage(ck *checkpoint.Manager, a *Analysis) bool {
+	if ck == nil || !ck.Resumed() {
+		return false
+	}
+	raw, p, ok := ck.Stage(ckptStageRaw)
+	if !ok || !p.Complete {
+		return false
+	}
+	var rc rawCkpt
+	if err := json.Unmarshal(raw, &rc); err != nil || len(rc.Scores) != len(a.Nodes) {
+		return false // advisory payload: recompute instead of resuming garbage
+	}
+	for i, ns := range a.Nodes {
+		m := rc.Scores[i]
+		if m == nil {
+			m = map[string]float64{}
+		}
+		ns.Raw = m
+	}
+	return true
+}
+
+func saveRawStage(ck *checkpoint.Manager, a *Analysis) {
+	if ck == nil {
+		return
+	}
+	rc := rawCkpt{Scores: make([]map[string]float64, len(a.Nodes))}
+	for i, ns := range a.Nodes {
+		rc.Scores[i] = ns.Raw
+	}
+	n := len(a.Nodes)
+	_ = ck.Update(ckptStageRaw, checkpoint.Progress{Done: n, Total: n, Complete: true}, rc)
+}
+
+// restoreNormStage loads fitted normalizer parameters, reporting whether
+// the fit can be skipped (Apply is cheap and always re-runs).
+func restoreNormStage(ck *checkpoint.Manager, a *Analysis) bool {
+	if ck == nil || !ck.Resumed() {
+		return false
+	}
+	raw, p, ok := ck.Stage(ckptStageNorm)
+	if !ok || !p.Complete {
+		return false
+	}
+	var nc normCkpt
+	if err := json.Unmarshal(raw, &nc); err != nil || nc.Params == nil {
+		return false
+	}
+	a.Normalizer = &Normalizer{Params: nc.Params}
+	return true
+}
+
+func saveNormStage(ck *checkpoint.Manager, norm *Normalizer) {
+	if ck == nil {
+		return
+	}
+	n := len(norm.Params)
+	_ = ck.Update(ckptStageNorm, checkpoint.Progress{Done: n, Total: n, Complete: true},
+		normCkpt{Params: norm.Params})
+}
+
+// loadRefStage returns the reference-pass progress record, sized to the
+// node count: restored from a compatible checkpoint when resuming, fresh
+// otherwise.
+func loadRefStage(ck *checkpoint.Manager, nodes int) *refCkpt {
+	fresh := &refCkpt{Done: make([]bool, nodes), Rel: make([]map[string]float64, nodes)}
+	if ck == nil || !ck.Resumed() {
+		return fresh
+	}
+	raw, _, ok := ck.Stage(ckptStageRef)
+	if !ok {
+		return fresh
+	}
+	var rc refCkpt
+	if err := json.Unmarshal(raw, &rc); err != nil || len(rc.Done) != nodes || len(rc.Rel) != nodes {
+		return fresh
+	}
+	return &rc
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/engine"
 	"repro/internal/faults"
 	"repro/internal/measures"
@@ -186,10 +187,11 @@ func applyReferenceBased(ctx context.Context, a *Analysis, opts Options) error {
 
 	type nodeWork struct {
 		ns   *NodeScores
+		idx  int // position in a.Nodes — the index every checkpoint stage shares
 		refs []*engine.Action
 	}
 	work := make([]nodeWork, 0, len(a.Nodes))
-	for _, ns := range a.Nodes {
+	for i, ns := range a.Nodes {
 		pool := pools[ns.Session.Dataset]
 		if pool == nil {
 			continue
@@ -197,18 +199,87 @@ func applyReferenceBased(ctx context.Context, a *Analysis, opts Options) error {
 		refs := pool.referenceSet(ns.Node.Action, opts.RefLimit, rng)
 		mRefSets.Inc()
 		mRefActions.Add(uint64(len(refs)))
-		work = append(work, nodeWork{ns: ns, refs: refs})
+		work = append(work, nodeWork{ns: ns, idx: i, refs: refs})
+	}
+
+	// Resume bookkeeping. Phase 1 above always re-runs in full — the RNG
+	// draws are cheap and keeping them sequential is what makes every
+	// reference set identical across runs — so a checkpointed node's
+	// restored RefRelative map is exactly what this run would recompute.
+	ck := a.Checkpoint
+	rc := loadRefStage(ck, len(a.Nodes))
+	every := opts.CheckpointEvery
+	if every < 1 {
+		every = defaultCheckpointEvery
+	}
+	pending := make([]nodeWork, 0, len(work))
+	restored := 0
+	for _, w := range work {
+		if rc.Done[w.idx] {
+			m := rc.Rel[w.idx]
+			if m == nil {
+				m = map[string]float64{}
+			}
+			w.ns.RefRelative = m
+			restored++
+			continue
+		}
+		pending = append(pending, w)
+	}
+	if restored > 0 {
+		mCkptNodesSkipped.Add(uint64(restored))
+	}
+	var (
+		ckMu       sync.Mutex
+		completed  = restored
+		sinceFlush = 0
+	)
+	record := func(w nodeWork) {
+		if ck == nil {
+			return
+		}
+		// The node's RefRelative map is final once its worker reaches
+		// here, so storing the reference is safe; the periodic Update
+		// marshals only completed nodes' maps.
+		ckMu.Lock()
+		defer ckMu.Unlock()
+		rc.Done[w.idx] = true
+		rc.Rel[w.idx] = w.ns.RefRelative
+		completed++
+		sinceFlush++
+		if sinceFlush >= every {
+			sinceFlush = 0
+			_ = ck.Update(ckptStageRef, checkpoint.Progress{Done: completed, Total: len(work)}, rc)
+		}
 	}
 
 	cache := &execCache{m: make(map[execCacheKey]*execEntry)}
 	var tm refTimings
-	done, err := parallel.ForEachN(ctx, len(work), opts.Workers, func(wi int) {
-		rankReferenceSet(ctx, a, work[wi].ns, work[wi].refs, minRefs, opts.RefBudget, cache, &tm)
+	done, err := parallel.ForEachN(ctx, len(pending), opts.Workers, func(wi int) {
+		rankReferenceSet(ctx, a, pending[wi].ns, pending[wi].refs, minRefs, opts.RefBudget, cache, &tm)
+		// A cancellation that lands mid-node makes executeAndScore count
+		// its remaining references as abnormal losses, so the node's map
+		// is shaped by *when* the context died — poison for a resumed run
+		// that must be bit-identical to an uninterrupted one. Cancellation
+		// is monotone: ctx.Err() still nil here proves the whole node ran
+		// under a live context, and only such nodes may be checkpointed.
+		if ctx == nil || ctx.Err() == nil {
+			record(pending[wi])
+		}
 	})
 	a.RefTimings.ActionExecution += time.Duration(tm.execNS.Load())
 	a.RefTimings.CalcInterestingness += time.Duration(tm.calcINS.Load())
 	a.RefTimings.CalcRelative += time.Duration(tm.calcRelNS.Load())
-	return pipeline.Wrap("offline.reference", done, len(work), err)
+	if ck != nil {
+		// Flush whatever completed — on the error path too, so an
+		// interrupted run leaves its maximal resumable progress behind.
+		ckMu.Lock()
+		_ = ck.Update(ckptStageRef,
+			checkpoint.Progress{Done: completed, Total: len(work), Complete: err == nil}, rc)
+		_ = ck.Sync()
+		ckMu.Unlock()
+	}
+	return pipeline.Wrap("offline.reference", restored+done, len(work), err)
 }
 
 // rankReferenceSet runs Algorithm 1 for one recorded action.

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/faults"
 	"repro/internal/measures"
 	"repro/internal/obs"
@@ -195,6 +196,10 @@ type Analysis struct {
 	// RefTimings and NormTimings are the Table-3 component costs.
 	RefTimings  Timings
 	NormTimings Timings
+	// Checkpoint is the progress manager when the analysis ran with
+	// Options.CheckpointDir; the training layer reuses it for its own
+	// stage (see repro.TrainPredictorContext).
+	Checkpoint *checkpoint.Manager
 }
 
 // ByNode returns the scores of a specific session node, or nil.
@@ -228,6 +233,20 @@ type Options struct {
 	// stream and all per-action outputs are index-addressed (DESIGN.md,
 	// "Determinism under fan-out").
 	Workers int
+	// CheckpointDir, when non-empty, persists crash-safe progress
+	// checkpoints (internal/checkpoint) under this directory: completed
+	// raw scores, fitted normalizer parameters, and per-node
+	// reference-pass results, each behind an atomic checksummed write.
+	CheckpointDir string
+	// Resume loads a compatible checkpoint from CheckpointDir and skips
+	// the work it records. Resume eligibility is fingerprinted over the
+	// repository content and every result-affecting option; a mismatch
+	// fails loudly rather than blending results from different inputs. A
+	// resumed analysis is bit-identical to an uninterrupted one.
+	Resume bool
+	// CheckpointEvery overrides the reference-pass flush cadence
+	// (completed nodes between checkpoint writes). <1 means 32.
+	CheckpointEvery int
 }
 
 // Analyze runs the full offline analysis over every recorded action of the
@@ -254,6 +273,11 @@ func AnalyzeContext(ctx context.Context, repo *session.Repository, opts Options)
 		Measures: msrs,
 		byNode:   make(map[*session.Node]*NodeScores),
 	}
+	ck, err := openCheckpoint(repo, opts, msrs)
+	if err != nil {
+		return nil, pipeline.Wrap("offline.checkpoint", 0, 0, err)
+	}
+	a.Checkpoint = ck
 
 	// Raw scores for every recorded action. This is the shared
 	// "calculate interestingness" component; it is attributed to the
@@ -276,14 +300,18 @@ func AnalyzeContext(ctx context.Context, repo *session.Repository, opts Options)
 			a.byNode[n] = ns
 		}
 	}
-	done, rawErr := parallel.ForEachN(ctx, len(a.Nodes), opts.Workers, func(i int) {
-		scoreActionGuarded(ctx, msrs, a.Nodes[i], i)
-	})
+	if !restoreRawStage(ck, a) {
+		done, rawErr := parallel.ForEachN(ctx, len(a.Nodes), opts.Workers, func(i int) {
+			scoreActionGuarded(ctx, msrs, a.Nodes[i], i)
+		})
+		if rawErr != nil {
+			spRaw.End()
+			return nil, pipeline.Wrap("offline.raw_scores", done, len(a.Nodes), rawErr)
+		}
+		saveRawStage(ck, a)
+	}
 	rawDur := time.Since(t0)
 	spRaw.End()
-	if rawErr != nil {
-		return nil, pipeline.Wrap("offline.raw_scores", done, len(a.Nodes), rawErr)
-	}
 	a.NormTimings.CalcInterestingness = rawDur
 	a.NormTimings.ActionsScored = len(a.Nodes)
 	a.RefTimings.ActionsScored = len(a.Nodes)
@@ -291,12 +319,16 @@ func AnalyzeContext(ctx context.Context, repo *session.Repository, opts Options)
 
 	// Normalized comparison (Algorithm 2).
 	spNorm := stNormalize.Start()
-	norm, err := FitNormalizerCtx(ctx, msrs, a.Nodes, opts.Workers)
-	if err != nil {
-		spNorm.End()
-		return nil, err
+	if !restoreNormStage(ck, a) {
+		norm, err := FitNormalizerCtx(ctx, msrs, a.Nodes, opts.Workers)
+		if err != nil {
+			spNorm.End()
+			return nil, err
+		}
+		a.Normalizer = norm
+		saveNormStage(ck, norm)
 	}
-	a.Normalizer = norm
+	norm := a.Normalizer
 	t1 := time.Now()
 	done, applyErr := parallel.ForEachN(ctx, len(a.Nodes), opts.Workers, func(i int) {
 		norm.Apply(a.Nodes[i].Raw, a.Nodes[i].NormRelative)

@@ -3,16 +3,26 @@
 // wire contexts (internal/snapshot's self-contained form), with the
 // operational envelope a long-running process needs — health/readiness
 // probes, bounded in-flight concurrency with explicit load-shedding,
-// request telemetry through internal/obs, a deterministic fault-injection
-// site for chaos coverage, and graceful drain on context cancellation.
+// request telemetry through internal/obs, deterministic fault-injection
+// sites for chaos coverage, graceful drain on context cancellation, and
+// hot model reload without dropping in-flight requests.
 //
 // Degradation under load is deliberate and layered (DESIGN.md §8): when
 // more requests are in flight than the configured bound, new prediction
 // requests are rejected immediately with 503 + Retry-After instead of
 // queueing without bound; health endpoints never shed, so orchestrators
-// keep seeing the process as alive-but-saturated. During shutdown the
-// readiness probe flips to 503 first, so load balancers drain the
-// instance while in-flight requests complete.
+// keep seeing the process as alive-but-saturated. The Retry-After value
+// is computed from the current occupancy, not hardcoded, so a barely
+// saturated server invites a quick retry while a drowning one pushes
+// clients further out. During shutdown the readiness probe flips to 503
+// first, so load balancers drain the instance while in-flight requests
+// complete.
+//
+// Model reload (DESIGN.md §9) is load-validate-swap: the Reloader builds
+// a candidate classifier off to the side, a self-test probes it against
+// its own training contexts, and only then does an atomic pointer swap
+// publish it. Requests already executing keep the model they started
+// with; a failed load leaves the old model serving and bumps a counter.
 package serve
 
 import (
@@ -21,9 +31,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/faults"
@@ -40,14 +53,17 @@ import (
 // -v snapshot and the -telemetry expvar page show what HTTP traffic (as
 // opposed to in-process batches) experienced.
 var (
-	mRequests    = obs.C("serve.requests")
-	mRejected    = obs.C("serve.rejected")
-	mErrors      = obs.C("serve.errors")
-	mPredictions = obs.C("serve.predictions")
-	mAbstain     = obs.C("serve.abstain")
-	mFallback    = obs.C("serve.fallback")
-	hLatency     = obs.H("serve.latency")
-	stServe      = obs.S("serve.predict")
+	mRequests     = obs.C("serve.requests")
+	mRejected     = obs.C("serve.rejected")
+	mErrors       = obs.C("serve.errors")
+	mPredictions  = obs.C("serve.predictions")
+	mAbstain      = obs.C("serve.abstain")
+	mFallback     = obs.C("serve.fallback")
+	mReloads      = obs.C("serve.reloads")
+	mReloadFailed = obs.C("serve.reload_failed")
+	gGeneration   = obs.G("serve.model_generation")
+	hLatency      = obs.H("serve.latency")
+	stServe       = obs.S("serve.predict")
 )
 
 // ModelInfo describes the loaded model on /v1/model.
@@ -60,7 +76,36 @@ type ModelInfo struct {
 	ThetaI       float64  `json:"theta_i"`
 	Fallback     string   `json:"fallback"`
 	TrainingSize int      `json:"training_size"`
+	// Prior is the training set's most common label — the answer a
+	// degraded client falls back to when the server is unreachable.
+	Prior string `json:"prior,omitempty"`
 }
+
+// ModelStatus is the /v1/model response: the model description plus its
+// reload provenance.
+type ModelStatus struct {
+	ModelInfo
+	// Generation counts model swaps: 1 for the model the server started
+	// with, +1 per successful reload.
+	Generation uint64 `json:"generation"`
+	// LoadedAt is when this generation went live.
+	LoadedAt time.Time `json:"loaded_at"`
+}
+
+// Reloader builds a replacement model for hot reload — typically by
+// re-reading a snapshot file (see repro.SnapshotReloader). It runs off
+// the request path; an error (or panic) leaves the current model
+// serving.
+type Reloader func() (*knn.Classifier, ModelInfo, error)
+
+// ErrDraining rejects a reload that races a graceful shutdown: the swap
+// would never serve a request and the drain deadline must not wait on a
+// model load.
+var ErrDraining = errors.New("serve: draining; reload rejected")
+
+// ErrNoReloader reports a reload request against a server constructed
+// without a Reloader.
+var ErrNoReloader = errors.New("serve: no reloader configured")
 
 // Options bounds the server's resource envelope.
 type Options struct {
@@ -76,6 +121,13 @@ type Options struct {
 	// ShutdownGrace bounds the graceful drain on Run cancellation. <=0
 	// means 10s.
 	ShutdownGrace time.Duration
+	// RetryAfter scales the Retry-After hint on shed requests: a fully
+	// saturated server advertises this long, lighter saturation
+	// proportionally less (never below 1s). <=0 means 1s.
+	RetryAfter time.Duration
+	// Reloader, when set, enables hot model reload via Server.Reload
+	// (wired to SIGHUP and POST /v1/admin/reload by cmd/idarepro).
+	Reloader Reloader
 }
 
 func (o Options) withDefaults() Options {
@@ -89,16 +141,36 @@ func (o Options) withDefaults() Options {
 	if o.ShutdownGrace <= 0 {
 		o.ShutdownGrace = 10 * time.Second
 	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
 	return o
+}
+
+// activeModel is the immutable unit of hot reload: classifier, its
+// description, and reload provenance, swapped atomically as one value so
+// /v1/model never describes a classifier other than the one serving.
+type activeModel struct {
+	clf      *knn.Classifier
+	info     ModelInfo
+	gen      uint64
+	loadedAt time.Time
+}
+
+func (a *activeModel) status() ModelStatus {
+	return ModelStatus{ModelInfo: a.info, Generation: a.gen, LoadedAt: a.loadedAt}
 }
 
 // Server serves predictions from a trained classifier.
 type Server struct {
-	clf  *knn.Classifier
-	info ModelInfo
+	cur  atomic.Pointer[activeModel]
 	opts Options
 	sem  chan struct{}
 	mux  *http.ServeMux
+
+	// reloadMu serializes Reload calls; the swap itself is the atomic
+	// pointer store, so the request path never takes this lock.
+	reloadMu sync.Mutex
 
 	readyMu sync.Mutex
 	ready   bool
@@ -107,10 +179,10 @@ type Server struct {
 // New builds a server. The classifier must be fully constructed; the
 // server never mutates it.
 func New(clf *knn.Classifier, info ModelInfo, opts Options) *Server {
-	s := &Server{
-		clf:  clf,
-		info: info,
-		opts: opts.withDefaults(),
+	s := &Server{opts: opts.withDefaults()}
+	s.cur.Store(&activeModel{clf: clf, info: info, gen: 1, loadedAt: time.Now()})
+	if obs.On() {
+		gGeneration.Set(1)
 	}
 	s.sem = make(chan struct{}, s.opts.MaxInFlight)
 	s.ready = true
@@ -120,6 +192,7 @@ func New(clf *knn.Classifier, info ModelInfo, opts Options) *Server {
 	s.mux.HandleFunc("/v1/model", s.handleModel)
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/predict/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
 	return s
 }
 
@@ -129,6 +202,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // MaxInFlight reports the resolved in-flight bound.
 func (s *Server) MaxInFlight() int { return s.opts.MaxInFlight }
+
+// Status reports the live model's description and generation.
+func (s *Server) Status() ModelStatus { return s.cur.Load().status() }
 
 // SetReady flips the readiness probe (Run flips it to false when
 // draining).
@@ -142,6 +218,81 @@ func (s *Server) isReady() bool {
 	s.readyMu.Lock()
 	defer s.readyMu.Unlock()
 	return s.ready
+}
+
+// Reload swaps in a fresh model from the configured Reloader:
+// load, validate (checksum verification happens inside the reloader's
+// snapshot read; a self-test probe here), then an atomic pointer swap.
+// In-flight requests finish on the model they started with. Any failure
+// — load error, injected fault, panic, self-test rejection — leaves the
+// previous model serving and returns the error. A draining server
+// rejects reloads with ErrDraining.
+func (s *Server) Reload() (ModelStatus, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if !s.isReady() {
+		return ModelStatus{}, ErrDraining
+	}
+	if s.opts.Reloader == nil {
+		return ModelStatus{}, ErrNoReloader
+	}
+	prev := s.cur.Load()
+	gen := prev.gen + 1
+	clf, info, err := s.loadGuarded(gen)
+	if err == nil {
+		err = selfTest(clf)
+	}
+	if err != nil {
+		if obs.On() {
+			mReloadFailed.Inc()
+		}
+		return ModelStatus{}, fmt.Errorf("serve: reload (generation %d kept): %w", prev.gen, err)
+	}
+	next := &activeModel{clf: clf, info: info, gen: gen, loadedAt: time.Now()}
+	s.cur.Store(next)
+	if obs.On() {
+		mReloads.Inc()
+		gGeneration.Set(int64(gen))
+	}
+	return next.status(), nil
+}
+
+// loadGuarded runs the reloader under the serve.reload fault site with
+// panic isolation: a reloader that panics (or an injected fault) is an
+// ordinary failed reload, never a crashed server.
+func (s *Server) loadGuarded(gen uint64) (clf *knn.Classifier, info ModelInfo, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			clf, info, err = nil, ModelInfo{}, pipeline.Recovered(faults.SiteServeReload, r)
+		}
+	}()
+	if err := faults.Inject(faults.SiteServeReload, "gen:"+strconv.FormatUint(gen, 10), faults.KindAll); err != nil {
+		return nil, ModelInfo{}, err
+	}
+	return s.opts.Reloader()
+}
+
+// selfTest validates a candidate model before it may serve traffic: it
+// must exist, carry training samples, and survive predicting a few of
+// its own training contexts. A model that panics on its own data would
+// 500 every request — better to reject the swap.
+func selfTest(clf *knn.Classifier) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("self-test: %v", pipeline.Recovered("serve.selftest", r))
+		}
+	}()
+	if clf == nil {
+		return errors.New("self-test: reloader returned a nil classifier")
+	}
+	samples := clf.Samples()
+	if len(samples) == 0 {
+		return errors.New("self-test: model has no training samples")
+	}
+	for i := 0; i < len(samples) && i < 3; i++ {
+		clf.Predict(samples[i].Context)
+	}
+	return nil
 }
 
 // Run listens on addr and serves until ctx is canceled, then drains
@@ -210,7 +361,45 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.info)
+	writeJSON(w, http.StatusOK, s.cur.Load().status())
+}
+
+// handleReload is the POST /v1/admin/reload endpoint: 200 with the new
+// ModelStatus on success, 409 while draining, 501 without a reloader,
+// 500 on a failed load (old model still serving).
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	st, err := s.Reload()
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+	case errors.Is(err, ErrNoReloader):
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+// retryAfterSeconds computes the Retry-After hint for a shed request.
+// While draining it is the full shutdown grace — the instance is going
+// away and a retry should land elsewhere after the drain. Under
+// saturation it scales Options.RetryAfter by the in-flight occupancy
+// (rounded up, never below 1s): a server shedding at 100% occupancy
+// advertises the full interval, one that merely blipped advertises less.
+func (s *Server) retryAfterSeconds() int {
+	if !s.isReady() {
+		return int(math.Max(1, math.Ceil(s.opts.ShutdownGrace.Seconds())))
+	}
+	occ := float64(len(s.sem))
+	capacity := float64(cap(s.sem))
+	secs := math.Ceil(s.opts.RetryAfter.Seconds() * occ / capacity)
+	return int(math.Max(1, secs))
 }
 
 // acquire claims an in-flight slot without queueing; a saturated server
@@ -224,7 +413,7 @@ func (s *Server) acquire(w http.ResponseWriter) bool {
 		if obs.On() {
 			mRejected.Inc()
 		}
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server saturated; retry"})
 		return false
 	}
@@ -242,9 +431,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // servePrediction is the shared single/batch prediction path: bound the
 // body, decode wire contexts, run the classifier under the in-flight
-// bound, and translate abstentions/fallbacks to the wire form. A panic
-// below (a poisoned context, an injected fault) is recovered into a 500
-// for this request only; the server stays up.
+// bound, and translate abstentions/fallbacks to the wire form. The
+// classifier pointer is read once per request, so a concurrent reload
+// never changes the model mid-request. A panic below (a poisoned
+// context, an injected fault) is recovered into a 500 for this request
+// only; the server stays up.
 func (s *Server) servePrediction(w http.ResponseWriter, r *http.Request, batch bool) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -295,13 +486,13 @@ func (s *Server) servePrediction(w http.ResponseWriter, r *http.Request, batch b
 			if obs.On() {
 				mErrors.Inc()
 			}
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "degraded: " + err.Error()})
 			return
 		}
 	}
 
-	preds, err := s.clf.PredictAllCtx(r.Context(), ctxs)
+	preds, err := s.cur.Load().clf.PredictAllCtx(r.Context(), ctxs)
 	if err != nil {
 		if obs.On() {
 			mErrors.Inc()

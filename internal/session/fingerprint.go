@@ -1,0 +1,34 @@
+package session
+
+import (
+	"hash/fnv"
+	"io"
+
+	"repro/internal/dataset"
+)
+
+// Fingerprint returns a stable 64-bit identity of the repository's
+// content: every registered dataset (canonical CSV encoding, in sorted
+// name order) and every recorded session (the JSON log encoding, in
+// insertion order). Two repositories holding identical data fingerprint
+// identically regardless of how they were loaded; any change to a cell,
+// a schema, or a recorded action changes it. The checkpoint layer
+// (internal/checkpoint) keys resume eligibility on this hash so a
+// checkpoint taken against one dataset/log pair is never replayed
+// against another.
+func (r *Repository) Fingerprint() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, "idarepro-repo-v1\n")
+	for _, name := range r.DatasetNames() {
+		io.WriteString(h, "dataset\x00"+name+"\x00")
+		if root := r.roots[name]; root != nil && root.Table != nil {
+			// Hash writers never fail, so the canonical CSV encoding
+			// lands in the hash in full.
+			_ = dataset.WriteCSV(h, root.Table)
+		}
+		io.WriteString(h, "\x00")
+	}
+	io.WriteString(h, "sessions\x00")
+	_ = WriteLog(h, r.sessions)
+	return h.Sum64()
+}

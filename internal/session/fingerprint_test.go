@@ -1,0 +1,72 @@
+package session
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func fingerprintRepo(t *testing.T) *Repository {
+	t.Helper()
+	repo := NewRepository()
+	repo.AddDataset(exampleRoot(t).Table)
+	s := buildRunningExample(t)
+	s.Successful = true
+	repo.Add(s)
+	return repo
+}
+
+func TestFingerprintStableAcrossRebuilds(t *testing.T) {
+	a, b := fingerprintRepo(t), fingerprintRepo(t)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical content fingerprints differently across rebuilds")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint is not idempotent")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fingerprintRepo(t).Fingerprint()
+
+	// Extra session changes it.
+	more := fingerprintRepo(t)
+	s2 := buildRunningExample(t)
+	s2.ID = "s2"
+	more.Add(s2)
+	if more.Fingerprint() == base {
+		t.Fatal("added session did not change the fingerprint")
+	}
+
+	// A one-cell dataset change changes it.
+	cell := NewRepository()
+	b := dataset.NewBuilder("pkts", dataset.Schema{
+		{Name: "protocol", Kind: dataset.KindString},
+		{Name: "dst_ip", Kind: dataset.KindString},
+		{Name: "hour", Kind: dataset.KindInt},
+	})
+	rows := []struct {
+		p, ip string
+		h     int64
+	}{
+		{"HTTP", "a", 9}, {"HTTP", "a", 21}, {"HTTP", "b", 22}, {"HTTP", "b", 23},
+		{"HTTPS", "c", 10}, {"DNS", "d", 11}, {"SSH", "e", 12}, {"SSH", "e", 14}, // 13 → 14
+	}
+	for _, r := range rows {
+		b.Append(dataset.S(r.p), dataset.S(r.ip), dataset.I(r.h))
+	}
+	cell.AddDataset(b.MustBuild())
+	s := buildRunningExample(t)
+	s.Successful = true
+	cell.Add(s)
+	if cell.Fingerprint() == base {
+		t.Fatal("one-cell dataset change did not change the fingerprint")
+	}
+
+	// A flipped session flag changes it.
+	flag := fingerprintRepo(t)
+	flag.Sessions()[0].Successful = false
+	if flag.Fingerprint() == base {
+		t.Fatal("success-flag flip did not change the fingerprint")
+	}
+}

@@ -147,13 +147,25 @@ func Read(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("snapshot: file version %d, this build reads <= %d: %w", version, Version, ErrNewerVersion)
 	}
 	flags := binary.BigEndian.Uint32(head[12:16])
+	if flags&^uint32(flagGzip) != 0 {
+		// The header is outside the payload checksum; refusing unknown
+		// bits (a future format's feature or a flipped header byte) beats
+		// silently misreading either.
+		return nil, fmt.Errorf("snapshot: unknown flags %#x (corrupt header or newer format): %w", flags&^uint32(flagGzip), ErrNewerVersion)
+	}
 	n := binary.BigEndian.Uint64(head[16:24])
 	if n > maxPayload {
 		return nil, fmt.Errorf("snapshot: declared payload length %d exceeds the %d-byte cap", n, int64(maxPayload))
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	// Grow the buffer as bytes actually arrive instead of trusting the
+	// declared length up front: a corrupt header claiming gigabytes must
+	// fail on the short read, not on the allocation.
+	payload, err := io.ReadAll(io.LimitReader(r, int64(n)))
+	if err != nil {
 		return nil, fmt.Errorf("snapshot: read payload: %w", err)
+	}
+	if uint64(len(payload)) != n {
+		return nil, fmt.Errorf("snapshot: payload truncated: %d of %d declared bytes", len(payload), n)
 	}
 	var sum [8]byte
 	if _, err := io.ReadFull(r, sum[:]); err != nil {

@@ -1,0 +1,163 @@
+package repro
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/faults"
+	"repro/internal/snapshot"
+)
+
+// Restart-survivability acceptance (DESIGN.md §9): a training run killed
+// at an arbitrary point and resumed from its checkpoint must produce a
+// byte-identical model snapshot, and a server that hot-reloads a
+// snapshot must serve predictions identical to the in-process model.
+// Run under -race alongside the chaos suite:
+//
+//	go test -race -run 'KillResume|Reload' .
+
+// trainSnapshotBytes runs analysis + training end to end under opts and
+// returns the serialized model snapshot.
+func trainSnapshotBytes(ctx context.Context, t *testing.T, fw *Framework, opts AnalysisOptions, method Method, cfg PredictorConfig) ([]byte, error) {
+	t.Helper()
+	f := NewFramework(fw.Repo)
+	if err := f.RunOfflineAnalysisContext(ctx, opts); err != nil {
+		return nil, err
+	}
+	p, err := f.TrainPredictorContext(ctx, DefaultMeasureSet(), method, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := p.WriteSnapshot(&buf); err != nil {
+		t.Fatalf("snapshot write: %v", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// TestChaosKillResumeCompare is the kill-resume-compare acceptance: the
+// analysis + training pipeline is repeatedly killed by a context
+// deadline at unpredictable points, resumed from its checkpoint
+// directory, and — once it finally completes — its snapshot must be
+// byte-identical to an uninterrupted run's. Error and panic faults stay
+// armed throughout (content-keyed injection degrades both runs
+// identically); checkpoint-write faults degrade to a skipped flush, so
+// they only move the resume point, never the output.
+func TestChaosKillResumeCompare(t *testing.T) {
+	fw := chaosFramework(t)
+	armFaults(t, faults.Config{Prob: 0.05, Seed: 11, Kinds: faults.KindError | faults.KindPanic})
+
+	method := ReferenceBased // exercises the checkpointed reference pass
+	opts := AnalysisOptions{RefLimit: 10, MinRefs: 2, CheckpointEvery: 4}
+	cfg := DefaultPredictorConfig(method)
+
+	baseline, err := trainSnapshotBytes(context.Background(), t, fw, opts, method, cfg)
+	if err != nil {
+		t.Fatalf("uninterrupted run failed: %v", err)
+	}
+
+	ckptOpts := opts
+	ckptOpts.CheckpointDir = t.TempDir()
+	ckptOpts.Resume = true
+	interrupted := 0
+	deadline := time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if attempt > 60 {
+			t.Fatalf("pipeline never completed after %d interrupted attempts", interrupted)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		snap, err := trainSnapshotBytes(ctx, t, fw, ckptOpts, method, cfg)
+		timedOut := ctx.Err() != nil
+		cancel()
+		if err == nil {
+			if !bytes.Equal(snap, baseline) {
+				t.Fatalf("resumed snapshot differs from uninterrupted baseline (%d vs %d bytes) after %d kills",
+					len(snap), len(baseline), interrupted)
+			}
+			if interrupted == 0 {
+				t.Fatal("pipeline completed within 1ms; the kill sweep never interrupted anything")
+			}
+			t.Logf("byte-identical snapshot (%d bytes) after %d mid-run kills", len(snap), interrupted)
+			return
+		}
+		if !timedOut {
+			t.Fatalf("attempt %d failed for a non-deadline reason: %v", attempt, err)
+		}
+		interrupted++
+		// Grow the deadline slowly so several attempts die mid-stage at
+		// different points before one finally finishes.
+		deadline = deadline * 3 / 2
+	}
+}
+
+// TestReloadServesIdenticalPredictions is the hot-reload acceptance: a
+// server wired with a SnapshotReloader swaps in generation 2 on
+// /v1/admin/reload, and the predictions it then serves over HTTP (via
+// the resilient client) are identical to the in-process model's
+// PredictAll answers.
+func TestReloadServesIdenticalPredictions(t *testing.T) {
+	fw := chaosFramework(t)
+	if err := fw.RunOfflineAnalysis(AnalysisOptions{RefLimit: 10, MinRefs: 2, SkipReference: true}); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := fw.TrainPredictor(DefaultMeasureSet(), Normalized, PredictorConfig{
+		N: 2, K: 5, ThetaDelta: 0.5, ThetaI: -10, Fallback: FallbackPrior,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.snap")
+	if err := pred.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := pred.NewServer(ServeOptions{Reloader: SnapshotReloader(path)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ServeModelStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || st.Generation != 2 {
+		t.Fatalf("reload: status %d generation %d, want 200 generation 2", resp.StatusCode, st.Generation)
+	}
+	if got := srv.Status(); got.Generation != 2 || got.TrainingSize != pred.TrainingSize() {
+		t.Fatalf("post-reload status = %+v", got)
+	}
+
+	qs := testContexts(t, fw, 2, 24)
+	want := pred.PredictAll(qs)
+	cl, err := client.New(client.Options{BaseURL: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := make([]*snapshot.WireContext, len(qs))
+	for i, q := range qs {
+		wire[i] = EncodeWireContext(q)
+	}
+	got, err := cl.PredictBatch(context.Background(), wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d predictions for %d queries", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Measure != want[i].MeasureName || got[i].OK != want[i].OK || got[i].Fallback != want[i].Fallback || got[i].Degraded {
+			t.Fatalf("query %d: reloaded server %+v != in-process %+v", i, got[i], want[i])
+		}
+	}
+}
