@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/atomicio"
+	"repro/internal/buildinfo"
 	"repro/internal/distance"
 	"repro/internal/eval"
 	"repro/internal/knn"
@@ -37,6 +38,7 @@ type benchResult struct {
 // the sequential-vs-parallel and naive-vs-pruned speedup ratios.
 type benchReport struct {
 	Date      string            `json:"date"`
+	Build     buildinfo.Info    `json:"build"`
 	GoVersion string            `json:"go_version"`
 	GOOS      string            `json:"goos"`
 	GOARCH    string            `json:"goarch"`
@@ -100,6 +102,7 @@ func cmdBench(_ context.Context, args []string) error {
 
 	rep := &benchReport{
 		Date:      time.Now().UTC().Format("2006-01-02"),
+		Build:     buildinfo.Get(),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,

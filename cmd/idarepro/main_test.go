@@ -23,7 +23,7 @@ func TestUsageCoversEveryCommand(t *testing.T) {
 			t.Errorf("command %q has no run function", c.name)
 		}
 	}
-	for _, g := range []string{"-telemetry", "-parallel", "-timeout", "-faults", "-lenient"} {
+	for _, g := range []string{"-telemetry", "-parallel", "-timeout", "-faults", "-lenient", "-version"} {
 		if !strings.Contains(u, g) {
 			t.Errorf("usage text missing the global %s flag", g)
 		}
@@ -49,7 +49,7 @@ func TestDocCommentCoversEveryCommand(t *testing.T) {
 			t.Errorf("package doc comment missing subcommand %q", c.name)
 		}
 	}
-	for _, g := range []string{"-telemetry", "-parallel", "-timeout", "-faults", "-lenient"} {
+	for _, g := range []string{"-telemetry", "-parallel", "-timeout", "-faults", "-lenient", "-version"} {
 		if !strings.Contains(doc, g) {
 			t.Errorf("package doc comment missing the %s global flag", g)
 		}

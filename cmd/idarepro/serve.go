@@ -145,7 +145,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		MaxInFlight: *maxInFlight,
 		MaxBatch:    *maxBatch,
 	}
-	endpoints := "/healthz /readyz /v1/model /v1/predict /v1/predict/batch"
+	endpoints := "/healthz /readyz /metrics /v1/model /v1/predict /v1/predict/batch /v1/admin/trace"
 	if *reload {
 		opts.Reloader = repro.SnapshotReloader(*model)
 		endpoints += " /v1/admin/reload"

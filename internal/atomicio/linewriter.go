@@ -1,0 +1,76 @@
+package atomicio
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// LineWriter is the append-side complement to WriteFile: a goroutine-safe
+// writer for line-oriented logs (the serve layer's JSONL access log).
+// Where WriteFile replaces a whole artifact atomically, a log grows one
+// record at a time, so the durability lever is different: every write
+// appends with O_APPEND (concurrent processes interleave whole writes,
+// not bytes), and the file is fsynced every SyncEvery writes and on
+// Close, bounding how many trailing records a crash can lose.
+type LineWriter struct {
+	mu sync.Mutex
+	f  *os.File
+	// syncEvery is the write count between fsyncs; <1 means every write.
+	syncEvery int
+	pending   int
+}
+
+// NewLineWriter opens (creating if needed) path for appending. syncEvery
+// bounds data loss: the file is fsynced after every syncEvery writes
+// (<1 means after every write) and on Close.
+func NewLineWriter(path string, syncEvery int) (*LineWriter, error) {
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("atomicio: open %s for append: %w", path, err)
+	}
+	if syncEvery < 1 {
+		syncEvery = 1
+	}
+	return &LineWriter{f: f, syncEvery: syncEvery}, nil
+}
+
+// Write appends p (the caller supplies whole lines, newline included).
+func (w *LineWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, fmt.Errorf("atomicio: write to closed LineWriter")
+	}
+	n, err := w.f.Write(p)
+	if err != nil {
+		return n, fmt.Errorf("atomicio: append: %w", err)
+	}
+	w.pending++
+	if w.pending >= w.syncEvery {
+		w.pending = 0
+		if err := w.f.Sync(); err != nil {
+			return n, fmt.Errorf("atomicio: sync append: %w", err)
+		}
+	}
+	return n, nil
+}
+
+// Close syncs and closes the underlying file. Further writes fail.
+func (w *LineWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	f := w.f
+	w.f = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("atomicio: sync on close: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("atomicio: close: %w", err)
+	}
+	return nil
+}

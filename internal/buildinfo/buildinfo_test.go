@@ -1,0 +1,47 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestGetAlwaysPopulated(t *testing.T) {
+	i := Get()
+	if i.Version == "" || i.GoVersion == "" {
+		t.Fatalf("build info must always carry version and toolchain: %+v", i)
+	}
+	if Get() != i {
+		t.Fatal("Get must be stable across calls")
+	}
+}
+
+func TestReadExtractsVCSSettings(t *testing.T) {
+	bi := &debug.BuildInfo{GoVersion: "go1.24.0"}
+	bi.Main.Version = "v1.2.3"
+	bi.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "abcdef1234567890"},
+		{Key: "vcs.time", Value: "2026-08-08T00:00:00Z"},
+		{Key: "vcs.modified", Value: "true"},
+	}
+	i := read(bi, true)
+	if i.Version != "v1.2.3" || i.Revision != "abcdef1234567890" || !i.Dirty || i.Time == "" {
+		t.Fatalf("read = %+v", i)
+	}
+	s := i.String()
+	for _, want := range []string{"v1.2.3", "go1.24.0", "rev abcdef123456", "(dirty)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestReadDegradesWithoutMetadata(t *testing.T) {
+	i := read(nil, false)
+	if i.Version != "unknown" || i.GoVersion == "" {
+		t.Fatalf("read(nil) = %+v", i)
+	}
+	if i.Revision != "" || i.Dirty {
+		t.Fatalf("read(nil) invented VCS state: %+v", i)
+	}
+}

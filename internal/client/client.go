@@ -240,10 +240,14 @@ func (c *Client) do(ctx context.Context, method, path, key string, body []byte, 
 	if obs.On() {
 		mRequests.Inc()
 	}
+	// One correlation ID per LOGICAL request: every retry of it carries
+	// the same X-Request-ID, so the server's trace ring shows the
+	// attempts as one story instead of unrelated requests.
+	rid := obs.NewRequestID()
 	retry := c.opts.Retry
 	retry.Retryable = transient
 	err := retry.Do(ctx, func(attempt int) error {
-		return c.attempt(ctx, method, path, faults.Key(key, attempt), body, out)
+		return c.attempt(ctx, method, path, faults.Key(key, attempt), rid, body, out)
 	})
 	if c.br.record(err == nil || permanent(err), c.now()) && obs.On() {
 		mBreakerOpen.Inc()
@@ -259,7 +263,7 @@ func (c *Client) do(ctx context.Context, method, path, key string, body []byte, 
 
 // attempt is one HTTP round trip under the per-attempt timeout and the
 // client.request fault site.
-func (c *Client) attempt(ctx context.Context, method, path, key string, body []byte, out any) (err error) {
+func (c *Client) attempt(ctx context.Context, method, path, key, rid string, body []byte, out any) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = recoveredErr(r)
@@ -284,6 +288,7 @@ func (c *Client) attempt(ctx context.Context, method, path, key string, body []b
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	req.Header.Set("X-Request-ID", rid)
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
 		// The caller's context ending is final; this attempt's timeout
@@ -305,6 +310,7 @@ func (c *Client) attempt(ctx context.Context, method, path, key string, body []b
 		return &httpError{
 			code:       resp.StatusCode,
 			body:       errBody(blob),
+			requestID:  resp.Header.Get("X-Request-ID"),
 			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
 		}
 	}
@@ -359,22 +365,32 @@ func (e *transportError) Unwrap() error { return e.err }
 
 // httpError is a non-200 response. It carries the server's Retry-After
 // hint through faults.RetryAfterHinter, so the shared retry loop waits
-// as long as the server asked before the next attempt.
+// as long as the server asked before the next attempt, and the server's
+// X-Request-ID so the error message names the trace to pull from
+// GET /v1/admin/trace.
 type httpError struct {
 	code       int
 	body       string
+	requestID  string
 	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string {
+	msg := fmt.Sprintf("client: server answered %d", e.code)
 	if e.body != "" {
-		return fmt.Sprintf("client: server answered %d: %s", e.code, e.body)
+		msg += ": " + e.body
 	}
-	return fmt.Sprintf("client: server answered %d", e.code)
+	if e.requestID != "" {
+		msg += " (request " + e.requestID + ")"
+	}
+	return msg
 }
 
 // StatusCode reports the HTTP status.
 func (e *httpError) StatusCode() int { return e.code }
+
+// RequestID reports the server-assigned X-Request-ID, when present.
+func (e *httpError) RequestID() string { return e.requestID }
 
 // RetryAfterHint implements faults.RetryAfterHinter.
 func (e *httpError) RetryAfterHint() (time.Duration, bool) {

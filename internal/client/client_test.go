@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -399,5 +401,85 @@ func TestConnectionRefusedRetriesAndFails(t *testing.T) {
 func TestNewRequiresBaseURL(t *testing.T) {
 	if _, err := New(Options{}); err == nil {
 		t.Fatal("New without BaseURL succeeded")
+	}
+}
+
+// TestRequestIDStableAcrossRetries: one logical request keeps one
+// X-Request-ID across every retry attempt, so server-side traces join
+// the attempts into one story.
+func TestRequestIDStableAcrossRetries(t *testing.T) {
+	var (
+		calls atomic.Int64
+		ids   sync.Map
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		ids.Store(n, r.Header.Get("X-Request-ID"))
+		if n < 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"saturated"}`)
+			return
+		}
+		fmt.Fprint(w, `{"measure":"variance","ok":true}`)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{BaseURL: ts.URL, Retry: fastRetry(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(context.Background(), wire("q", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("want 3 attempts, got %d", calls.Load())
+	}
+	first, _ := ids.Load(int64(1))
+	if first == "" {
+		t.Fatal("attempts carried no X-Request-ID")
+	}
+	for n := int64(2); n <= 3; n++ {
+		if got, _ := ids.Load(n); got != first {
+			t.Fatalf("attempt %d sent id %v, attempt 1 sent %v — must be stable", n, got, first)
+		}
+	}
+
+	// Two logical requests must NOT share an ID.
+	calls.Store(2) // next attempt answers 200 immediately
+	if _, err := c.Predict(context.Background(), wire("q", 2)); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := ids.Load(int64(3))
+	if fresh, _ := ids.Load(int64(4)); fresh == second {
+		t.Fatalf("two logical requests shared id %v", fresh)
+	}
+}
+
+// TestErrorNamesServerRequestID: a terminal HTTP failure's error string
+// carries the server-assigned request ID, the key to pull the matching
+// trace from GET /v1/admin/trace.
+func TestErrorNamesServerRequestID(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Request-ID", "srv-trace-42")
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"malformed"}`)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{BaseURL: ts.URL, Retry: fastRetry(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Predict(context.Background(), wire("q", 1))
+	if err == nil {
+		t.Fatal("want error from a 400 server")
+	}
+	if !strings.Contains(err.Error(), "srv-trace-42") {
+		t.Fatalf("error %q does not name the server request id", err)
+	}
+	var he *httpError
+	if !errors.As(err, &he) || he.RequestID() != "srv-trace-42" {
+		t.Fatalf("httpError.RequestID not carried: %v", err)
 	}
 }

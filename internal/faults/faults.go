@@ -191,6 +191,19 @@ var (
 	mRetryExhausted = obs.C("faults.retry_exhausted")
 )
 
+// mInjectedAt splits faults.injected per site. Every named site is
+// pre-registered (not lazily created on first fire), so the /metrics
+// surface exports a stable zero-valued series for each fault site even
+// before — or without — the injector ever firing there.
+var mInjectedAt = func() map[string]*obs.Counter {
+	sites := Sites()
+	m := make(map[string]*obs.Counter, len(sites))
+	for _, s := range sites {
+		m[s] = obs.C("faults.injected[site=" + s + "]")
+	}
+	return m
+}()
+
 // Enable arms the injector with cfg. Passing Prob <= 0 disables it.
 func Enable(cfg Config) {
 	if cfg.Prob <= 0 {
@@ -323,6 +336,9 @@ func Inject(site, key string, allowed Kind) error {
 	h2 := hash64(inj.cfg.Seed^0x9E3779B97F4A7C15, site, key)
 	k := flavors[int(h2%uint64(len(flavors)))]
 	mInjected.Inc()
+	if c := mInjectedAt[site]; c != nil {
+		c.Inc()
+	}
 	switch k {
 	case KindLatency:
 		mInjectedSleep.Inc()

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"time"
 
 	"repro/internal/distance"
 	"repro/internal/faults"
@@ -223,7 +224,7 @@ func (c *Classifier) Predict(query *session.Context) Prediction {
 // between chunks and returns a typed *pipeline.Error for the
 // "knn.predict" stage. A nil ctx never cancels.
 func (c *Classifier) PredictCtx(ctx context.Context, query *session.Context) (Prediction, error) {
-	sp := stPredict.Start()
+	sp := stPredict.StartCtx(ctx)
 	defer sp.End()
 	if ctx != nil && ctx.Err() != nil {
 		return Prediction{}, pipeline.Wrap("knn.predict", 0, 1, ctx.Err())
@@ -254,7 +255,25 @@ func (c *Classifier) PredictCtx(ctx context.Context, query *session.Context) (Pr
 	if obs.On() {
 		c.countOutcome(p)
 	}
+	traceOutcome(obs.TraceFrom(ctx), uint64(len(c.samples)), p)
 	return p, nil
+}
+
+// traceOutcome annotates a request trace with one prediction's scan cost
+// and degradation rung. Nil-safe: the non-HTTP paths (benchmarks, batch
+// CLI runs) pass a nil trace and pay one comparison.
+func traceOutcome(tr *obs.Trace, distEvals uint64, p Prediction) {
+	if tr == nil {
+		return
+	}
+	tr.AddDistanceEvals(distEvals)
+	tr.AddCandidates(len(p.Neighbors))
+	switch {
+	case p.Fallback:
+		tr.Rung("knn.fallback")
+	case !p.Covered:
+		tr.Rung("knn.abstain")
+	}
 }
 
 // scanLimit is the distance threshold the θ_δ-gated scan starts from.
@@ -383,6 +402,11 @@ func (c *Classifier) PredictAll(queries []*session.Context) []Prediction {
 // error carrying how many predictions completed. The returned slice is
 // always len(queries); entries past the cancellation point are zero.
 func (c *Classifier) PredictAllCtx(ctx context.Context, queries []*session.Context) ([]Prediction, error) {
+	tr := obs.TraceFrom(ctx)
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
+	}
 	out := make([]Prediction, len(queries))
 	done, err := parallel.ForEachN(ctx, len(queries), c.cfg.Workers, func(i int) {
 		if obs.On() {
@@ -394,6 +418,12 @@ func (c *Classifier) PredictAllCtx(ctx context.Context, queries []*session.Conte
 	if obs.On() {
 		for i := range out {
 			c.countOutcome(out[i])
+		}
+	}
+	if tr != nil {
+		tr.AddStage("knn.predict_all", time.Since(t0))
+		for i := 0; i < done && i < len(out); i++ {
+			traceOutcome(tr, uint64(len(c.samples)), out[i])
 		}
 	}
 	if err != nil {

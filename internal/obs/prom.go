@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format export (version 0.0.4) over a Snapshot. The
+// encoder is deliberately dependency-free: the obs metric model (monotonic
+// counters, instantaneous gauges, log-bucket latency histograms) maps
+// cleanly onto Prometheus counters, gauges and summaries, so a scrape
+// endpoint needs only name mangling and stable ordering, not a client
+// library.
+//
+// Name mapping, chosen once and kept stable so dashboards survive
+// refactors:
+//
+//   - every series is prefixed "idarepro_" and dots become underscores:
+//     "serve.requests" -> "idarepro_serve_requests_total".
+//   - a bracketed name suffix becomes a label: the per-θ_δ outcome
+//     counters "knn.predict.covered[theta_delta=0.1]" export as
+//     idarepro_knn_predict_covered_total{theta_delta="0.1"}, and a
+//     bare bracket like "offline.normalize.fit[variance]" exports with
+//     the generic label tag="variance".
+//   - histograms record nanoseconds internally but export as Prometheus
+//     base-unit seconds: "serve.latency" -> idarepro_serve_latency_seconds
+//     (a trailing ".ns" is dropped first), as a summary with
+//     quantile="0.5|0.9|0.99|0.999" plus _sum and _count.
+//
+// Series carrying different labels under one family share a single
+// HELP/TYPE block, and families are emitted in sorted order, so the
+// output is deterministic and duplicate-free — properties the strict
+// format test in prom_test.go pins down.
+
+// promPrefix namespaces every exported series.
+const promPrefix = "idarepro_"
+
+// WritePrometheus renders the snapshot in Prometheus text format.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	var b strings.Builder
+
+	type series struct {
+		labels string // rendered {k="v"} or ""
+		value  string
+		suffix string // for summaries: "", "_sum", "_count"
+	}
+	// family name -> type -> series list.
+	counters := make(map[string][]series)
+	gauges := make(map[string][]series)
+	summaries := make(map[string][]series)
+
+	for name, v := range s.Counters {
+		fam, labels := promName(name)
+		counters[fam+"_total"] = append(counters[fam+"_total"],
+			series{labels: labels, value: strconv.FormatUint(v, 10)})
+	}
+	for name, v := range s.Gauges {
+		fam, labels := promName(name)
+		gauges[fam] = append(gauges[fam],
+			series{labels: labels, value: strconv.FormatInt(v, 10)})
+	}
+	for name, h := range s.Histograms {
+		fam, labels := promName(strings.TrimSuffix(name, ".ns"))
+		fam += "_seconds"
+		for _, q := range [...]struct {
+			q  string
+			ns uint64
+		}{
+			{"0.5", h.P50NS}, {"0.9", h.P90NS}, {"0.99", h.P99NS}, {"0.999", h.P999NS},
+		} {
+			summaries[fam] = append(summaries[fam], series{
+				labels: mergeLabels(labels, `quantile="`+q.q+`"`),
+				value:  formatSeconds(float64(q.ns)),
+			})
+		}
+		summaries[fam] = append(summaries[fam],
+			series{labels: labels, suffix: "_sum", value: formatSeconds(float64(h.SumNS))},
+			series{labels: labels, suffix: "_count", value: strconv.FormatUint(h.Count, 10)})
+	}
+
+	emit := func(families map[string][]series, typ, help string) {
+		names := make([]string, 0, len(families))
+		for n := range families {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, fam := range names {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", fam, help, fam, typ)
+			ss := families[fam]
+			sort.Slice(ss, func(i, j int) bool {
+				if ss[i].suffix != ss[j].suffix {
+					return ss[i].suffix < ss[j].suffix
+				}
+				return ss[i].labels < ss[j].labels
+			})
+			for _, s := range ss {
+				fmt.Fprintf(&b, "%s%s%s %s\n", fam, s.suffix, s.labels, s.value)
+			}
+		}
+	}
+	emit(counters, "counter", "idarepro event counter (see internal/obs).")
+	emit(gauges, "gauge", "idarepro gauge (see internal/obs).")
+	emit(summaries, "summary", "idarepro latency summary in seconds; quantiles are log-bucket upper-bound estimates (within 2x).")
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName splits a metric name into its Prometheus family name and a
+// rendered label set: the bracketed suffix, when present, becomes a
+// label; every remaining character outside [a-zA-Z0-9_] becomes '_'.
+func promName(name string) (fam, labels string) {
+	if i := strings.IndexByte(name, '['); i >= 0 && strings.HasSuffix(name, "]") {
+		tag := name[i+1 : len(name)-1]
+		name = name[:i]
+		if tag != "" {
+			key, val, ok := strings.Cut(tag, "=")
+			if !ok {
+				key, val = "tag", tag
+			}
+			labels = "{" + sanitize(key) + `="` + escapeLabel(val) + `"}`
+		}
+	}
+	return promPrefix + sanitize(name), labels
+}
+
+// sanitize maps a name fragment onto the Prometheus name alphabet.
+func sanitize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text-format rules.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// mergeLabels combines a rendered base label set with one extra pair.
+func mergeLabels(base, extra string) string {
+	if base == "" {
+		return "{" + extra + "}"
+	}
+	return strings.TrimSuffix(base, "}") + "," + extra + "}"
+}
+
+// formatSeconds renders a nanosecond quantity as seconds with full
+// precision and no exponent surprises for typical latencies.
+func formatSeconds(ns float64) string {
+	return strconv.FormatFloat(ns/1e9, 'g', -1, 64)
+}

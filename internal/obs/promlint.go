@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidatePrometheus is a strict checker for the Prometheus text format
+// (version 0.0.4) this package emits — used by the /metrics tests and the
+// CI smoke so a malformed scrape surface fails loudly instead of being
+// silently dropped by a real scraper. It enforces more than the format
+// grammar: every series must be preceded by HELP and TYPE lines for its
+// family, no series may repeat (same name + label set), summary quantile
+// series must carry a parseable quantile label, and every sample value
+// must parse as a float.
+func ValidatePrometheus(r io.Reader) error {
+	var (
+		helped   = map[string]bool{}
+		typed    = map[string]string{}
+		seen     = map[string]bool{}
+		lastLine = 0
+	)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		lastLine++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				return fmt.Errorf("line %d: malformed HELP line %q", lastLine, line)
+			}
+			if helped[name] {
+				return fmt.Errorf("line %d: duplicate HELP for %q", lastLine, name)
+			}
+			helped[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			fields := strings.Fields(rest)
+			if len(fields) != 2 || !validMetricName(fields[0]) {
+				return fmt.Errorf("line %d: malformed TYPE line %q", lastLine, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lastLine, fields[1])
+			}
+			if _, dup := typed[fields[0]]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", lastLine, fields[0])
+			}
+			typed[fields[0]] = fields[1]
+		case strings.HasPrefix(line, "#"):
+			// Plain comment: legal, ignored.
+		default:
+			name, labels, value, err := parseSample(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lastLine, err)
+			}
+			fam := familyOf(name, typed)
+			if !helped[fam] {
+				return fmt.Errorf("line %d: series %q has no HELP for family %q", lastLine, name, fam)
+			}
+			if _, ok := typed[fam]; !ok {
+				return fmt.Errorf("line %d: series %q has no TYPE for family %q", lastLine, name, fam)
+			}
+			key := name + labels
+			if seen[key] {
+				return fmt.Errorf("line %d: duplicate series %s%s", lastLine, name, labels)
+			}
+			seen[key] = true
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("line %d: sample value %q is not a float", lastLine, value)
+			}
+			if typed[fam] == "summary" && !strings.HasSuffix(name, "_sum") && !strings.HasSuffix(name, "_count") {
+				q := labelValue(labels, "quantile")
+				if q == "" {
+					return fmt.Errorf("line %d: summary series %q lacks a quantile label", lastLine, name)
+				}
+				if f, err := strconv.ParseFloat(q, 64); err != nil || f < 0 || f > 1 {
+					return fmt.Errorf("line %d: summary quantile %q out of [0,1]", lastLine, q)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(seen) == 0 {
+		return fmt.Errorf("no series found")
+	}
+	return nil
+}
+
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+func validMetricName(s string) bool { return metricNameRe.MatchString(s) }
+
+var sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)( \d+)?$`)
+
+// parseSample splits one sample line into name, rendered label set and
+// value, validating label syntax.
+func parseSample(line string) (name, labels, value string, err error) {
+	m := sampleRe.FindStringSubmatch(line)
+	if m == nil {
+		return "", "", "", fmt.Errorf("malformed sample line %q", line)
+	}
+	name, labels, value = m[1], m[2], m[3]
+	if labels != "" {
+		inner := labels[1 : len(labels)-1]
+		for _, pair := range splitLabels(inner) {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || !validMetricName(k) || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				return "", "", "", fmt.Errorf("malformed label %q in %q", pair, line)
+			}
+		}
+	}
+	return name, labels, value, nil
+}
+
+// splitLabels splits `k="v",k2="v2"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var (
+		out  []string
+		cur  strings.Builder
+		inQ  bool
+		prev byte
+	)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '"' && prev != '\\' {
+			inQ = !inQ
+		}
+		if c == ',' && !inQ {
+			out = append(out, cur.String())
+			cur.Reset()
+		} else {
+			cur.WriteByte(c)
+		}
+		prev = c
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+// familyOf maps a series name back to its metric family: summary series
+// _sum/_count belong to the base family when that family is declared.
+func familyOf(name string, typed map[string]string) string {
+	for _, suf := range [...]string{"_sum", "_count", "_bucket"} {
+		if strings.HasSuffix(name, suf) {
+			base := strings.TrimSuffix(name, suf)
+			if _, ok := typed[base]; ok {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// labelValue extracts one label's (unescaped-enough) value from a
+// rendered label set.
+func labelValue(labels, key string) string {
+	if labels == "" {
+		return ""
+	}
+	for _, pair := range splitLabels(labels[1 : len(labels)-1]) {
+		if k, v, ok := strings.Cut(pair, "="); ok && k == key && len(v) >= 2 {
+			return v[1 : len(v)-1]
+		}
+	}
+	return ""
+}

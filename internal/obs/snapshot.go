@@ -31,11 +31,14 @@ type HistogramSnapshot struct {
 	SumNS uint64 `json:"sum_ns"`
 	// MeanNS is SumNS / Count (0 when empty).
 	MeanNS float64 `json:"mean_ns"`
-	// P50NS, P90NS and P99NS are bucket-resolution quantile estimates
-	// (the upper bound of the bucket the quantile falls in).
-	P50NS uint64 `json:"p50_ns"`
-	P90NS uint64 `json:"p90_ns"`
-	P99NS uint64 `json:"p99_ns"`
+	// P50NS, P90NS, P99NS and P999NS are bucket-resolution quantile
+	// estimates (the upper bound of the bucket the quantile falls in, so
+	// an estimate is never below the true quantile and, buckets being
+	// powers of two, never more than 2x above it).
+	P50NS  uint64 `json:"p50_ns"`
+	P90NS  uint64 `json:"p90_ns"`
+	P99NS  uint64 `json:"p99_ns"`
+	P999NS uint64 `json:"p999_ns"`
 	// Buckets lists the non-empty log-scale buckets.
 	Buckets []HistogramBucket `json:"buckets,omitempty"`
 }
@@ -69,6 +72,7 @@ func snapshotHistogram(h *Histogram) HistogramSnapshot {
 	s.P50NS = bucketQuantile(s.Buckets, bucketTotal, 0.50)
 	s.P90NS = bucketQuantile(s.Buckets, bucketTotal, 0.90)
 	s.P99NS = bucketQuantile(s.Buckets, bucketTotal, 0.99)
+	s.P999NS = bucketQuantile(s.Buckets, bucketTotal, 0.999)
 	return s
 }
 

@@ -31,6 +31,10 @@ type Span struct {
 	region *trace.Region
 	t0     time.Time
 	timed  bool
+	// tr, when non-nil, receives the stage timing as a request-trace
+	// stage on End (see StartCtx).
+	tr   *Trace
+	name string
 }
 
 // Start begins a span. The trace region is emitted unconditionally (it is
@@ -50,6 +54,26 @@ func (st *Stage) Start() Span {
 	return sp
 }
 
+// StartCtx is Start plus request-trace attachment: when ctx carries a
+// Trace (see WithTrace), End additionally records this stage's elapsed
+// time onto that request's trace, so the per-request breakdown at
+// GET /v1/admin/trace reuses the exact spans the process-wide stage
+// histograms already time. A ctx without a trace (or nil) behaves like
+// Start.
+func (st *Stage) StartCtx(ctx context.Context) Span {
+	sp := st.Start()
+	if tr := TraceFrom(ctx); tr != nil && st != nil {
+		sp.tr = tr
+		sp.name = st.name
+		if !sp.timed {
+			// The collector may be off; the request trace still wants the
+			// timing (it is pay-per-request, not pay-per-probe).
+			sp.t0 = time.Now()
+		}
+	}
+	return sp
+}
+
 // End closes the span, ending the trace region and recording the elapsed
 // time. Safe on a zero Span.
 func (sp Span) End() {
@@ -58,5 +82,8 @@ func (sp Span) End() {
 	}
 	if sp.timed {
 		sp.h.ObserveSince(sp.t0)
+	}
+	if sp.tr != nil {
+		sp.tr.AddStage(sp.name, time.Since(sp.t0))
 	}
 }

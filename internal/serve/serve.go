@@ -26,6 +26,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -35,10 +36,12 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/faults"
 	"repro/internal/knn"
 	"repro/internal/obs"
@@ -64,6 +67,8 @@ var (
 	gGeneration   = obs.G("serve.model_generation")
 	hLatency      = obs.H("serve.latency")
 	stServe       = obs.S("serve.predict")
+	stDecode      = obs.S("serve.decode")
+	stEncode      = obs.S("serve.encode")
 )
 
 // ModelInfo describes the loaded model on /v1/model.
@@ -82,7 +87,7 @@ type ModelInfo struct {
 }
 
 // ModelStatus is the /v1/model response: the model description plus its
-// reload provenance.
+// reload provenance and the build serving it.
 type ModelStatus struct {
 	ModelInfo
 	// Generation counts model swaps: 1 for the model the server started
@@ -90,6 +95,9 @@ type ModelStatus struct {
 	Generation uint64 `json:"generation"`
 	// LoadedAt is when this generation went live.
 	LoadedAt time.Time `json:"loaded_at"`
+	// Build identifies the binary answering, so a client error report can
+	// name the exact server build it talked to.
+	Build buildinfo.Info `json:"build"`
 }
 
 // Reloader builds a replacement model for hot reload — typically by
@@ -128,6 +136,13 @@ type Options struct {
 	// Reloader, when set, enables hot model reload via Server.Reload
 	// (wired to SIGHUP and POST /v1/admin/reload by cmd/idarepro).
 	Reloader Reloader
+	// TraceRing caps the completed-request traces kept for
+	// GET /v1/admin/trace. <1 means 128.
+	TraceRing int
+	// AccessLog, when set, receives one JSON line (a TraceRecord) per
+	// completed /v1/* request. Writes are serialized by the server; wrap
+	// with atomicio.NewLineWriter for crash-consistent files.
+	AccessLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -158,7 +173,7 @@ type activeModel struct {
 }
 
 func (a *activeModel) status() ModelStatus {
-	return ModelStatus{ModelInfo: a.info, Generation: a.gen, LoadedAt: a.loadedAt}
+	return ModelStatus{ModelInfo: a.info, Generation: a.gen, LoadedAt: a.loadedAt, Build: buildinfo.Get()}
 }
 
 // Server serves predictions from a trained classifier.
@@ -167,6 +182,14 @@ type Server struct {
 	opts Options
 	sem  chan struct{}
 	mux  *http.ServeMux
+
+	// traces keeps the last N completed /v1/* request traces for
+	// GET /v1/admin/trace.
+	traces *obs.TraceRing
+
+	// accessMu serializes access-log lines so concurrent requests never
+	// interleave JSON fragments.
+	accessMu sync.Mutex
 
 	// reloadMu serializes Reload calls; the swap itself is the atomic
 	// pointer store, so the request path never takes this lock.
@@ -186,19 +209,85 @@ func New(clf *knn.Classifier, info ModelInfo, opts Options) *Server {
 	}
 	s.sem = make(chan struct{}, s.opts.MaxInFlight)
 	s.ready = true
+	s.traces = obs.NewTraceRing(s.opts.TraceRing)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/model", s.handleModel)
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/predict/batch", s.handleBatch)
 	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
+	s.mux.HandleFunc("/v1/admin/trace", s.handleTraceLog)
 	return s
 }
 
 // Handler returns the server's HTTP handler (also usable under httptest
-// or an existing mux).
-func (s *Server) Handler() http.Handler { return s.mux }
+// or an existing mux). Every response — including 404s from unknown
+// paths — passes through the tracing middleware, so every response
+// carries an X-Request-ID header.
+func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serveHTTP) }
+
+// serveHTTP is the root middleware: it assigns (or propagates) the
+// request correlation ID, stamps it on the response, threads a request
+// trace through the context, and on completion pushes /v1/* traces into
+// the ring and the access log. Health probes and /metrics scrapes are
+// traced for the header but kept out of the ring so a prober cannot
+// evict the prediction traces an operator came to read.
+func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", id)
+	tr := obs.NewTrace(id, r.Method+" "+r.URL.Path)
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	tr.Finish(status)
+	if strings.HasPrefix(r.URL.Path, "/v1/") && r.URL.Path != "/v1/admin/trace" {
+		s.traces.Push(tr)
+		s.logAccess(tr)
+	}
+}
+
+// statusWriter captures the response status for the completed trace.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// logAccess appends one JSON line for a completed request.
+func (s *Server) logAccess(t *obs.Trace) {
+	if s.opts.AccessLog == nil {
+		return
+	}
+	line, err := json.Marshal(t.Record())
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.accessMu.Lock()
+	_, _ = s.opts.AccessLog.Write(line)
+	s.accessMu.Unlock()
+}
 
 // MaxInFlight reports the resolved in-flight bound.
 func (s *Server) MaxInFlight() int { return s.opts.MaxInFlight }
@@ -310,7 +399,7 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 // RunListener is Run over an existing listener (tests use :0).
 func (s *Server) RunListener(ctx context.Context, ln net.Listener) error {
 	srv := &http.Server{
-		Handler:           s.mux,
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errc := make(chan error, 1)
@@ -364,6 +453,65 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.cur.Load().status())
 }
 
+// handleMetrics exposes every obs counter, gauge, and latency histogram
+// in Prometheus text format, led by an idarepro_build_info series naming
+// the binary. Scrapes work even with telemetry off (counters then read
+// zero) so a scrape config never 404s depending on server flags.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	var b bytes.Buffer
+	writeBuildInfoMetric(&b)
+	if err := obs.WritePrometheus(&b, obs.Default.Snapshot()); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b.Bytes())
+}
+
+// writeBuildInfoMetric emits the constant idarepro_build_info gauge: the
+// conventional value-1 series whose labels carry build identity, so a
+// dashboard can join any latency series to the build that produced it.
+func writeBuildInfoMetric(b *bytes.Buffer) {
+	info := buildinfo.Get()
+	fmt.Fprintf(b, "# HELP idarepro_build_info Build metadata of the running binary; the value is always 1.\n")
+	fmt.Fprintf(b, "# TYPE idarepro_build_info gauge\n")
+	fmt.Fprintf(b, "idarepro_build_info{version=%q,go_version=%q,revision=%q,dirty=%q} 1\n",
+		info.Version, info.GoVersion, info.Revision, strconv.FormatBool(info.Dirty))
+}
+
+// handleTraceLog returns the most recent completed request traces,
+// newest first. ?n=K limits the count.
+func (s *Server) handleTraceLog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.clientError(w, http.StatusBadRequest, fmt.Errorf("invalid n=%q: want a positive integer", v))
+			return
+		}
+		limit = n
+	}
+	recs := s.traces.Snapshot(limit)
+	if recs == nil {
+		recs = []obs.TraceRecord{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Capacity int               `json:"capacity"`
+		Traces   []obs.TraceRecord `json:"traces"`
+	}{s.traces.Cap(), recs})
+}
+
 // handleReload is the POST /v1/admin/reload endpoint: 200 with the new
 // ModelStatus on success, 409 while draining, 501 without a reloader,
 // 500 on a failed load (old model still serving).
@@ -405,7 +553,7 @@ func (s *Server) retryAfterSeconds() int {
 // acquire claims an in-flight slot without queueing; a saturated server
 // sheds the request immediately so the client (or load balancer) can
 // retry elsewhere instead of piling latency onto a full queue.
-func (s *Server) acquire(w http.ResponseWriter) bool {
+func (s *Server) acquire(w http.ResponseWriter, tr *obs.Trace) bool {
 	select {
 	case s.sem <- struct{}{}:
 		return true
@@ -413,6 +561,7 @@ func (s *Server) acquire(w http.ResponseWriter) bool {
 		if obs.On() {
 			mRejected.Inc()
 		}
+		tr.Rung("serve.shed")
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server saturated; retry"})
 		return false
@@ -445,11 +594,12 @@ func (s *Server) servePrediction(w http.ResponseWriter, r *http.Request, batch b
 	if obs.On() {
 		mRequests.Inc()
 	}
-	if !s.acquire(w) {
+	tr := obs.TraceFrom(r.Context())
+	if !s.acquire(w, tr) {
 		return
 	}
 	defer s.release()
-	sp := stServe.Start()
+	sp := stServe.StartCtx(r.Context())
 	defer sp.End()
 	t0 := time.Now()
 	defer func() {
@@ -460,16 +610,20 @@ func (s *Server) servePrediction(w http.ResponseWriter, r *http.Request, batch b
 			if obs.On() {
 				mErrors.Inc()
 			}
+			tr.Rung("serve.panic_500")
 			err := pipeline.Recovered("serve.predict", rec)
 			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		}
 	}()
 
+	spDecode := stDecode.StartCtx(r.Context())
 	wire, ok := s.decodeRequest(w, r, batch)
 	if !ok {
+		spDecode.End()
 		return
 	}
 	ctxs, err := decodeAll(wire)
+	spDecode.End()
 	if err != nil {
 		s.clientError(w, http.StatusBadRequest, err)
 		return
@@ -486,6 +640,8 @@ func (s *Server) servePrediction(w http.ResponseWriter, r *http.Request, batch b
 			if obs.On() {
 				mErrors.Inc()
 			}
+			tr.FaultSite(faults.SiteServePredict)
+			tr.Rung("serve.degraded_503")
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "degraded: " + err.Error()})
 			return
@@ -513,6 +669,8 @@ func (s *Server) servePrediction(w http.ResponseWriter, r *http.Request, batch b
 			}
 		}
 	}
+	spEncode := stEncode.StartCtx(r.Context())
+	defer spEncode.End()
 	if batch {
 		writeJSON(w, http.StatusOK, struct {
 			Predictions []predictResponse `json:"predictions"`
