@@ -39,6 +39,7 @@ import (
 	"repro/internal/netlog"
 	"repro/internal/offline"
 	"repro/internal/pipeline"
+	"repro/internal/ring"
 	"repro/internal/serve"
 	"repro/internal/session"
 	"repro/internal/simulate"
@@ -245,6 +246,10 @@ type Predictor struct {
 	// so re-serializing it is byte-identical to the original — the
 	// property the kill-resume-compare chaos test pins down.
 	model *snapshot.Model
+	// checksum is the whole-file hash of the snapshot this predictor was
+	// loaded from (empty when trained in-process) — the identity the ring
+	// repair loop compares across replicas.
+	checksum string
 }
 
 // ckptStageTrain is the training-stage checkpoint record: the complete
@@ -519,13 +524,22 @@ func ReadPredictor(r io.Reader) (*Predictor, error) {
 }
 
 // LoadPredictor reads a model snapshot from a file path (the counterpart
-// of Predictor.Save).
+// of Predictor.Save). The predictor remembers the file's whole-file
+// checksum, which /v1/model reports so the ring repair loop can compare
+// replica snapshots without re-downloading them.
 func LoadPredictor(path string) (*Predictor, error) {
 	m, err := snapshot.Load(path)
 	if err != nil {
 		return nil, err
 	}
-	return predictorFromModel(m)
+	p, err := predictorFromModel(m)
+	if err != nil {
+		return nil, err
+	}
+	if sum, err := snapshot.FileChecksum(path); err == nil {
+		p.checksum = sum
+	}
+	return p, nil
 }
 
 func predictorFromModel(m *snapshot.Model) (*Predictor, error) {
@@ -626,6 +640,7 @@ func (p *Predictor) modelInfo() ServeModelInfo {
 		Fallback:     p.cfg.Fallback.String(),
 		TrainingSize: p.TrainingSize(),
 		Prior:        p.clf.Prior(),
+		Checksum:     p.checksum,
 	}
 }
 
@@ -647,4 +662,55 @@ func (p *Predictor) Handler(opts ServeOptions) http.Handler {
 // complete). A clean drain returns nil.
 func (p *Predictor) Serve(ctx context.Context, addr string, opts ServeOptions) error {
 	return p.NewServer(opts).Run(ctx, addr)
+}
+
+// Sharded serving tier re-exports (DESIGN.md §11).
+type (
+	// RingSpec is the serialized ring topology (ring.json): shard count,
+	// replica factor, and member nodes.
+	RingSpec = ring.Spec
+	// RingNode is one serve instance in a ring spec.
+	RingNode = ring.Node
+	// RingRouterOptions configures the fan-out router tier.
+	RingRouterOptions = serve.RouterOptions
+)
+
+// LoadRingSpec reads and validates a ring.json topology file.
+func LoadRingSpec(path string) (*RingSpec, error) { return ring.LoadSpec(path) }
+
+// NewShardServer wraps the predictor in a ring-replica server: besides
+// the full standalone endpoint surface, it partitions the training set
+// by the spec's placement and serves kNN candidates for the shards the
+// ring places on node (POST /v1/knn/candidates). The named node must be
+// a member of the spec.
+func (p *Predictor) NewShardServer(spec *RingSpec, node string, opts ServeOptions) (*serve.Server, error) {
+	r, err := ring.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := r.Node(node); !ok {
+		return nil, fmt.Errorf("repro: node %q is not in the ring spec", node)
+	}
+	opts.Ring = r
+	opts.NodeName = node
+	return serve.New(p.clf, p.modelInfo(), opts), nil
+}
+
+// NewRingRouter builds the scatter-gather router for a ring topology.
+// The snapshot at modelPath supplies the merge parameters (gate, vote,
+// fallback, prior) and the reference checksum the repair loop pushes
+// toward; it must be the same snapshot the replicas serve.
+func NewRingRouter(modelPath string, spec *RingSpec, opts RingRouterOptions) (*serve.Router, error) {
+	p, err := LoadPredictor(modelPath)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ring.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	opts.Info = p.modelInfo()
+	opts.Cfg = p.clf.Config()
+	opts.ModelPath = modelPath
+	return serve.NewRouter(r, opts), nil
 }

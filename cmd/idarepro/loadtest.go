@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
@@ -23,7 +24,7 @@ import (
 // same way BENCH_<date>.json gates on kernel performance.
 func cmdLoadtest(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("loadtest", flag.ExitOnError)
-	addr := fs.String("addr", "", "target server base URL (e.g. http://127.0.0.1:8080)")
+	addr := fs.String("addr", "", "target server base URL(s), comma-separated; several targets round-robin the offered load (e.g. a ring's replicas or routers)")
 	model := fs.String("model", "", "predictor snapshot to serve in-process instead of targeting -addr")
 	ctxPath := fs.String("contexts", "", "wire-context JSON array (written by idarepro train -contexts); bodies are round-robined")
 	qps := fs.Float64("qps", 200, "offered request rate (open-loop: arrivals are scheduled, not paced by responses)")
@@ -67,8 +68,19 @@ func cmdLoadtest(ctx context.Context, args []string) error {
 		bodies[i] = b
 	}
 
+	var targets []string
+	if *addr != "" {
+		for _, u := range strings.Split(*addr, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				targets = append(targets, u)
+			}
+		}
+		if len(targets) == 0 {
+			return fmt.Errorf("loadtest: -addr lists no targets")
+		}
+	}
 	opts := loadtest.Options{
-		BaseURL:        *addr,
+		BaseURLs:       targets,
 		Bodies:         bodies,
 		QPS:            *qps,
 		Concurrency:    *conc,

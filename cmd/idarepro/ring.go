@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro"
+	"repro/internal/atomicio"
+	"repro/internal/ring"
+)
+
+// cmdRing generates or inspects a ring spec (ring.json), the single
+// topology file every process of a sharded serving tier loads: replicas
+// derive which shards to serve from it, routers derive where to scatter.
+// With -nodes it writes a fresh spec; with -spec it loads an existing one.
+// Either way it prints the resolved placement so an operator can see the
+// shard → replica-group map before starting any process.
+func cmdRing(_ context.Context, args []string) error {
+	fs := flag.NewFlagSet("ring", flag.ExitOnError)
+	nodes := fs.String("nodes", "", "comma-separated replica base URLs (e.g. http://h1:8081,http://h2:8082); names default to n0,n1,...")
+	names := fs.String("names", "", "comma-separated node names overriding the n0,n1,... defaults (must match -nodes in count)")
+	shards := fs.Int("shards", 3, "training-set partitions (fixed for the topology's lifetime)")
+	replicas := fs.Int("replicas", 2, "replica-group size R: every shard is served by R distinct nodes")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per physical node on the hash circle (0 = 64)")
+	specPath := fs.String("spec", "", "inspect an existing ring.json instead of generating one")
+	out := fs.String("o", "", "write the generated spec to this path (e.g. ring.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*nodes == "") == (*specPath == "") {
+		return fmt.Errorf("ring: exactly one of -nodes or -spec is required")
+	}
+
+	var spec *repro.RingSpec
+	if *specPath != "" {
+		var err error
+		spec, err = repro.LoadRingSpec(*specPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		addrs := strings.Split(*nodes, ",")
+		spec = &repro.RingSpec{Shards: *shards, Replicas: *replicas, VNodes: *vnodes}
+		var nn []string
+		if *names != "" {
+			nn = strings.Split(*names, ",")
+			if len(nn) != len(addrs) {
+				return fmt.Errorf("ring: -names lists %d names for %d nodes", len(nn), len(addrs))
+			}
+		}
+		for i, addr := range addrs {
+			name := fmt.Sprintf("n%d", i)
+			if nn != nil {
+				name = strings.TrimSpace(nn[i])
+			}
+			spec.Nodes = append(spec.Nodes, ring.Node{Name: name, Addr: strings.TrimSpace(addr)})
+		}
+	}
+
+	r, err := ring.New(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ring: %d shards x %d replicas over %d nodes\n", spec.Shards, spec.Replicas, len(spec.Nodes))
+	for sh := 0; sh < spec.Shards; sh++ {
+		var members []string
+		for _, n := range r.ReplicaGroup(sh) {
+			members = append(members, n.Name)
+		}
+		fmt.Printf("  shard %d -> %s\n", sh, strings.Join(members, ", "))
+	}
+	for _, n := range spec.Nodes {
+		fmt.Printf("  node %s (%s) serves shards %v\n", n.Name, n.Addr, r.NodeShards(n.Name))
+	}
+
+	if *out != "" {
+		if err := atomicio.WriteFile(*out, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", " ")
+			return enc.Encode(spec)
+		}); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *out)
+	}
+	return nil
+}

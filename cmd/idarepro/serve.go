@@ -14,6 +14,7 @@ import (
 	"repro/internal/atomicio"
 	"repro/internal/obs"
 	"repro/internal/offline"
+	"repro/internal/serve"
 	"repro/internal/session"
 	"repro/internal/snapshot"
 )
@@ -115,7 +116,9 @@ func exportContexts(path string, repo *session.Repository, n, limit int) (int, e
 
 // cmdServe loads a predictor snapshot and serves predictions over HTTP
 // until the process context is canceled (SIGINT or -timeout), then drains
-// gracefully and exits 0.
+// gracefully and exits 0. With -ring it joins a sharded tier: -node runs
+// a replica serving its placed shards, -router runs the scatter-gather
+// router (health checking, failover, self-healing snapshot repair).
 func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	model := fs.String("model", "model.snap", "predictor snapshot path (written by idarepro train)")
@@ -123,6 +126,9 @@ func cmdServe(ctx context.Context, args []string) error {
 	maxInFlight := fs.Int("maxinflight", 0, "max concurrently served prediction requests (0 = one per CPU)")
 	maxBatch := fs.Int("maxbatch", 0, "max contexts per batch request (0 = 1024)")
 	reload := fs.Bool("reload", false, "enable hot model reload: SIGHUP or POST /v1/admin/reload re-reads -model and swaps it in without dropping requests")
+	ringPath := fs.String("ring", "", "ring spec (ring.json, written by idarepro ring); requires -node or -router")
+	node := fs.String("node", "", "serve as this ring replica: load only the shards the spec places on the named node")
+	router := fs.Bool("router", false, "serve as the ring's router: scatter queries to shard replicas, merge candidates, health-check and repair the tier")
 	verbose := fs.Bool("v", false, "print the telemetry snapshot (request counters, latency) at exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -130,6 +136,29 @@ func cmdServe(ctx context.Context, args []string) error {
 	if *verbose {
 		obs.SetMode(obs.ModeTiming)
 		defer func() { fmt.Fprint(os.Stderr, "\n"+obs.Default.Snapshot().Table()) }()
+	}
+	if (*node != "" || *router) && *ringPath == "" {
+		return fmt.Errorf("serve: -node and -router require -ring FILE")
+	}
+	if *node != "" && *router {
+		return fmt.Errorf("serve: -node and -router are mutually exclusive")
+	}
+	if *router {
+		spec, err := repro.LoadRingSpec(*ringPath)
+		if err != nil {
+			return err
+		}
+		rt, err := repro.NewRingRouter(*model, spec, repro.RingRouterOptions{
+			MaxInFlight: *maxInFlight,
+			MaxBatch:    *maxBatch,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "serve: router over %d shards x %d replicas (%d nodes) from %s\n",
+			spec.Shards, spec.Replicas, len(spec.Nodes), *ringPath)
+		fmt.Fprintf(os.Stderr, "serve: listening on %s (endpoints: /healthz /readyz /metrics /v1/model /v1/predict /v1/predict/batch /v1/ring /v1/admin/trace)\n", *addr)
+		return rt.Run(ctx, *addr)
 	}
 	pred, err := repro.LoadPredictor(*model)
 	if err != nil {
@@ -148,9 +177,30 @@ func cmdServe(ctx context.Context, args []string) error {
 	endpoints := "/healthz /readyz /metrics /v1/model /v1/predict /v1/predict/batch /v1/admin/trace"
 	if *reload {
 		opts.Reloader = repro.SnapshotReloader(*model)
+		opts.ModelPath = *model
 		endpoints += " /v1/admin/reload"
 	}
-	srv := pred.NewServer(opts)
+	var srv *serve.Server
+	if *node != "" {
+		spec, err := repro.LoadRingSpec(*ringPath)
+		if err != nil {
+			return err
+		}
+		srv, err = pred.NewShardServer(spec, *node, opts)
+		if err != nil {
+			return err
+		}
+		endpoints += " /v1/knn/candidates"
+		if *reload {
+			// With reload enabled a replica also accepts the router's
+			// self-healing snapshot pushes.
+			endpoints += " /v1/admin/snapshot"
+		}
+		fmt.Fprintf(os.Stderr, "serve: ring replica %q serving shards %v of %d\n",
+			*node, srv.Status().Shards, spec.Shards)
+	} else {
+		srv = pred.NewServer(opts)
+	}
 	if *reload {
 		hup := make(chan os.Signal, 1)
 		signal.Notify(hup, syscall.SIGHUP)

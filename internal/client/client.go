@@ -39,6 +39,7 @@ var (
 	mFailures    = obs.C("client.failures")
 	mDegraded    = obs.C("client.degraded")
 	mBreakerOpen = obs.C("client.breaker_open")
+	mFailover    = obs.C("client.failover")
 )
 
 // ErrBreakerOpen reports a request refused by an open circuit breaker
@@ -50,6 +51,13 @@ var ErrBreakerOpen = errors.New("client: circuit breaker open")
 type Options struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Endpoints are additional server roots (ring replicas) tried in
+	// order after BaseURL. Each endpoint gets its own circuit breaker;
+	// when an attempt fails transiently — or an endpoint's breaker is
+	// open — the client moves to the next endpoint immediately instead of
+	// sleeping, and only backs off between full sweeps. Requests degrade
+	// to the prior label only when every endpoint's breaker is open.
+	Endpoints []string
 	// HTTPClient overrides the transport. nil means http.DefaultClient.
 	HTTPClient *http.Client
 	// RequestTimeout bounds each attempt (not the whole retry loop).
@@ -108,6 +116,14 @@ type Prediction struct {
 	Degraded bool   `json:"degraded,omitempty"`
 }
 
+// endpoint is one server root with its own circuit breaker: replica
+// health is per-process, so one dying replica must not poison the
+// client's view of the others.
+type endpoint struct {
+	url string
+	br  breaker
+}
+
 // Client is a resilient prediction-server client. Safe for concurrent
 // use.
 type Client struct {
@@ -115,30 +131,49 @@ type Client struct {
 	// now is the clock, swappable in tests.
 	now func() time.Time
 
-	br breaker
+	// eps are the failover targets in preference order; eps[0] is
+	// Options.BaseURL.
+	eps []*endpoint
 
 	priorMu sync.Mutex
 	prior   string
 }
 
-// New builds a client for the server at opts.BaseURL.
+// New builds a client for the server at opts.BaseURL, failing over
+// across opts.Endpoints when configured.
 func New(opts Options) (*Client, error) {
 	if opts.BaseURL == "" {
 		return nil, errors.New("client: BaseURL required")
 	}
 	o := opts.withDefaults()
 	c := &Client{opts: o, now: time.Now, prior: o.PriorLabel}
-	c.br = breaker{
-		window:    make([]bool, o.BreakerWindow),
-		threshold: o.BreakerThreshold,
-		cooldown:  o.BreakerCooldown,
+	for _, url := range append([]string{o.BaseURL}, o.Endpoints...) {
+		c.eps = append(c.eps, &endpoint{
+			url: url,
+			br: breaker{
+				window:    make([]bool, o.BreakerWindow),
+				threshold: o.BreakerThreshold,
+				cooldown:  o.BreakerCooldown,
+			},
+		})
 	}
 	return c, nil
 }
 
-// BreakerState reports the breaker position ("closed", "open" or
-// "half-open") for logs and tests.
-func (c *Client) BreakerState() string { return c.br.state(c.now()) }
+// BreakerState reports the primary endpoint's breaker position
+// ("closed", "open" or "half-open") for logs and tests.
+func (c *Client) BreakerState() string { return c.eps[0].br.state(c.now()) }
+
+// BreakerStates reports every endpoint's breaker position, keyed by
+// endpoint URL.
+func (c *Client) BreakerStates() map[string]string {
+	now := c.now()
+	out := make(map[string]string, len(c.eps))
+	for _, ep := range c.eps {
+		out[ep.url] = ep.br.state(now)
+	}
+	return out
+}
 
 // Model fetches /v1/model and remembers the model's prior label as the
 // degraded answer (unless Options.PriorLabel pinned one).
@@ -231,12 +266,19 @@ func (c *Client) degraded(err error, n int) ([]Prediction, bool) {
 	return preds, true
 }
 
-// do runs one logical request through the breaker and retry loop,
-// decoding a 200 response into out.
+// do runs one logical request through the per-endpoint breakers and the
+// retry loop, decoding a 200 response into out.
+//
+// Failover shape: one retry "attempt" is a SWEEP over the endpoints in
+// preference order — an endpoint whose breaker is open is skipped, a
+// transient failure moves to the next endpoint with no sleep, and only
+// between full sweeps does the backoff policy wait (honoring any
+// Retry-After hint from the last endpoint). With a single endpoint this
+// degenerates to exactly the old behavior: one attempt per endpoint
+// sweep, backoff between attempts. ErrBreakerOpen — every endpoint's
+// breaker open — is not retryable, so callers degrade to the prior
+// label immediately instead of sleeping through a hopeless backoff.
 func (c *Client) do(ctx context.Context, method, path, key string, body []byte, out any) error {
-	if !c.br.allow(c.now()) {
-		return ErrBreakerOpen
-	}
 	if obs.On() {
 		mRequests.Inc()
 	}
@@ -247,11 +289,8 @@ func (c *Client) do(ctx context.Context, method, path, key string, body []byte, 
 	retry := c.opts.Retry
 	retry.Retryable = transient
 	err := retry.Do(ctx, func(attempt int) error {
-		return c.attempt(ctx, method, path, faults.Key(key, attempt), rid, body, out)
+		return c.sweep(ctx, method, path, key, rid, body, out, attempt)
 	})
-	if c.br.record(err == nil || permanent(err), c.now()) && obs.On() {
-		mBreakerOpen.Inc()
-	}
 	if err != nil {
 		if obs.On() {
 			mFailures.Inc()
@@ -261,9 +300,45 @@ func (c *Client) do(ctx context.Context, method, path, key string, body []byte, 
 	return nil
 }
 
-// attempt is one HTTP round trip under the per-attempt timeout and the
-// client.request fault site.
-func (c *Client) attempt(ctx context.Context, method, path, key, rid string, body []byte, out any) (err error) {
+// sweep tries each endpoint once, in preference order, pairing every
+// breaker admission with its outcome. It returns nil on the first
+// success, the failure on a permanent (4xx) answer — the request is the
+// problem, not the replica — and otherwise the last transient failure,
+// or ErrBreakerOpen when no breaker admitted the request at all.
+func (c *Client) sweep(ctx context.Context, method, path, key, rid string, body []byte, out any, attempt int) error {
+	var lastErr error
+	tried := false
+	for i, ep := range c.eps {
+		if !ep.br.allow(c.now()) {
+			continue
+		}
+		if tried && obs.On() {
+			mFailover.Inc()
+		}
+		tried = true
+		// The fault-site key re-rolls per (sweep, endpoint) so a chaos
+		// run injects independently across replicas and retries.
+		err := c.attempt(ctx, ep.url, method, path, faults.Key(key, attempt*len(c.eps)+i), rid, body, out)
+		if ep.br.record(err == nil || permanent(err), c.now()) && obs.On() {
+			mBreakerOpen.Inc()
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if permanent(err) || (ctx != nil && ctx.Err() != nil) {
+			return err
+		}
+	}
+	if !tried {
+		return ErrBreakerOpen
+	}
+	return lastErr
+}
+
+// attempt is one HTTP round trip against one endpoint under the
+// per-attempt timeout and the client.request fault site.
+func (c *Client) attempt(ctx context.Context, baseURL, method, path, key, rid string, body []byte, out any) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = recoveredErr(r)
@@ -281,7 +356,7 @@ func (c *Client) attempt(ctx context.Context, method, path, key, rid string, bod
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(actx, method, c.opts.BaseURL+path, rd)
+	req, err := http.NewRequestWithContext(actx, method, baseURL+path, rd)
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err)
 	}

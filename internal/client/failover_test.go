@@ -1,0 +1,188 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestBreakerHalfOpenSingleProbe: when the cooldown elapses, exactly ONE
+// request may claim the half-open probe slot. Concurrent requests racing
+// it must fail fast with ErrBreakerOpen — not queue behind the probe, and
+// not stampede the recovering server.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	var (
+		healthy atomic.Bool
+		served  atomic.Int64
+		entered = make(chan struct{}, 1)
+		release = make(chan struct{})
+	)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		served.Add(1)
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-release // hold the probe in flight while the losers race
+		fmt.Fprint(w, `{"measure":"variance","ok":true}`)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{
+		BaseURL: ts.URL, Retry: fastRetry(1),
+		BreakerWindow: 2, BreakerThreshold: 0.5, BreakerCooldown: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	clock := time.Unix(1000, 0)
+	c.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+
+	// Trip the breaker, heal the server, let the cooldown pass.
+	for i := 0; i < 2; i++ {
+		c.Predict(context.Background(), wire("q", 1))
+	}
+	if st := c.BreakerState(); st != "open" {
+		t.Fatalf("breaker = %s, want open", st)
+	}
+	healthy.Store(true)
+	mu.Lock()
+	clock = clock.Add(2 * time.Minute)
+	mu.Unlock()
+
+	// The probe claims the half-open slot and parks inside the server.
+	probeErr := make(chan error, 1)
+	go func() {
+		_, err := c.Predict(context.Background(), wire("probe", 1))
+		probeErr <- err
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("probe never reached the server")
+	}
+
+	// Racers while the probe is in flight: all must lose fast.
+	const racers = 8
+	var wg sync.WaitGroup
+	losses := make(chan error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := c.Predict(context.Background(), wire(fmt.Sprintf("r%d", i), 1))
+			losses <- err
+		}(i)
+	}
+	wg.Wait()
+	close(losses)
+	for err := range losses {
+		if !errors.Is(err, ErrBreakerOpen) {
+			t.Errorf("racer error = %v, want ErrBreakerOpen", err)
+		}
+	}
+	if n := served.Load(); n != 1 {
+		t.Fatalf("server saw %d requests during half-open, want exactly the 1 probe", n)
+	}
+
+	// Releasing the probe closes the breaker; traffic flows again.
+	close(release)
+	if err := <-probeErr; err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if st := c.BreakerState(); st != "closed" {
+		t.Fatalf("breaker after probe success = %s, want closed", st)
+	}
+	if _, err := c.Predict(context.Background(), wire("after", 1)); err != nil {
+		t.Fatalf("post-recovery predict: %v", err)
+	}
+}
+
+// TestFailoverOrdering: endpoints are tried strictly in preference order
+// — BaseURL first, then Endpoints — a healthy earlier replica shields the
+// later ones entirely, and a replica whose breaker opens is skipped
+// without so much as a connection.
+func TestFailoverOrdering(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		hits []int
+	)
+	counts := make([]atomic.Int64, 3)
+	mk := func(i int, ok bool) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			counts[i].Add(1)
+			mu.Lock()
+			hits = append(hits, i)
+			mu.Unlock()
+			if !ok {
+				w.WriteHeader(http.StatusInternalServerError)
+				return
+			}
+			fmt.Fprint(w, `{"measure":"variance","ok":true}`)
+		}))
+	}
+	dead := mk(0, false)
+	good := mk(1, true)
+	spare := mk(2, true)
+	defer dead.Close()
+	defer good.Close()
+	defer spare.Close()
+
+	c, err := New(Options{
+		BaseURL:       dead.URL,
+		Endpoints:     []string{good.URL, spare.URL},
+		Retry:         fastRetry(1),
+		BreakerWindow: 2, BreakerThreshold: 0.5, BreakerCooldown: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First request: dead tried first, good answers, spare never touched.
+	p, err := c.Predict(context.Background(), wire("q", 1))
+	if err != nil || p.Measure != "variance" || p.Degraded {
+		t.Fatalf("failover predict = %+v, %v; want variance from the second replica", p, err)
+	}
+	mu.Lock()
+	order := append([]int(nil), hits...)
+	mu.Unlock()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("hit order = %v, want [0 1] (preference order, stop at first success)", order)
+	}
+	if counts[2].Load() != 0 {
+		t.Fatal("third replica was contacted although the second answered")
+	}
+
+	// Second failed sweep fills the dead replica's window and opens its
+	// breaker; from then on it is skipped without a connection.
+	if _, err := c.Predict(context.Background(), wire("q", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.BreakerStates()[dead.URL]; st != "open" {
+		t.Fatalf("dead replica breaker = %s, want open after two failed sweeps", st)
+	}
+	before := counts[0].Load()
+	for i := 0; i < 3; i++ {
+		if p, err := c.Predict(context.Background(), wire(fmt.Sprintf("s%d", i), 3)); err != nil || p.Measure != "variance" {
+			t.Fatalf("predict with open primary = %+v, %v", p, err)
+		}
+	}
+	if n := counts[0].Load(); n != before {
+		t.Fatalf("open-breaker replica saw %d new connections, want 0", n-before)
+	}
+	// A healthy replica behind an open breaker still answers undegraded.
+	if st := c.BreakerStates()[good.URL]; st != "closed" {
+		t.Fatalf("healthy replica breaker = %s, want closed", st)
+	}
+}

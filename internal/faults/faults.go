@@ -100,6 +100,16 @@ const (
 	// SiteClientRequest guards one outbound request of the resilient HTTP
 	// client (degrades to a retried, then breaker-counted, failure).
 	SiteClientRequest = "client.request"
+	// SiteRingRoute guards one router→replica fan-out hop of the sharded
+	// serving tier (degrades to the next replica in the failover order,
+	// then to the prior label).
+	SiteRingRoute = "ring.route"
+	// SiteRingHealth guards one active health probe of a ring replica (a
+	// failure walks the replica down the probation/ejection machine).
+	SiteRingHealth = "ring.health"
+	// SiteRingRepair guards one snapshot push of the self-healing repair
+	// loop (a failure leaves the replica stale until the next sweep).
+	SiteRingRepair = "ring.repair"
 )
 
 // Sites lists every named injection site (for docs, tests, and chaos
@@ -116,6 +126,9 @@ func Sites() []string {
 		SiteCheckpointWrite,
 		SiteServeReload,
 		SiteClientRequest,
+		SiteRingRoute,
+		SiteRingHealth,
+		SiteRingRepair,
 	}
 }
 

@@ -1,0 +1,171 @@
+package knn
+
+import (
+	"math"
+
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/session"
+)
+
+// Candidate is one nearest-neighbor candidate in wire-friendly form: the
+// training sample's index, its distance from the query, and the sample's
+// labels — everything the vote reads, nothing more. It is the unit the
+// sharded serving tier ships from replicas to the router (DESIGN.md §11):
+// a replica scans only its shard and returns its local top-k as
+// Candidates; the router merges the per-shard lists and votes.
+//
+// Index is an opaque tie-break key to this package. For the distributed
+// merge to be bit-identical to a single-process scan, every shard must
+// report indexes from the same global numbering (the serving layer maps
+// shard-local positions back to training order before merging).
+type Candidate struct {
+	Index  int      `json:"index"`
+	Dist   float64  `json:"dist"`
+	Labels []string `json:"labels,omitempty"`
+}
+
+// Candidates scans the classifier's whole training set and returns its
+// top-k nearest candidates in ascending (dist, index) order, UNGATED by
+// θ_δ. Ungated is deliberate: the θ_δ-gated neighbor set is exactly the
+// dist ≤ θ_δ prefix-filter of the unbounded top-k (the gate preserves
+// (dist, index) order, and any sample inside the gate that misses the
+// unbounded top-k is beaten by k closer samples that are also inside),
+// so one ungated list lets the merging router reproduce both the gated
+// vote and the FallbackNearest re-vote without a second scan.
+//
+// Indexes are positions in this classifier's own sample slice.
+func (c *Classifier) Candidates(query *session.Context) []Candidate {
+	if obs.On() {
+		mScans.Inc()
+		mDistEvals.Add(uint64(len(c.samples)))
+	}
+	k := c.cfg.K
+	w := parallel.Workers(c.cfg.Workers)
+	var sorted []cand
+	if w > 1 && len(c.samples) >= minParallelScan {
+		chunks := parallel.Chunks(len(c.samples), w)
+		accs := make([]*topK, len(chunks))
+		parallel.ForEachN(nil, len(chunks), w, func(ci int) {
+			acc := newTopK(k)
+			c.scanRange(query, chunks[ci][0], chunks[ci][1], acc, math.Inf(1))
+			accs[ci] = acc
+		})
+		sorted = mergeTopK(k, accs)
+	} else {
+		acc := newTopK(k)
+		c.scanRange(query, 0, len(c.samples), acc, math.Inf(1))
+		sorted = acc.drain()
+	}
+	out := make([]Candidate, len(sorted))
+	for i, cd := range sorted {
+		out[i] = Candidate{Index: cd.idx, Dist: cd.dist, Labels: c.samples[cd.idx].Labels}
+	}
+	return out
+}
+
+// MergeCandidates folds per-shard candidate lists into the global top-k
+// in ascending (dist, index) order. Each shard's list holds the best k of
+// its partition, so the union provably contains the global top-k — the
+// same fan-in argument mergeTopK makes for per-worker accumulators, here
+// applied across processes. Merge order is fixed by the (dist, index)
+// keys, never by which replica answered first.
+func MergeCandidates(k int, lists ...[]Candidate) []Candidate {
+	merged := newTopK(k)
+	byIndex := make(map[int]Candidate, k)
+	for _, list := range lists {
+		for _, cd := range list {
+			merged.add(cd.Dist, cd.Index)
+			byIndex[cd.Index] = cd
+		}
+	}
+	sorted := merged.drain()
+	out := make([]Candidate, len(sorted))
+	for i, cd := range sorted {
+		out[i] = byIndex[cd.idx]
+	}
+	return out
+}
+
+// PredictFromCandidates reproduces the single-process predict path —
+// θ_δ gate, tie-weighted vote, then the fallback rung — from a merged,
+// ascending candidate list. Given the global top-k (MergeCandidates over
+// every shard) and the model's own Config and prior, the result is
+// bit-identical to Classifier.Predict on the undivided training set:
+// same gate, same weights, same (votes, closeness, lexicographic)
+// tie-break, same fallback semantics.
+//
+// The returned Prediction carries no Neighbors — the caller holds
+// candidates, not samples.
+func PredictFromCandidates(sorted []Candidate, cfg Config, prior string) Prediction {
+	gated := sorted
+	if !cfg.Unbounded {
+		// The list is ascending by distance, so the gate is a prefix.
+		cut := len(sorted)
+		for i, cd := range sorted {
+			if cd.Dist > cfg.ThetaDelta {
+				cut = i
+				break
+			}
+		}
+		gated = sorted[:cut]
+	}
+	p := voteCandidates(gated)
+	if p.Covered || cfg.Fallback == FallbackAbstain {
+		return p
+	}
+	switch cfg.Fallback {
+	case FallbackNearest:
+		if np := voteCandidates(sorted); np.Covered {
+			np.Fallback = true
+			return np
+		}
+	case FallbackPrior:
+		if prior != "" {
+			p.Label = prior
+			p.Covered = true
+			p.Fallback = true
+		}
+	}
+	return p
+}
+
+// voteCandidates tallies the tie-weighted vote over an already-selected,
+// nearest-first candidate list — voteSorted's exact arithmetic, reading
+// labels from Candidates instead of Samples.
+func voteCandidates(sorted []Candidate) Prediction {
+	if len(sorted) == 0 {
+		return Prediction{Covered: false}
+	}
+	votes := make(map[string]float64, 4)
+	closeness := make(map[string]float64, 4)
+	for _, cd := range sorted {
+		if len(cd.Labels) == 0 {
+			continue
+		}
+		w := 1 / float64(len(cd.Labels))
+		for _, l := range cd.Labels {
+			votes[l] += w
+			closeness[l] += (1 - cd.Dist) * w
+		}
+	}
+	if len(votes) == 0 {
+		return Prediction{Covered: false}
+	}
+	best := ""
+	for l := range votes {
+		if best == "" {
+			best = l
+			continue
+		}
+		switch {
+		case votes[l] > votes[best]:
+			best = l
+		case votes[l] == votes[best]:
+			if closeness[l] > closeness[best] || (closeness[l] == closeness[best] && l < best) {
+				best = l
+			}
+		}
+	}
+	return Prediction{Label: best, Votes: votes, Covered: true}
+}

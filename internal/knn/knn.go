@@ -202,6 +202,11 @@ func (c *Classifier) Prior() string { return c.prior }
 // Config returns the classifier's hyper-parameters.
 func (c *Classifier) Config() Config { return c.cfg }
 
+// Metric returns the distance metric the classifier scans under, so the
+// serving layer can build shard classifiers that measure distances
+// identically to the whole-model classifier.
+func (c *Classifier) Metric() distance.Metric { return c.metric }
+
 // SetWorkers rebounds the scan/batch fan-out width (see Config.Workers)
 // after construction — a deployment knob, not a model parameter:
 // predictions are bit-identical at every setting. Not safe to call
@@ -458,41 +463,18 @@ func Vote(eligible []Neighbor, k int) Prediction {
 }
 
 // voteSorted tallies the tie-weighted vote over an already-selected,
-// nearest-first neighbor list (at most k entries).
+// nearest-first neighbor list (at most k entries). The arithmetic lives
+// in voteCandidates so the single-process vote and the router-side merge
+// vote (see candidates.go) cannot drift apart.
 func voteSorted(neighbors []Neighbor) Prediction {
 	if len(neighbors) == 0 {
 		return Prediction{Covered: false}
 	}
-	votes := make(map[string]float64, 4)
-	closeness := make(map[string]float64, 4)
-	for _, n := range neighbors {
-		labels := n.Sample.Labels
-		if len(labels) == 0 {
-			continue
-		}
-		w := 1 / float64(len(labels))
-		for _, l := range labels {
-			votes[l] += w
-			closeness[l] += (1 - n.Dist) * w
-		}
+	cds := make([]Candidate, len(neighbors))
+	for i, n := range neighbors {
+		cds[i] = Candidate{Dist: n.Dist, Labels: n.Sample.Labels}
 	}
-	if len(votes) == 0 {
-		return Prediction{Covered: false, Neighbors: neighbors}
-	}
-	best := ""
-	for l := range votes {
-		if best == "" {
-			best = l
-			continue
-		}
-		switch {
-		case votes[l] > votes[best]:
-			best = l
-		case votes[l] == votes[best]:
-			if closeness[l] > closeness[best] || (closeness[l] == closeness[best] && l < best) {
-				best = l
-			}
-		}
-	}
-	return Prediction{Label: best, Votes: votes, Neighbors: neighbors, Covered: true}
+	p := voteCandidates(cds)
+	p.Neighbors = neighbors
+	return p
 }

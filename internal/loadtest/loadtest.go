@@ -58,6 +58,11 @@ type SLO struct {
 type Options struct {
 	// BaseURL targets a live server ("http://127.0.0.1:8080").
 	BaseURL string
+	// BaseURLs lists additional targets. Scheduled arrivals round-robin
+	// across BaseURL + BaseURLs by arrival index, so a ring of replicas
+	// (or several routers) shares the offered load evenly — the
+	// multi-node analogue of one server's SLO run.
+	BaseURLs []string
 	// Handler, when set, targets an in-process handler instead of
 	// BaseURL — no sockets, useful for CI smoke and tests.
 	Handler http.Handler
@@ -118,6 +123,9 @@ type Result struct {
 	Build buildinfo.Info `json:"build"`
 	// Mode is "http" (live server) or "in-process".
 	Mode string `json:"mode"`
+	// Targets lists the base URLs the load round-robined across (absent
+	// for in-process runs).
+	Targets []string `json:"targets,omitempty"`
 	// Target echoes the offered load.
 	Path        string  `json:"path"`
 	TargetQPS   float64 `json:"target_qps"`
@@ -168,7 +176,11 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	if len(o.Bodies) == 0 {
 		return nil, errors.New("loadtest: no request bodies")
 	}
-	if o.Handler == nil && o.BaseURL == "" {
+	bases := o.BaseURLs
+	if o.BaseURL != "" {
+		bases = append([]string{o.BaseURL}, o.BaseURLs...)
+	}
+	if o.Handler == nil && len(bases) == 0 {
 		return nil, errors.New("loadtest: need BaseURL or Handler")
 	}
 	if ctx == nil {
@@ -176,11 +188,12 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	}
 
 	mode := "http"
-	base := o.BaseURL
+	targets := bases
 	hc := &http.Client{Timeout: o.RequestTimeout}
 	if o.Handler != nil {
 		mode = "in-process"
-		base = "http://in-process"
+		bases = []string{"http://in-process"}
+		targets = nil
 		hc = &http.Client{Transport: handlerTransport{h: o.Handler}, Timeout: o.RequestTimeout}
 	}
 
@@ -202,7 +215,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runWorker(ctx, ws, &seq, o, hc, base, start, end, grace)
+			runWorker(ctx, ws, &seq, o, hc, bases, start, end, grace)
 		}()
 	}
 	wg.Wait()
@@ -215,6 +228,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		Date:         start.UTC().Format("2006-01-02"),
 		Build:        buildinfo.Get(),
 		Mode:         mode,
+		Targets:      targets,
 		Path:         o.Path,
 		TargetQPS:    o.QPS,
 		Concurrency:  o.Concurrency,
@@ -290,7 +304,7 @@ func newWorkerState() *workerState {
 // from the SCHEDULED time. A worker running behind schedule skips the
 // sleep, so queueing delay lands in the recorded latency.
 func runWorker(ctx context.Context, ws *workerState, seq *atomic.Uint64,
-	o Options, hc *http.Client, base string, start, end time.Time, grace time.Duration) {
+	o Options, hc *http.Client, bases []string, start, end time.Time, grace time.Duration) {
 	interval := float64(time.Second) / o.QPS
 	for {
 		i := seq.Add(1) - 1
@@ -315,7 +329,8 @@ func runWorker(ctx context.Context, ws *workerState, seq *atomic.Uint64,
 		if ctx.Err() != nil {
 			return
 		}
-		status, degraded, abstain := doRequest(ctx, hc, base+o.Path, o.Bodies[i%uint64(len(o.Bodies))])
+		status, degraded, abstain := doRequest(ctx, hc,
+			bases[i%uint64(len(bases))]+o.Path, o.Bodies[i%uint64(len(o.Bodies))])
 		ws.hist.record(uint64(time.Since(sched)))
 		ws.statuses[status]++
 		switch {

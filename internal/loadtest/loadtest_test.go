@@ -4,7 +4,9 @@ import (
 	"context"
 	"math/rand"
 	"net/http"
+	"net/http/httptest"
 	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -226,6 +228,66 @@ func TestHDRIndexRoundTrip(t *testing.T) {
 		}
 		if v < hdrSub && u != v {
 			t.Errorf("v=%d: small values must be exact, got %d", v, u)
+		}
+	}
+}
+
+// TestMultiTargetRoundRobin: with several BaseURLs the offered load
+// round-robins across targets by arrival index, every target shares the
+// traffic, and the artifact records the target list.
+func TestMultiTargetRoundRobin(t *testing.T) {
+	const n = 3
+	var counts [n]atomic.Int64
+	servers := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		servers[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			counts[i].Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{"measure":"variance","ok":true}`))
+		}))
+		defer servers[i].Close()
+		urls[i] = servers[i].URL
+	}
+
+	res, err := Run(context.Background(), Options{
+		BaseURL:     urls[0],
+		BaseURLs:    urls[1:],
+		Bodies:      body(),
+		QPS:         600,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		SLO:         SLO{MaxErrorRate: 0, MaxShedRate: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "http" {
+		t.Fatalf("mode = %q, want http", res.Mode)
+	}
+	if len(res.Targets) != n || res.Targets[0] != urls[0] {
+		t.Fatalf("artifact targets = %v, want the %d offered URLs", res.Targets, n)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("clean multi-target run reported violations: %v", res.Violations)
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		got := counts[i].Load()
+		total += got
+		if got == 0 {
+			t.Fatalf("target %d received no traffic", i)
+		}
+	}
+	if uint64(total) != res.Requests {
+		t.Fatalf("servers saw %d requests, artifact says %d", total, res.Requests)
+	}
+	// Round-robin by arrival index keeps the split near-even; allow slack
+	// for the few arrivals at the schedule tail.
+	for i := 0; i < n; i++ {
+		if got := counts[i].Load(); got < total/(2*n) {
+			t.Fatalf("target %d got %d of %d requests — not round-robined", i, got, total)
 		}
 	}
 }

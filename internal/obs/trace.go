@@ -47,6 +47,7 @@ type Trace struct {
 	stages     []TraceStage
 	rungs      map[string]int
 	faultSites []string
+	hops       []string
 	candidates int
 	distEvals  uint64
 	status     int
@@ -107,6 +108,18 @@ func (t *Trace) FaultSite(site string) {
 	t.mu.Unlock()
 }
 
+// Hop records one router→replica hop of a fanned-out request, e.g.
+// "shard0→node-b ok" — the path a prediction took through the ring, in
+// completion order. Single-process serving never records hops.
+func (t *Trace) Hop(hop string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.hops = append(t.hops, hop)
+	t.mu.Unlock()
+}
+
 // AddCandidates counts voting candidates (kNN neighbors) consulted.
 func (t *Trace) AddCandidates(n int) {
 	if t == nil || n <= 0 {
@@ -160,6 +173,9 @@ type TraceRecord struct {
 	Rungs map[string]int `json:"rungs,omitempty"`
 	// FaultSites lists injection sites that fired, in firing order.
 	FaultSites []string `json:"fault_sites,omitempty"`
+	// Hops lists router→replica hops of a fanned-out request, in
+	// completion order (empty for single-process serving).
+	Hops []string `json:"hops,omitempty"`
 	// Candidates is the number of kNN voting candidates consulted.
 	Candidates int `json:"candidates,omitempty"`
 	// DistanceEvals is the number of distance evaluations performed.
@@ -193,6 +209,9 @@ func (t *Trace) Record() TraceRecord {
 	}
 	if len(t.faultSites) > 0 {
 		rec.FaultSites = append([]string(nil), t.faultSites...)
+	}
+	if len(t.hops) > 0 {
+		rec.Hops = append([]string(nil), t.hops...)
 	}
 	return rec
 }

@@ -1,0 +1,266 @@
+package ring
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// State is a replica's health as seen by one observer (a router). Health
+// is a local opinion, not consensus: each router runs its own Checker and
+// routes on its own view.
+type State int
+
+const (
+	// Healthy replicas are preferred routing targets.
+	Healthy State = iota
+	// Probation replicas recently failed (or just recovered from
+	// ejection): they are selectable only when no Healthy replica of the
+	// shard remains, and a single further failure ejects them. The
+	// asymmetry — one failure to leave Healthy, one success to return —
+	// keeps a flapping replica from absorbing traffic while still letting
+	// a recovered one re-earn preference quickly.
+	Probation
+	// Ejected replicas are not routed to at all; only the active prober
+	// talks to them, and a probe success readmits them via Probation.
+	Ejected
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Probation:
+		return "probation"
+	case Ejected:
+		return "ejected"
+	default:
+		return "unknown"
+	}
+}
+
+// Probe checks one node and reports whether it is serving (a GET /readyz
+// in production; a stub in tests). It must honor ctx.
+type Probe func(ctx context.Context, n Node) error
+
+var (
+	mEjections     = obs.C("ring.ejections")
+	mProbations    = obs.C("ring.probations")
+	mRecoveries    = obs.C("ring.recoveries")
+	mProbeFailures = obs.C("ring.probe_failures")
+)
+
+// CheckerOptions tune the health checker.
+type CheckerOptions struct {
+	// Interval between active probe rounds. <=0 means 500ms.
+	Interval time.Duration
+	// ProbeTimeout bounds one probe call. <=0 means 1s.
+	ProbeTimeout time.Duration
+	// Probe is the active check; required for Run, unused otherwise.
+	Probe Probe
+}
+
+// Checker tracks per-node health for a ring from two signal streams:
+// passive routing outcomes (ReportSuccess/ReportFailure from the router's
+// own requests) and an active probe loop (Run) that is the only way an
+// Ejected node gets back in. Metrics mirror every transition.
+type Checker struct {
+	ring *Ring
+	opts CheckerOptions
+
+	mu    sync.Mutex
+	state map[string]State
+	// gauges holds the pre-registered per-node state gauges so /metrics
+	// shows every replica from startup (same idiom as the per-site fault
+	// counters in internal/faults).
+	gauges map[string]*obs.Gauge
+}
+
+// NewChecker builds a checker with every node Healthy.
+func NewChecker(r *Ring, opts CheckerOptions) *Checker {
+	if opts.Interval <= 0 {
+		opts.Interval = 500 * time.Millisecond
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = time.Second
+	}
+	c := &Checker{
+		ring:   r,
+		opts:   opts,
+		state:  make(map[string]State),
+		gauges: make(map[string]*obs.Gauge),
+	}
+	for _, n := range r.Nodes() {
+		c.state[n.Name] = Healthy
+		c.gauges[n.Name] = obs.G("ring.replica_state[node=" + n.Name + "]")
+		c.gauges[n.Name].Set(int64(Healthy))
+	}
+	return c
+}
+
+// State returns the checker's current opinion of a node.
+func (c *Checker) State(name string) State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state[name]
+}
+
+// States returns a snapshot of every node's state.
+func (c *Checker) States() map[string]State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]State, len(c.state))
+	for k, v := range c.state {
+		out[k] = v
+	}
+	return out
+}
+
+// ReportSuccess records a successful request to a node. Probation →
+// Healthy; Ejected stays Ejected (the router should not have routed
+// there, and readmission is the prober's call — a stray late success
+// from a request issued before ejection must not short-circuit it).
+func (c *Checker) ReportSuccess(name string) {
+	c.transition(name, func(s State) State {
+		if s == Probation {
+			mRecoveries.Inc()
+			return Healthy
+		}
+		return s
+	})
+}
+
+// ReportFailure records a failed request to a node: Healthy → Probation,
+// Probation → Ejected.
+func (c *Checker) ReportFailure(name string) {
+	c.transition(name, func(s State) State {
+		switch s {
+		case Healthy:
+			mProbations.Inc()
+			return Probation
+		case Probation:
+			mEjections.Inc()
+			return Ejected
+		}
+		return s
+	})
+}
+
+// reportProbe folds one active-probe outcome in. A probe success readmits
+// an Ejected node to Probation (not straight to Healthy: it must survive
+// one real request first) and heals Probation → Healthy; a probe failure
+// walks the same downward path as a routing failure, so a dead-but-idle
+// replica is ejected by the prober alone.
+func (c *Checker) reportProbe(name string, err error) {
+	if err != nil {
+		mProbeFailures.Inc()
+		c.ReportFailure(name)
+		return
+	}
+	c.transition(name, func(s State) State {
+		switch s {
+		case Ejected:
+			return Probation
+		case Probation:
+			mRecoveries.Inc()
+			return Healthy
+		}
+		return s
+	})
+}
+
+func (c *Checker) transition(name string, f func(State) State) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, ok := c.state[name]
+	if !ok {
+		return // not a ring member
+	}
+	next := f(old)
+	if next != old {
+		c.state[name] = next
+		c.gauges[name].Set(int64(next))
+	}
+}
+
+// Order returns shard's replica group sorted for routing: Healthy nodes
+// first (in circle-walk preference order), then Probation, never Ejected.
+// An empty result means the shard is unavailable and the caller must
+// degrade.
+func (c *Checker) Order(shard int) []Node {
+	group := c.ring.ReplicaGroup(shard)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Node, 0, len(group))
+	for _, n := range group {
+		if c.state[n.Name] != Ejected {
+			out = append(out, n)
+		}
+	}
+	// Stable: preserves circle-walk preference within each state class.
+	sort.SliceStable(out, func(i, j int) bool {
+		return c.state[out[i].Name] < c.state[out[j].Name]
+	})
+	return out
+}
+
+// ShardHealthy reports whether shard has at least one Healthy replica —
+// the per-shard predicate behind the router's /readyz.
+func (c *Checker) ShardHealthy(shard int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, n := range c.ring.ReplicaGroup(shard) {
+		if c.state[n.Name] == Healthy {
+			return true
+		}
+	}
+	return false
+}
+
+// UnhealthyShards lists shards with zero Healthy replicas, ascending.
+func (c *Checker) UnhealthyShards() []int {
+	var out []int
+	for sh := 0; sh < c.ring.Shards(); sh++ {
+		if !c.ShardHealthy(sh) {
+			out = append(out, sh)
+		}
+	}
+	return out
+}
+
+// Run probes every node each Interval until ctx is done. One round
+// probes nodes sequentially in spec order — the tier is small (a handful
+// of nodes) and sequential probing keeps outcomes ordered and easy to
+// reason about in tests.
+func (c *Checker) Run(ctx context.Context) {
+	ticker := time.NewTicker(c.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			c.ProbeOnce(ctx)
+		}
+	}
+}
+
+// ProbeOnce runs a single probe round. Exposed so tests and the router's
+// startup path can drive rounds deterministically without the ticker.
+func (c *Checker) ProbeOnce(ctx context.Context) {
+	if c.opts.Probe == nil {
+		return
+	}
+	for _, n := range c.ring.Nodes() {
+		if ctx.Err() != nil {
+			return
+		}
+		pctx, cancel := context.WithTimeout(ctx, c.opts.ProbeTimeout)
+		err := c.opts.Probe(pctx, n)
+		cancel()
+		c.reportProbe(n.Name, err)
+	}
+}

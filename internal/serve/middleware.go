@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// tracePipe is the request-tracing envelope shared by the standalone
+// Server and the ring Router: it assigns (or propagates) the X-Request-ID
+// correlation header, threads a per-request obs.Trace through the
+// context, and on completion pushes /v1/* traces into a ring buffer
+// (GET /v1/admin/trace) and the access log. Health probes and /metrics
+// scrapes are traced for the header but kept out of the ring so a prober
+// cannot evict the prediction traces an operator came to read.
+type tracePipe struct {
+	traces *obs.TraceRing
+	// accessLog receives one JSON line (a TraceRecord) per completed
+	// /v1/* request; accessMu serializes writers so concurrent requests
+	// never interleave JSON fragments.
+	accessLog io.Writer
+	accessMu  sync.Mutex
+}
+
+func newTracePipe(ringSize int, accessLog io.Writer) *tracePipe {
+	return &tracePipe{traces: obs.NewTraceRing(ringSize), accessLog: accessLog}
+}
+
+// wrap is the root middleware around a mux. Every response — including
+// 404s from unknown paths — passes through it, so every response carries
+// an X-Request-ID header.
+func (t *tracePipe) wrap(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		tr := obs.NewTrace(id, r.Method+" "+r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w}
+		mux.ServeHTTP(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		tr.Finish(status)
+		if strings.HasPrefix(r.URL.Path, "/v1/") && r.URL.Path != "/v1/admin/trace" {
+			t.traces.Push(tr)
+			t.logAccess(tr)
+		}
+	})
+}
+
+// statusWriter captures the response status for the completed trace.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// logAccess appends one JSON line for a completed request.
+func (t *tracePipe) logAccess(tr *obs.Trace) {
+	if t.accessLog == nil {
+		return
+	}
+	line, err := json.Marshal(tr.Record())
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	t.accessMu.Lock()
+	_, _ = t.accessLog.Write(line)
+	t.accessMu.Unlock()
+}
+
+// handleTraceLog returns the most recent completed request traces,
+// newest first. ?n=K limits the count.
+func (t *tracePipe) handleTraceLog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpClientError(w, http.StatusBadRequest, fmt.Errorf("invalid n=%q: want a positive integer", v))
+			return
+		}
+		limit = n
+	}
+	recs := t.traces.Snapshot(limit)
+	if recs == nil {
+		recs = []obs.TraceRecord{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Capacity int               `json:"capacity"`
+		Traces   []obs.TraceRecord `json:"traces"`
+	}{t.traces.Cap(), recs})
+}
+
+// httpClientError answers a request whose fault is the caller's,
+// counting it as a serve error.
+func httpClientError(w http.ResponseWriter, code int, err error) {
+	if obs.On() {
+		mErrors.Inc()
+	}
+	writeJSON(w, code, errorResponse{Error: err.Error()})
+}

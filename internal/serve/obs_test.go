@@ -44,6 +44,10 @@ func TestEveryResponseCarriesRequestIDAndContentType(t *testing.T) {
 			wantHeader: map[string]bool{"Retry-After": true}},
 		{name: "reload wrong method", method: "GET", path: "/v1/admin/reload", status: 405, ctPrefix: "application/json"},
 		{name: "reload no reloader", method: "POST", path: "/v1/admin/reload", status: 501, ctPrefix: "application/json"},
+		{name: "candidates wrong method", method: "GET", path: "/v1/knn/candidates", status: 405, ctPrefix: "application/json"},
+		{name: "candidates not sharded", method: "POST", path: "/v1/knn/candidates", body: "{}", status: 501, ctPrefix: "application/json"},
+		{name: "snapshot wrong method", method: "GET", path: "/v1/admin/snapshot", status: 405, ctPrefix: "application/json"},
+		{name: "snapshot not enabled", method: "POST", path: "/v1/admin/snapshot", body: "x", status: 501, ctPrefix: "application/json"},
 		{name: "trace", method: "GET", path: "/v1/admin/trace", status: 200, ctPrefix: "application/json"},
 		{name: "trace bad n", method: "GET", path: "/v1/admin/trace?n=zero", status: 400, ctPrefix: "application/json"},
 		{name: "unknown path 404", method: "GET", path: "/nope", status: 404, ctPrefix: "text/plain"},
@@ -113,7 +117,7 @@ func TestRequestIDPropagation(t *testing.T) {
 	if got := rec.Header().Get("X-Request-ID"); got != "caller-chose-this" {
 		t.Fatalf("response id = %q, want the caller's", got)
 	}
-	recs := s.traces.Snapshot(0)
+	recs := s.trace.traces.Snapshot(0)
 	if len(recs) != 1 || recs[0].ID != "caller-chose-this" {
 		t.Fatalf("ring traces = %+v, want one trace with the caller's id", recs)
 	}
@@ -165,7 +169,7 @@ func TestTraceEndpointShowsStageBreakdown(t *testing.T) {
 	// The trace endpoint itself must not appear in the ring (a prober
 	// would evict the traces an operator came to read).
 	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/v1/admin/trace", nil))
-	if got := len(s.traces.Snapshot(0)); got != 1 {
+	if got := len(s.trace.traces.Snapshot(0)); got != 1 {
 		t.Errorf("trace reads leaked into the ring: %d traces", got)
 	}
 }
@@ -182,7 +186,7 @@ func TestTraceRingHonorsCapAndShedRung(t *testing.T) {
 			t.Fatalf("want shed 503, got %d", rec.Code)
 		}
 	}
-	recs := s.traces.Snapshot(0)
+	recs := s.trace.traces.Snapshot(0)
 	if len(recs) != 2 {
 		t.Fatalf("ring holds %d traces, want cap 2", len(recs))
 	}

@@ -1,0 +1,775 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/faults"
+	"repro/internal/knn"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+	"repro/internal/ring"
+	"repro/internal/snapshot"
+)
+
+// Router is the fan-out tier of the replicated sharded serving layer
+// (DESIGN.md §11). It owns no training data: each predict request is
+// scattered to every shard's replica group as a candidates call, the
+// per-shard ungated top-k lists are merged, and the θ_δ gate + vote +
+// fallback run router-side over the merged list — bit-identical to a
+// single-process scan of the undivided model (see knn.Candidates for the
+// proof sketch).
+//
+// Availability is layered (the ring rungs of the degradation ladder):
+//
+//  1. Replica failover: a failed replica call moves to the shard's next
+//     replica immediately — no sleeping, same request.
+//  2. Last-ditch ejected replicas: when every routable replica of a
+//     shard failed, the router tries even Ejected ones — a wrong health
+//     opinion must degrade latency, never correctness.
+//  3. Prior-label degradation: only when a whole shard stays
+//     unanswerable does the router fall back to the model's prior label
+//     (or 503 when the model has none).
+//
+// Health is observed two ways: passively from routing outcomes and
+// actively by a /readyz prober (ring.Checker holds the state machine).
+// A repair loop compares every replica's snapshot checksum against the
+// router's own and pushes the router's snapshot to stale nodes — the
+// self-healing path that re-converges a replica restored from an old
+// disk image.
+type Router struct {
+	ring    *ring.Ring
+	checker *ring.Checker
+	opts    RouterOptions
+	httpc   *http.Client
+	sem     chan struct{}
+	mux     *http.ServeMux
+	trace   *tracePipe
+
+	loadedAt time.Time
+
+	// healthRound and repairSweep key the ring.health / ring.repair fault
+	// probes: including a monotonic round in the key re-rolls the
+	// deterministic injection each cycle, so an armed site perturbs rounds
+	// without permanently wedging one node.
+	healthRound atomic.Uint64
+	repairSweep atomic.Uint64
+
+	readyMu sync.Mutex
+	ready   bool
+}
+
+// Ring-tier telemetry (the counters the chaos suite and the CI ring
+// smoke assert on).
+var (
+	mRouteFailover    = obs.C("ring.route_failover")
+	mShardUnavailable = obs.C("ring.shard_unavailable")
+	mStaleReplica     = obs.C("ring.stale_replica")
+	mRepairs          = obs.C("ring.repairs")
+	mRepairFailed     = obs.C("ring.repair_failed")
+)
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// MaxInFlight, MaxBatch, MaxBodyBytes, ShutdownGrace, RetryAfter,
+	// TraceRing and AccessLog mean exactly what they do in Options.
+	MaxInFlight   int
+	MaxBatch      int
+	MaxBodyBytes  int64
+	ShutdownGrace time.Duration
+	RetryAfter    time.Duration
+	TraceRing     int
+	AccessLog     io.Writer
+
+	// Info describes the model the router merges for (served on
+	// /v1/model with Role "router"). Info.Checksum is the reference the
+	// repair loop compares replicas against; Info.Prior is the last-rung
+	// degradation answer.
+	Info ModelInfo
+	// Cfg carries the gate/vote/fallback hyper-parameters the router-side
+	// merge applies; it must come from the same snapshot the replicas
+	// serve (NewRingRouter loads both from one file).
+	Cfg knn.Config
+
+	// ModelPath is the router's local snapshot file — the bytes the
+	// repair loop pushes to stale replicas. Empty disables repair pushes
+	// (staleness is still detected and counted).
+	ModelPath string
+
+	// ProbeInterval spaces active health-probe rounds. <=0 means 500ms.
+	ProbeInterval time.Duration
+	// RepairInterval spaces repair sweeps. <=0 means 5s.
+	RepairInterval time.Duration
+	// ReplicaTimeout bounds one replica call. <=0 means 5s.
+	ReplicaTimeout time.Duration
+
+	// Transport overrides the outbound HTTP transport (tests).
+	Transport http.RoundTripper
+}
+
+func (o RouterOptions) withDefaults() RouterOptions {
+	o.MaxInFlight = parallel.Workers(o.MaxInFlight)
+	if o.MaxBatch < 1 {
+		o.MaxBatch = 1024
+	}
+	if o.MaxBodyBytes < 1 {
+		o.MaxBodyBytes = 32 << 20
+	}
+	if o.ShutdownGrace <= 0 {
+		o.ShutdownGrace = 10 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.RepairInterval <= 0 {
+		o.RepairInterval = 5 * time.Second
+	}
+	if o.ReplicaTimeout <= 0 {
+		o.ReplicaTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// NewRouter builds a router over a resolved ring.
+func NewRouter(r *ring.Ring, opts RouterOptions) *Router {
+	rt := &Router{
+		ring:     r,
+		opts:     opts.withDefaults(),
+		loadedAt: time.Now(),
+		ready:    true,
+	}
+	rt.httpc = &http.Client{Transport: rt.opts.Transport}
+	rt.sem = make(chan struct{}, rt.opts.MaxInFlight)
+	rt.checker = ring.NewChecker(r, ring.CheckerOptions{
+		Interval:     rt.opts.ProbeInterval,
+		ProbeTimeout: rt.opts.ReplicaTimeout,
+		Probe:        rt.probeReplica,
+	})
+	rt.trace = newTracePipe(rt.opts.TraceRing, rt.opts.AccessLog)
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("/metrics", handleMetrics)
+	rt.mux.HandleFunc("/v1/model", rt.handleModel)
+	rt.mux.HandleFunc("/v1/predict", rt.handlePredict)
+	rt.mux.HandleFunc("/v1/predict/batch", rt.handleBatch)
+	rt.mux.HandleFunc("/v1/ring", rt.handleRing)
+	rt.mux.HandleFunc("/v1/admin/trace", rt.trace.handleTraceLog)
+	return rt
+}
+
+// Checker exposes the router's health view (tests and /v1/ring).
+func (rt *Router) Checker() *ring.Checker { return rt.checker }
+
+// Handler returns the router's HTTP handler behind the shared tracing
+// middleware.
+func (rt *Router) Handler() http.Handler { return rt.trace.wrap(rt.mux) }
+
+// SetReady flips the readiness probe (Run flips it to false on drain).
+func (rt *Router) SetReady(v bool) {
+	rt.readyMu.Lock()
+	rt.ready = v
+	rt.readyMu.Unlock()
+}
+
+func (rt *Router) isReady() bool {
+	rt.readyMu.Lock()
+	defer rt.readyMu.Unlock()
+	return rt.ready
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is ring-aware: the router is ready only while every shard
+// retains at least one Healthy replica. A load balancer therefore stops
+// sending a router traffic it could only answer from the prior label.
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !rt.isReady() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	if bad := rt.checker.UnhealthyShards(); len(bad) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "shards without a healthy replica: %v\n", bad)
+		return
+	}
+	io.WriteString(w, "ready\n")
+}
+
+func (rt *Router) handleModel(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ModelStatus{
+		ModelInfo:  rt.opts.Info,
+		Generation: 1,
+		LoadedAt:   rt.loadedAt,
+		Build:      buildinfo.Get(),
+		Role:       "router",
+	})
+}
+
+// ringStatus is the GET /v1/ring response: the resolved topology plus
+// this router's health opinion of it.
+type ringStatus struct {
+	Spec            ring.Spec           `json:"spec"`
+	States          map[string]string   `json:"states"`
+	Groups          map[string][]string `json:"groups"`
+	UnhealthyShards []int               `json:"unhealthy_shards"`
+}
+
+func (rt *Router) handleRing(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return
+	}
+	st := ringStatus{
+		Spec:            rt.ring.Spec(),
+		States:          make(map[string]string),
+		Groups:          make(map[string][]string),
+		UnhealthyShards: []int{},
+	}
+	for name, s := range rt.checker.States() {
+		st.States[name] = s.String()
+	}
+	for sh := 0; sh < rt.ring.Shards(); sh++ {
+		names := []string{}
+		for _, n := range rt.ring.ReplicaGroup(sh) {
+			names = append(names, n.Name)
+		}
+		st.Groups[strconv.Itoa(sh)] = names
+	}
+	if bad := rt.checker.UnhealthyShards(); bad != nil {
+		st.UnhealthyShards = bad
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (rt *Router) retryAfterSeconds() int {
+	if !rt.isReady() {
+		return int(math.Max(1, math.Ceil(rt.opts.ShutdownGrace.Seconds())))
+	}
+	occ := float64(len(rt.sem))
+	capacity := float64(cap(rt.sem))
+	secs := math.Ceil(rt.opts.RetryAfter.Seconds() * occ / capacity)
+	return int(math.Max(1, secs))
+}
+
+func (rt *Router) acquire(w http.ResponseWriter, tr *obs.Trace) bool {
+	select {
+	case rt.sem <- struct{}{}:
+		return true
+	default:
+		if obs.On() {
+			mRejected.Inc()
+		}
+		tr.Rung("serve.shed")
+		w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterSeconds()))
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "router saturated; retry"})
+		return false
+	}
+}
+
+func (rt *Router) release() { <-rt.sem }
+
+func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
+	rt.routePrediction(w, r, false)
+}
+
+func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	rt.routePrediction(w, r, true)
+}
+
+// routePrediction is the scatter-gather predict path. The router never
+// decodes the query contexts — it forwards the wire form to replicas
+// verbatim and works with the candidate lists they return.
+func (rt *Router) routePrediction(w http.ResponseWriter, r *http.Request, batch bool) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	if obs.On() {
+		mRequests.Inc()
+	}
+	tr := obs.TraceFrom(r.Context())
+	if !rt.acquire(w, tr) {
+		return
+	}
+	defer rt.release()
+	sp := stServe.StartCtx(r.Context())
+	defer sp.End()
+	t0 := time.Now()
+	defer func() {
+		if obs.On() {
+			hLatency.ObserveSince(t0)
+		}
+		if rec := recover(); rec != nil {
+			if obs.On() {
+				mErrors.Inc()
+			}
+			tr.Rung("serve.panic_500")
+			err := pipeline.Recovered("ring.route", rec)
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
+	}()
+
+	spDecode := stDecode.StartCtx(r.Context())
+	wire, ok := decodeWireRequest(w, r, batch, rt.opts.MaxBodyBytes, rt.opts.MaxBatch)
+	spDecode.End()
+	if !ok {
+		return
+	}
+
+	// Scatter: every shard in parallel; within a shard, replicas in the
+	// checker's preference order, then last-ditch ejected ones.
+	base := fmt.Sprintf("%s@%d/%d#%d", wire[0].SessionID, wire[0].T, wire[0].N, len(wire))
+	shards := rt.ring.Shards()
+	lists := make([][][]knn.Candidate, shards)
+	var failed atomic.Int32
+	var wg sync.WaitGroup
+	for sh := 0; sh < shards; sh++ {
+		wg.Add(1)
+		go func(sh int) {
+			defer wg.Done()
+			res, err := rt.shardCandidates(r.Context(), sh, base, wire, tr)
+			if err != nil {
+				if obs.On() {
+					mShardUnavailable.Inc()
+				}
+				tr.Rung("ring.shard_unavailable")
+				failed.Add(1)
+				return
+			}
+			lists[sh] = res
+		}(sh)
+	}
+	wg.Wait()
+
+	if failed.Load() > 0 {
+		// Last rung: a shard's candidates are gone, so an exact merge is
+		// impossible. Answer the model's prior for every query rather
+		// than failing the request; 503 only when there is no prior.
+		if rt.opts.Info.Prior == "" {
+			if obs.On() {
+				mErrors.Inc()
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterSeconds()))
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "shard unavailable and model has no prior label"})
+			return
+		}
+		tr.Rung("ring.prior")
+		out := make([]predictResponse, len(wire))
+		for i := range out {
+			out[i] = predictResponse{Measure: rt.opts.Info.Prior, OK: true, Fallback: true}
+			if obs.On() {
+				mPredictions.Inc()
+				mFallback.Inc()
+			}
+		}
+		rt.writePredictions(w, r.Context(), out, batch)
+		return
+	}
+
+	// Gather: merge the per-shard top-k per query and reproduce the
+	// gate + vote + fallback exactly as the whole model would.
+	out := make([]predictResponse, len(wire))
+	perShard := make([][]knn.Candidate, shards)
+	for qi := range wire {
+		for sh := 0; sh < shards; sh++ {
+			perShard[sh] = lists[sh][qi]
+		}
+		merged := knn.MergeCandidates(rt.opts.Cfg.K, perShard...)
+		p := knn.PredictFromCandidates(merged, rt.opts.Cfg, rt.opts.Info.Prior)
+		out[qi] = predictResponse{Measure: p.Label, OK: p.Covered, Fallback: p.Fallback}
+		tr.AddCandidates(len(merged))
+		if obs.On() {
+			mPredictions.Inc()
+			switch {
+			case p.Fallback:
+				mFallback.Inc()
+			case !p.Covered:
+				mAbstain.Inc()
+			}
+		}
+	}
+	rt.writePredictions(w, r.Context(), out, batch)
+}
+
+func (rt *Router) writePredictions(w http.ResponseWriter, ctx context.Context, out []predictResponse, batch bool) {
+	spEncode := stEncode.StartCtx(ctx)
+	defer spEncode.End()
+	if batch {
+		writeJSON(w, http.StatusOK, struct {
+			Predictions []predictResponse `json:"predictions"`
+		}{out})
+		return
+	}
+	writeJSON(w, http.StatusOK, out[0])
+}
+
+// shardCandidates asks one shard's replicas for the batch's candidate
+// lists, walking the failover ladder: preference order first, then the
+// ejected last-ditch. Every outcome feeds the health checker.
+func (rt *Router) shardCandidates(ctx context.Context, shard int, base string, wire []*snapshot.WireContext, tr *obs.Trace) ([][]knn.Candidate, error) {
+	order := rt.checker.Order(shard)
+	tried := make(map[string]bool, len(order))
+	for _, n := range order {
+		tried[n.Name] = true
+	}
+	// Last-ditch: a wrong health opinion must cost latency, not
+	// correctness — ejected replicas are still tried before the prior
+	// rung gets a say.
+	for _, n := range rt.ring.ReplicaGroup(shard) {
+		if !tried[n.Name] {
+			order = append(order, n)
+		}
+	}
+	var lastErr error
+	// Two sweeps over the group before the shard is declared lost: the
+	// ring.route fault key re-rolls per attempt, so a deterministic
+	// injected hop fault is transient across the retry — the "replica
+	// retry" rung of the ladder. A genuinely dead node just fails fast
+	// twice.
+	const sweeps = 2
+	attempt := 0
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for _, n := range order {
+			if attempt > 0 {
+				if obs.On() {
+					mRouteFailover.Inc()
+				}
+				tr.Rung("ring.failover")
+			}
+			res, err := rt.callCandidates(ctx, n, shard, base, attempt, wire, tr)
+			attempt++
+			if err != nil {
+				rt.checker.ReportFailure(n.Name)
+				tr.Hop(fmt.Sprintf("shard%d→%s fail", shard, n.Name))
+				lastErr = err
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				continue
+			}
+			rt.checker.ReportSuccess(n.Name)
+			hop := fmt.Sprintf("shard%d→%s ok", shard, n.Name)
+			if res.Checksum != "" && rt.opts.Info.Checksum != "" && res.Checksum != rt.opts.Info.Checksum {
+				// The answer still merges — same topology, possibly older
+				// labels — but the staleness is surfaced and the repair loop
+				// will converge the node.
+				if obs.On() {
+					mStaleReplica.Inc()
+				}
+				tr.Rung("ring.stale")
+				hop = fmt.Sprintf("shard%d→%s stale", shard, n.Name)
+			}
+			tr.Hop(hop)
+			return res.Results, nil
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("shard %d has no replicas", shard)
+	}
+	return nil, fmt.Errorf("shard %d unavailable: %w", shard, lastErr)
+}
+
+// callCandidates performs one replica candidates call behind the
+// ring.route fault probe. The probe key is (query content, batch size,
+// shard, replica) with the failover position as the attempt re-roll —
+// deterministic across runs, independent across replicas, so an armed
+// site exercises failover without any replica pair failing together
+// systematically.
+func (rt *Router) callCandidates(ctx context.Context, n ring.Node, shard int, base string, attempt int, wire []*snapshot.WireContext, tr *obs.Trace) (res *candidatesResponse, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, pipeline.Recovered(faults.SiteRingRoute, r)
+		}
+	}()
+	if faults.Enabled() {
+		key := faults.Key(fmt.Sprintf("%s/s%d@%s", base, shard, n.Name), attempt)
+		if ferr := faults.Inject(faults.SiteRingRoute, key, faults.KindAll); ferr != nil {
+			tr.FaultSite(faults.SiteRingRoute)
+			return nil, ferr
+		}
+	}
+	body, err := json.Marshal(candidatesRequest{Shard: shard, Contexts: wire})
+	if err != nil {
+		return nil, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, rt.opts.ReplicaTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, n.Addr+"/v1/knn/candidates", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if id := tr.ID(); id != "" {
+		// Propagate the request's correlation ID across the hop so the
+		// replica's trace log and access log stitch to the router's.
+		req.Header.Set("X-Request-ID", id)
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, rt.opts.MaxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", n.Name, resp.Status, firstLine(raw))
+	}
+	var cr candidatesResponse
+	if err := json.Unmarshal(raw, &cr); err != nil {
+		return nil, fmt.Errorf("%s: decode candidates: %w", n.Name, err)
+	}
+	if len(cr.Results) != len(wire) {
+		return nil, fmt.Errorf("%s: %d results for %d queries", n.Name, len(cr.Results), len(wire))
+	}
+	return &cr, nil
+}
+
+// firstLine trims a response body to its first line for error messages.
+func firstLine(b []byte) string {
+	if i := bytes.IndexByte(b, '\n'); i >= 0 {
+		b = b[:i]
+	}
+	if len(b) > 200 {
+		b = b[:200]
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// probeReplica is the active health check: GET /readyz behind the
+// ring.health fault probe. The probe key includes the round counter so a
+// deterministic injection perturbs some rounds of some nodes instead of
+// permanently condemning one node.
+func (rt *Router) probeReplica(ctx context.Context, n ring.Node) error {
+	if faults.Enabled() {
+		key := n.Name + "/round:" + strconv.FormatUint(rt.healthRound.Load(), 10)
+		if err := injectSiteGuarded(faults.SiteRingHealth, key); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.Addr+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: readyz %s", n.Name, resp.Status)
+	}
+	return nil
+}
+
+// injectSiteGuarded runs one fault probe, converting an injected panic
+// into an error (probes on background loops must never crash the tier).
+func injectSiteGuarded(site, key string) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = pipeline.Recovered(site, r)
+		}
+	}()
+	return faults.Inject(site, key, faults.KindAll)
+}
+
+// ProbeOnce drives one active health-probe round (tests and the startup
+// path use it; Run's ticker calls it in production).
+func (rt *Router) ProbeOnce(ctx context.Context) {
+	rt.healthRound.Add(1)
+	rt.checker.ProbeOnce(ctx)
+}
+
+// RepairOnce runs one repair sweep: every node's /v1/model checksum is
+// compared against the router's reference; stale nodes get the router's
+// snapshot pushed (verified server-side, written atomically, then
+// hot-reloaded). Returns the number of successful repairs. Unreachable
+// nodes are skipped — convergence is the health prober's signal to wait
+// for, not the repair loop's to force.
+func (rt *Router) RepairOnce(ctx context.Context) int {
+	if rt.opts.Info.Checksum == "" {
+		return 0
+	}
+	sweep := rt.repairSweep.Add(1)
+	repaired := 0
+	for _, n := range rt.ring.Nodes() {
+		if ctx.Err() != nil {
+			return repaired
+		}
+		st, err := rt.fetchModel(ctx, n)
+		if err != nil || st.Checksum == "" || st.Checksum == rt.opts.Info.Checksum {
+			continue
+		}
+		if obs.On() {
+			mStaleReplica.Inc()
+		}
+		if rt.opts.ModelPath == "" {
+			continue
+		}
+		if err := rt.pushSnapshot(ctx, n, sweep); err != nil {
+			if obs.On() {
+				mRepairFailed.Inc()
+			}
+			continue
+		}
+		if obs.On() {
+			mRepairs.Inc()
+		}
+		repaired++
+	}
+	return repaired
+}
+
+// fetchModel reads a replica's /v1/model status.
+func (rt *Router) fetchModel(ctx context.Context, n ring.Node) (ModelStatus, error) {
+	cctx, cancel := context.WithTimeout(ctx, rt.opts.ReplicaTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, n.Addr+"/v1/model", nil)
+	if err != nil {
+		return ModelStatus{}, err
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return ModelStatus{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return ModelStatus{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return ModelStatus{}, fmt.Errorf("%s: model %s", n.Name, resp.Status)
+	}
+	var st ModelStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return ModelStatus{}, err
+	}
+	return st, nil
+}
+
+// pushSnapshot sends the router's snapshot file to one stale replica,
+// behind the ring.repair fault probe (keyed by node and sweep so an
+// armed site fails some pushes — which the next sweep retries — rather
+// than wedging repair for one node forever).
+func (rt *Router) pushSnapshot(ctx context.Context, n ring.Node, sweep uint64) error {
+	if faults.Enabled() {
+		key := n.Name + "/sweep:" + strconv.FormatUint(sweep, 10)
+		if err := injectSiteGuarded(faults.SiteRingRepair, key); err != nil {
+			return err
+		}
+	}
+	blob, err := os.ReadFile(rt.opts.ModelPath)
+	if err != nil {
+		return err
+	}
+	cctx, cancel := context.WithTimeout(ctx, rt.opts.ReplicaTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, n.Addr+"/v1/admin/snapshot", bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: snapshot push %s: %s", n.Name, resp.Status, firstLine(raw))
+	}
+	return nil
+}
+
+// Run listens on addr and serves until ctx is canceled, running the
+// health prober and repair loop alongside; then it drains like Server.
+func (rt *Router) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	return rt.RunListener(ctx, ln)
+}
+
+// RunListener is Run over an existing listener (tests use :0).
+func (rt *Router) RunListener(ctx context.Context, ln net.Listener) error {
+	bgCtx, bgCancel := context.WithCancel(ctx)
+	defer bgCancel()
+	go rt.runProber(bgCtx)
+	go rt.runRepair(bgCtx)
+	srv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	rt.SetReady(false)
+	bgCancel()
+	shCtx, cancel := context.WithTimeout(context.Background(), rt.opts.ShutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+func (rt *Router) runProber(ctx context.Context) {
+	ticker := time.NewTicker(rt.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			rt.ProbeOnce(ctx)
+		}
+	}
+}
+
+func (rt *Router) runRepair(ctx context.Context) {
+	ticker := time.NewTicker(rt.opts.RepairInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			rt.RepairOnce(ctx)
+		}
+	}
+}

@@ -1,0 +1,532 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/knn"
+	"repro/internal/offline"
+	"repro/internal/ring"
+	"repro/internal/session"
+	"repro/internal/snapshot"
+)
+
+// chainCtx builds an n-context whose tree is a chain of depth nodes, so
+// the tree-edit distance between two chains varies with their depth
+// difference — enough variety to exercise the gate, the vote, and the
+// fallback rungs over real HTTP round-trips.
+func chainCtx(id string, t, depth int) *session.Context {
+	root := &session.CtxNode{Step: t}
+	cur := root
+	for i := 1; i < depth; i++ {
+		child := &session.CtxNode{Step: t + i}
+		cur.Children = []*session.CtxNode{child}
+		cur = child
+	}
+	return &session.Context{SessionID: id, T: t, N: 3, Size: depth, Root: root}
+}
+
+// ringTrainingSet builds n samples across several sessions with varied
+// context depths and a label mix that includes multi-labels and
+// unlabeled samples.
+func ringTrainingSet(n int) []*offline.Sample {
+	labels := [][]string{
+		{"variance"}, {"osf"}, {"schutz"}, {"variance", "osf"}, nil, {"osf"},
+	}
+	out := make([]*offline.Sample, n)
+	for i := 0; i < n; i++ {
+		out[i] = &offline.Sample{
+			Context: chainCtx(fmt.Sprintf("s%d", i%9), i, 1+i%5),
+			Labels:  labels[i%len(labels)],
+		}
+	}
+	return out
+}
+
+// hswap is a late-bound handler: the httptest servers must exist before
+// the ring spec (their URLs are the node addrs), but the replica servers
+// need the resolved ring — so the handler is swapped in afterwards.
+type hswap struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *hswap) set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *hswap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	if h == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// testRing is a full in-process tier: replica servers behind httptest
+// listeners plus a router over them.
+type testRing struct {
+	rt       *Router
+	r        *ring.Ring
+	replicas []*Server
+	ts       []*httptest.Server
+	nodes    []ring.Node
+}
+
+// killOwner closes the test server of the first replica of shard and
+// returns its node name. Placement hashes node names, so which node owns
+// a shard is deterministic but not positional — tests that need "a node
+// that matters is down" must pick the victim from the replica group.
+func (tr *testRing) killOwner(t *testing.T, shard int) string {
+	t.Helper()
+	victim := tr.r.ReplicaGroup(shard)[0].Name
+	idx, err := strconv.Atoi(strings.TrimPrefix(victim, "n"))
+	if err != nil {
+		t.Fatalf("unexpected node name %q", victim)
+	}
+	tr.ts[idx].Close()
+	return victim
+}
+
+// startRing boots nodes named n0..n{count-1}, each a ring replica over
+// the shared classifier, and a router configured from info/cfg.
+func startRing(t *testing.T, shards, replicas, count int, clf *knn.Classifier, info ModelInfo, ropts RouterOptions) *testRing {
+	t.Helper()
+	tr := &testRing{}
+	swaps := make([]*hswap, count)
+	spec := &ring.Spec{Shards: shards, Replicas: replicas}
+	for i := 0; i < count; i++ {
+		swaps[i] = &hswap{}
+		ts := httptest.NewServer(swaps[i])
+		t.Cleanup(ts.Close)
+		tr.ts = append(tr.ts, ts)
+		spec.Nodes = append(spec.Nodes, ring.Node{Name: fmt.Sprintf("n%d", i), Addr: ts.URL})
+	}
+	r, err := ring.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.r = r
+	tr.nodes = r.Nodes()
+	for i, n := range spec.Nodes {
+		s := New(clf, info, Options{Ring: r, NodeName: n.Name})
+		tr.replicas = append(tr.replicas, s)
+		swaps[i].set(s.Handler())
+	}
+	ropts.Info = info
+	ropts.Cfg = clf.Config()
+	tr.rt = NewRouter(r, ropts)
+	return tr
+}
+
+func decodeBatch(t *testing.T, body []byte) []predictResponse {
+	t.Helper()
+	var resp struct {
+		Predictions []predictResponse `json:"predictions"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode batch response: %v (%s)", err, body)
+	}
+	return resp.Predictions
+}
+
+// ringQueries mixes queries near training contexts (covered), between
+// them, and far away (abstaining under a tight gate).
+func ringQueries() []*session.Context {
+	var qs []*session.Context
+	for i := 0; i < 12; i++ {
+		qs = append(qs, chainCtx(fmt.Sprintf("q%d", i), i, 1+i%6))
+	}
+	return qs
+}
+
+// TestRouterBitIdenticalToWholeModel is the tentpole invariant: the
+// scatter-gather answer over a 3-shard / 2-replica ring must equal a
+// single-process scan of the undivided model — label, coverage, and
+// fallback bit, for every query, under every fallback policy.
+func TestRouterBitIdenticalToWholeModel(t *testing.T) {
+	samples := ringTrainingSet(60)
+	cases := []struct {
+		name string
+		cfg  knn.Config
+	}{
+		{"gated abstain", knn.Config{K: 3, ThetaDelta: 0.3, Workers: 1}},
+		{"tight gate prior", knn.Config{K: 3, ThetaDelta: 0.05, Workers: 1, Fallback: knn.FallbackPrior}},
+		{"tight gate nearest", knn.Config{K: 2, ThetaDelta: 0.05, Workers: 1, Fallback: knn.FallbackNearest}},
+		{"unbounded", knn.Config{K: 4, Unbounded: true, Workers: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			whole := knn.New(samples, distance.NewMemoizedTreeEdit(nil), tc.cfg)
+			info := ModelInfo{Method: "normalized", Measures: []string{"variance", "osf", "schutz"},
+				K: tc.cfg.K, ThetaDelta: tc.cfg.ThetaDelta, TrainingSize: len(samples),
+				Prior: whole.Prior(), Checksum: "cafe"}
+			tr := startRing(t, 3, 2, 3, whole, info, RouterOptions{})
+
+			queries := ringQueries()
+			rec := post(t, tr.rt.Handler(), "/v1/predict/batch", wireBody(t, true, queries...))
+			if rec.Code != http.StatusOK {
+				t.Fatalf("router batch: %d %s", rec.Code, rec.Body)
+			}
+			got := decodeBatch(t, rec.Body.Bytes())
+			if len(got) != len(queries) {
+				t.Fatalf("got %d predictions for %d queries", len(got), len(queries))
+			}
+			for i, q := range queries {
+				want := whole.Predict(q)
+				if got[i].Measure != want.Label || got[i].OK != want.Covered || got[i].Fallback != want.Fallback {
+					t.Errorf("query %d: router (%q, ok=%v, fb=%v) != whole model (%q, ok=%v, fb=%v)",
+						i, got[i].Measure, got[i].OK, got[i].Fallback, want.Label, want.Covered, want.Fallback)
+				}
+			}
+		})
+	}
+}
+
+// TestRouterFailoverKeepsAnswersIdentical kills one replica process
+// mid-tier: every shard still has a live replica, so every prediction
+// must stay 200 and bit-identical, while the health checker walks the
+// dead node down to Ejected from routing failures alone.
+func TestRouterFailoverKeepsAnswersIdentical(t *testing.T) {
+	samples := ringTrainingSet(60)
+	cfg := knn.Config{K: 3, ThetaDelta: 0.3, Workers: 1}
+	whole := knn.New(samples, distance.NewMemoizedTreeEdit(nil), cfg)
+	info := ModelInfo{Prior: whole.Prior(), Checksum: "cafe", TrainingSize: len(samples)}
+	tr := startRing(t, 3, 2, 3, whole, info, RouterOptions{})
+
+	tr.ts[1].Close() // SIGKILL stand-in: connections now refuse
+
+	queries := ringQueries()
+	for i, q := range queries {
+		rec := post(t, tr.rt.Handler(), "/v1/predict", wireBody(t, false, q))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("query %d after kill: %d %s", i, rec.Code, rec.Body)
+		}
+		var got predictResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatal(err)
+		}
+		want := whole.Predict(q)
+		if got.Measure != want.Label || got.OK != want.Covered || got.Fallback != want.Fallback {
+			t.Errorf("query %d: degraded answer (%q, %v, %v) != whole model (%q, %v, %v)",
+				i, got.Measure, got.OK, got.Fallback, want.Label, want.Covered, want.Fallback)
+		}
+	}
+	if st := tr.rt.Checker().State("n1"); st != ring.Ejected {
+		t.Errorf("dead node state = %v, want ejected after repeated routing failures", st)
+	}
+	// The failover hops must be visible in the router's trace log.
+	recs := tr.rt.trace.traces.Snapshot(0)
+	failHops := 0
+	for _, r := range recs {
+		for _, h := range r.Hops {
+			if strings.Contains(h, "fail") {
+				failHops++
+			}
+		}
+	}
+	if failHops == 0 {
+		t.Error("no failed hops recorded in traces despite a dead replica")
+	}
+}
+
+// TestRouterDegradesToPriorWhenShardLost: with replicas=1 a dead node
+// takes whole shards with it. The router must answer the model's prior
+// label (fallback-marked), not an error — and 503 only when the model
+// has no prior at all.
+func TestRouterDegradesToPriorWhenShardLost(t *testing.T) {
+	samples := ringTrainingSet(30)
+	cfg := knn.Config{K: 3, ThetaDelta: 0.3, Workers: 1}
+	whole := knn.New(samples, distance.NewMemoizedTreeEdit(nil), cfg)
+	info := ModelInfo{Prior: whole.Prior(), Checksum: "cafe"}
+	tr := startRing(t, 3, 1, 3, whole, info, RouterOptions{})
+	tr.killOwner(t, 0)
+
+	rec := post(t, tr.rt.Handler(), "/v1/predict/batch", wireBody(t, true, ringQueries()...))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch with lost shard: %d %s", rec.Code, rec.Body)
+	}
+	for i, p := range decodeBatch(t, rec.Body.Bytes()) {
+		if p.Measure != whole.Prior() || !p.OK || !p.Fallback {
+			t.Errorf("prediction %d = %+v, want the prior label with the fallback bit", i, p)
+		}
+	}
+
+	// Without a prior the honest answer is 503.
+	noPrior := info
+	noPrior.Prior = ""
+	tr2 := startRing(t, 3, 1, 3, whole, noPrior, RouterOptions{})
+	tr2.killOwner(t, 0)
+	rec = post(t, tr2.rt.Handler(), "/v1/predict", wireBody(t, false, chainCtx("q", 1, 2)))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("lost shard without prior: %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("degraded 503 missing Retry-After")
+	}
+}
+
+// TestRouterReadyzReflectsRing: /readyz must go 503 as soon as any shard
+// has zero Healthy replicas, and recover when the prober readmits them.
+func TestRouterReadyzReflectsRing(t *testing.T) {
+	samples := ringTrainingSet(20)
+	whole := knn.New(samples, distance.NewMemoizedTreeEdit(nil), knn.Config{K: 1, ThetaDelta: 0.3, Workers: 1})
+	info := ModelInfo{Prior: whole.Prior()}
+	tr := startRing(t, 3, 1, 3, whole, info, RouterOptions{})
+
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		tr.rt.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		return rec
+	}
+	if rec := get("/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("readyz with healthy ring: %d %s", rec.Code, rec.Body)
+	}
+
+	victim := tr.killOwner(t, 0)
+	tr.rt.ProbeOnce(context.Background())
+	if rec := get("/readyz"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with a shard down: %d, want 503", rec.Code)
+	}
+
+	// /v1/ring names the sick node and the unhealthy shards.
+	rec := get("/v1/ring")
+	var st ringStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.States[victim] == "healthy" {
+		t.Errorf("ring status still reports %s healthy: %+v", victim, st.States)
+	}
+	if len(st.UnhealthyShards) == 0 {
+		t.Error("ring status lists no unhealthy shards")
+	}
+}
+
+// testSnapshotModel builds a minimal but valid snapshot model whose
+// serialized bytes differ per tag, so two saves have distinct checksums.
+func testSnapshotModel(tag string) *snapshot.Model {
+	pool := snapshot.NewPool()
+	m := &snapshot.Model{
+		Method: "normalized", Measures: []string{"variance"},
+		N: 3, K: 1, ThetaDelta: 0.3, Fallback: "abstain",
+	}
+	for i := 0; i < 3; i++ {
+		m.Samples = append(m.Samples, snapshot.SampleRec{
+			Context: snapshot.EncodeContext(chainCtx(tag+fmt.Sprint(i), i, 1+i), pool),
+			Labels:  []string{"variance"},
+		})
+	}
+	m.Displays = pool.Displays()
+	return m
+}
+
+// TestRouterRepairsStaleReplica is the self-healing loop end to end: a
+// replica serving an old snapshot is detected by checksum comparison,
+// receives the router's snapshot over POST /v1/admin/snapshot, verifies
+// and hot-reloads it, and the next sweep finds nothing to repair.
+func TestRouterRepairsStaleReplica(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := dir+"/old.snap", dir+"/new.snap"
+	if err := snapshot.Save(oldPath, testSnapshotModel("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := snapshot.Save(newPath, testSnapshotModel("new")); err != nil {
+		t.Fatal(err)
+	}
+	oldSum, err := snapshot.FileChecksum(oldPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSum, err := snapshot.FileChecksum(newPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldSum == newSum {
+		t.Fatal("fixture snapshots collide; tags must differ")
+	}
+
+	// The replica's reloader mirrors SnapshotReloader: re-read its own
+	// model file and restamp the checksum.
+	replicaPath := dir + "/replica.snap"
+	if err := snapshot.Save(replicaPath, testSnapshotModel("old")); err != nil {
+		t.Fatal(err)
+	}
+	mkClf := func() *knn.Classifier {
+		return knn.New(ringTrainingSet(5), distance.NewMemoizedTreeEdit(nil), knn.Config{K: 1, ThetaDelta: 0.3, Workers: 1})
+	}
+	reload := func() (*knn.Classifier, ModelInfo, error) {
+		sum, err := snapshot.FileChecksum(replicaPath)
+		if err != nil {
+			return nil, ModelInfo{}, err
+		}
+		return mkClf(), ModelInfo{Checksum: sum}, nil
+	}
+
+	swap := &hswap{}
+	ts := httptest.NewServer(swap)
+	defer ts.Close()
+	spec := &ring.Spec{Shards: 1, Replicas: 1, Nodes: []ring.Node{{Name: "n0", Addr: ts.URL}}}
+	r, err := ring.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica := New(mkClf(), ModelInfo{Checksum: oldSum}, Options{
+		Ring: r, NodeName: "n0", ModelPath: replicaPath, Reloader: reload,
+	})
+	swap.set(replica.Handler())
+
+	rt := NewRouter(r, RouterOptions{
+		Info:      ModelInfo{Checksum: newSum, Prior: "variance"},
+		ModelPath: newPath,
+	})
+
+	if n := rt.RepairOnce(context.Background()); n != 1 {
+		t.Fatalf("first sweep repaired %d replicas, want 1", n)
+	}
+	if got := replica.Status().Checksum; got != newSum {
+		t.Fatalf("replica checksum after repair = %s, want %s", got, newSum)
+	}
+	if gen := replica.Status().Generation; gen != 2 {
+		t.Fatalf("replica generation after repair = %d, want 2 (hot reload)", gen)
+	}
+	if n := rt.RepairOnce(context.Background()); n != 0 {
+		t.Fatalf("second sweep repaired %d replicas, want 0 (converged)", n)
+	}
+	// The replica's model file itself must hold the pushed bytes.
+	sum, err := snapshot.FileChecksum(replicaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != newSum {
+		t.Fatalf("replica file checksum = %s, want %s", sum, newSum)
+	}
+}
+
+// TestRequestIDPropagatesAcrossHops: the correlation ID a caller sends
+// to the router must arrive at the replicas, so the tier's trace logs
+// stitch into one request history.
+func TestRequestIDPropagatesAcrossHops(t *testing.T) {
+	samples := ringTrainingSet(20)
+	whole := knn.New(samples, distance.NewMemoizedTreeEdit(nil), knn.Config{K: 1, ThetaDelta: 0.3, Workers: 1})
+	info := ModelInfo{Prior: whole.Prior()}
+	tr := startRing(t, 2, 1, 2, whole, info, RouterOptions{})
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict",
+		strings.NewReader(wireBody(t, false, chainCtx("q", 1, 2))))
+	req.Header.Set("X-Request-ID", "hop-trace-1")
+	rec := httptest.NewRecorder()
+	tr.rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("predict: %d %s", rec.Code, rec.Body)
+	}
+
+	// Every replica that served a candidates call must have traced it
+	// under the router's correlation ID.
+	sawHop := false
+	for _, rep := range tr.replicas {
+		for _, trc := range rep.trace.traces.Snapshot(0) {
+			if trc.Op == "POST /v1/knn/candidates" {
+				sawHop = true
+				if trc.ID != "hop-trace-1" {
+					t.Errorf("replica trace id = %q, want the router's", trc.ID)
+				}
+			}
+		}
+	}
+	if !sawHop {
+		t.Fatal("no replica traced a candidates call")
+	}
+	// And the router's own trace must list the hop path.
+	var hops []string
+	for _, trc := range tr.rt.trace.traces.Snapshot(0) {
+		if trc.ID == "hop-trace-1" {
+			hops = trc.Hops
+		}
+	}
+	if len(hops) != 2 {
+		t.Fatalf("router trace hops = %v, want one per shard", hops)
+	}
+}
+
+// TestCandidatesEndpointContract pins the replica-side wire behavior:
+// shard ownership 404s, standalone servers 501, and indexes come back in
+// the global numbering.
+func TestCandidatesEndpointContract(t *testing.T) {
+	samples := ringTrainingSet(30)
+	whole := knn.New(samples, distance.NewMemoizedTreeEdit(nil), knn.Config{K: 3, ThetaDelta: 0.3, Workers: 1})
+	tr := startRing(t, 3, 1, 3, whole, ModelInfo{Checksum: "cafe"}, RouterOptions{})
+
+	// Find a shard the first replica does NOT serve.
+	r0 := tr.replicas[0]
+	owned := map[int]bool{}
+	for _, sh := range r0.Status().Shards {
+		owned[sh] = true
+	}
+	notOwned := -1
+	for sh := 0; sh < 3; sh++ {
+		if !owned[sh] {
+			notOwned = sh
+			break
+		}
+	}
+	q := snapshot.EncodeContext(chainCtx("q", 1, 2), nil)
+	body := func(shard int) string {
+		blob, _ := json.Marshal(candidatesRequest{Shard: shard, Contexts: []*snapshot.WireContext{q}})
+		return string(blob)
+	}
+	if notOwned >= 0 {
+		rec := post(t, r0.Handler(), "/v1/knn/candidates", body(notOwned))
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("unowned shard: %d, want 404", rec.Code)
+		}
+	}
+	ownedShard := r0.Status().Shards[0]
+	rec := post(t, r0.Handler(), "/v1/knn/candidates", body(ownedShard))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("owned shard: %d %s", rec.Code, rec.Body)
+	}
+	var resp candidatesResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Shard != ownedShard || resp.Checksum != "cafe" || resp.Generation != 1 {
+		t.Fatalf("response envelope = %+v", resp)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(resp.Results))
+	}
+	// Returned indexes must be valid global training positions whose
+	// samples actually live on this shard.
+	am := r0.cur.Load()
+	sm := am.shards[ownedShard]
+	globals := map[int]bool{}
+	for _, g := range sm.global {
+		globals[g] = true
+	}
+	for _, cd := range resp.Results[0] {
+		if !globals[cd.Index] {
+			t.Errorf("candidate index %d is not one of shard %d's global positions", cd.Index, ownedShard)
+		}
+	}
+
+	// A standalone server (no ring) answers 501.
+	lone := tinyServer(t, Options{})
+	rec = post(t, lone.Handler(), "/v1/knn/candidates", body(0))
+	if rec.Code != http.StatusNotImplemented {
+		t.Fatalf("standalone candidates: %d, want 501", rec.Code)
+	}
+}

@@ -35,8 +35,8 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +47,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
+	"repro/internal/ring"
 	"repro/internal/session"
 	"repro/internal/snapshot"
 )
@@ -84,6 +85,11 @@ type ModelInfo struct {
 	// Prior is the training set's most common label — the answer a
 	// degraded client falls back to when the server is unreachable.
 	Prior string `json:"prior,omitempty"`
+	// Checksum is the FNV-64a hash of the snapshot file the model was
+	// loaded from (snapshot.FileChecksum), empty when the model did not
+	// come from a file. The ring repair loop compares this value across
+	// replicas to detect stale snapshots (DESIGN.md §11).
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // ModelStatus is the /v1/model response: the model description plus its
@@ -98,6 +104,12 @@ type ModelStatus struct {
 	// Build identifies the binary answering, so a client error report can
 	// name the exact server build it talked to.
 	Build buildinfo.Info `json:"build"`
+	// Role distinguishes ring members: "replica" for a shard-serving
+	// node, "router" for the fan-out tier, empty for a standalone server.
+	Role string `json:"role,omitempty"`
+	// Shards lists the ring shards this replica serves candidates for
+	// (nil for standalone servers and routers).
+	Shards []int `json:"shards,omitempty"`
 }
 
 // Reloader builds a replacement model for hot reload — typically by
@@ -143,6 +155,16 @@ type Options struct {
 	// completed /v1/* request. Writes are serialized by the server; wrap
 	// with atomicio.NewLineWriter for crash-consistent files.
 	AccessLog io.Writer
+	// Ring, with NodeName, makes this server a ring replica: it builds
+	// per-shard classifiers for the shards the ring places on NodeName
+	// and serves their candidate sets on POST /v1/knn/candidates.
+	Ring *ring.Ring
+	// NodeName is this process's identity in the ring spec.
+	NodeName string
+	// ModelPath, when set, enables POST /v1/admin/snapshot: the repair
+	// loop pushes a verified snapshot here (atomic write) and the server
+	// hot-reloads it. Requires Reloader.
+	ModelPath string
 }
 
 func (o Options) withDefaults() Options {
@@ -170,10 +192,23 @@ type activeModel struct {
 	info     ModelInfo
 	gen      uint64
 	loadedAt time.Time
+	// shards holds this replica's per-shard classifiers (nil when the
+	// server is not a ring member), rebuilt on every reload so candidate
+	// answers always come from the generation /v1/model reports.
+	shards map[int]*shardModel
+	role   string
 }
 
 func (a *activeModel) status() ModelStatus {
-	return ModelStatus{ModelInfo: a.info, Generation: a.gen, LoadedAt: a.loadedAt, Build: buildinfo.Get()}
+	st := ModelStatus{ModelInfo: a.info, Generation: a.gen, LoadedAt: a.loadedAt, Build: buildinfo.Get(), Role: a.role}
+	if len(a.shards) > 0 {
+		st.Shards = make([]int, 0, len(a.shards))
+		for sh := range a.shards {
+			st.Shards = append(st.Shards, sh)
+		}
+		sort.Ints(st.Shards)
+	}
+	return st
 }
 
 // Server serves predictions from a trained classifier.
@@ -183,13 +218,9 @@ type Server struct {
 	sem  chan struct{}
 	mux  *http.ServeMux
 
-	// traces keeps the last N completed /v1/* request traces for
-	// GET /v1/admin/trace.
-	traces *obs.TraceRing
-
-	// accessMu serializes access-log lines so concurrent requests never
-	// interleave JSON fragments.
-	accessMu sync.Mutex
+	// trace is the shared tracing/access-log middleware (see
+	// middleware.go); it also backs GET /v1/admin/trace.
+	trace *tracePipe
 
 	// reloadMu serializes Reload calls; the swap itself is the atomic
 	// pointer store, so the request path never takes this lock.
@@ -203,91 +234,43 @@ type Server struct {
 // server never mutates it.
 func New(clf *knn.Classifier, info ModelInfo, opts Options) *Server {
 	s := &Server{opts: opts.withDefaults()}
-	s.cur.Store(&activeModel{clf: clf, info: info, gen: 1, loadedAt: time.Now()})
+	s.cur.Store(s.buildActive(clf, info, 1))
 	if obs.On() {
 		gGeneration.Set(1)
 	}
 	s.sem = make(chan struct{}, s.opts.MaxInFlight)
 	s.ready = true
-	s.traces = obs.NewTraceRing(s.opts.TraceRing)
+	s.trace = newTracePipe(s.opts.TraceRing, s.opts.AccessLog)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
-	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics", handleMetrics)
 	s.mux.HandleFunc("/v1/model", s.handleModel)
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/predict/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/knn/candidates", s.handleCandidates)
 	s.mux.HandleFunc("/v1/admin/reload", s.handleReload)
-	s.mux.HandleFunc("/v1/admin/trace", s.handleTraceLog)
+	s.mux.HandleFunc("/v1/admin/snapshot", s.handleSnapshotPush)
+	s.mux.HandleFunc("/v1/admin/trace", s.trace.handleTraceLog)
 	return s
+}
+
+// buildActive assembles one immutable model unit, including the
+// per-shard classifiers when this server is a ring replica.
+func (s *Server) buildActive(clf *knn.Classifier, info ModelInfo, gen uint64) *activeModel {
+	am := &activeModel{clf: clf, info: info, gen: gen, loadedAt: time.Now()}
+	if s.opts.Ring != nil && s.opts.NodeName != "" {
+		am.role = "replica"
+		am.shards = buildShards(clf, s.opts.Ring, s.opts.NodeName)
+	}
+	return am
 }
 
 // Handler returns the server's HTTP handler (also usable under httptest
 // or an existing mux). Every response — including 404s from unknown
-// paths — passes through the tracing middleware, so every response
-// carries an X-Request-ID header.
-func (s *Server) Handler() http.Handler { return http.HandlerFunc(s.serveHTTP) }
-
-// serveHTTP is the root middleware: it assigns (or propagates) the
-// request correlation ID, stamps it on the response, threads a request
-// trace through the context, and on completion pushes /v1/* traces into
-// the ring and the access log. Health probes and /metrics scrapes are
-// traced for the header but kept out of the ring so a prober cannot
-// evict the prediction traces an operator came to read.
-func (s *Server) serveHTTP(w http.ResponseWriter, r *http.Request) {
-	id := r.Header.Get("X-Request-ID")
-	if id == "" {
-		id = obs.NewRequestID()
-	}
-	w.Header().Set("X-Request-ID", id)
-	tr := obs.NewTrace(id, r.Method+" "+r.URL.Path)
-	sw := &statusWriter{ResponseWriter: w}
-	s.mux.ServeHTTP(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
-	status := sw.status
-	if status == 0 {
-		status = http.StatusOK
-	}
-	tr.Finish(status)
-	if strings.HasPrefix(r.URL.Path, "/v1/") && r.URL.Path != "/v1/admin/trace" {
-		s.traces.Push(tr)
-		s.logAccess(tr)
-	}
-}
-
-// statusWriter captures the response status for the completed trace.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	if w.status == 0 {
-		w.status = code
-	}
-	w.ResponseWriter.WriteHeader(code)
-}
-
-func (w *statusWriter) Write(b []byte) (int, error) {
-	if w.status == 0 {
-		w.status = http.StatusOK
-	}
-	return w.ResponseWriter.Write(b)
-}
-
-// logAccess appends one JSON line for a completed request.
-func (s *Server) logAccess(t *obs.Trace) {
-	if s.opts.AccessLog == nil {
-		return
-	}
-	line, err := json.Marshal(t.Record())
-	if err != nil {
-		return
-	}
-	line = append(line, '\n')
-	s.accessMu.Lock()
-	_, _ = s.opts.AccessLog.Write(line)
-	s.accessMu.Unlock()
-}
+// paths — passes through the tracing middleware (see middleware.go), so
+// every response carries an X-Request-ID header.
+func (s *Server) Handler() http.Handler { return s.trace.wrap(s.mux) }
 
 // MaxInFlight reports the resolved in-flight bound.
 func (s *Server) MaxInFlight() int { return s.opts.MaxInFlight }
@@ -337,7 +320,7 @@ func (s *Server) Reload() (ModelStatus, error) {
 		}
 		return ModelStatus{}, fmt.Errorf("serve: reload (generation %d kept): %w", prev.gen, err)
 	}
-	next := &activeModel{clf: clf, info: info, gen: gen, loadedAt: time.Now()}
+	next := s.buildActive(clf, info, gen)
 	s.cur.Store(next)
 	if obs.On() {
 		mReloads.Inc()
@@ -456,8 +439,10 @@ func (s *Server) handleModel(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics exposes every obs counter, gauge, and latency histogram
 // in Prometheus text format, led by an idarepro_build_info series naming
 // the binary. Scrapes work even with telemetry off (counters then read
-// zero) so a scrape config never 404s depending on server flags.
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// zero) so a scrape config never 404s depending on server flags. Shared
+// verbatim by the standalone Server and the ring Router (obs state is
+// process-wide).
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
@@ -483,33 +468,6 @@ func writeBuildInfoMetric(b *bytes.Buffer) {
 	fmt.Fprintf(b, "# TYPE idarepro_build_info gauge\n")
 	fmt.Fprintf(b, "idarepro_build_info{version=%q,go_version=%q,revision=%q,dirty=%q} 1\n",
 		info.Version, info.GoVersion, info.Revision, strconv.FormatBool(info.Dirty))
-}
-
-// handleTraceLog returns the most recent completed request traces,
-// newest first. ?n=K limits the count.
-func (s *Server) handleTraceLog(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
-		return
-	}
-	limit := 0
-	if v := r.URL.Query().Get("n"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			s.clientError(w, http.StatusBadRequest, fmt.Errorf("invalid n=%q: want a positive integer", v))
-			return
-		}
-		limit = n
-	}
-	recs := s.traces.Snapshot(limit)
-	if recs == nil {
-		recs = []obs.TraceRecord{}
-	}
-	writeJSON(w, http.StatusOK, struct {
-		Capacity int               `json:"capacity"`
-		Traces   []obs.TraceRecord `json:"traces"`
-	}{s.traces.Cap(), recs})
 }
 
 // handleReload is the POST /v1/admin/reload endpoint: 200 with the new
@@ -683,9 +641,16 @@ func (s *Server) servePrediction(w http.ResponseWriter, r *http.Request, batch b
 // decodeRequest bounds and parses the request body into wire contexts.
 // On failure it has already written the error response.
 func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, batch bool) ([]*snapshot.WireContext, bool) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	return decodeWireRequest(w, r, batch, s.opts.MaxBodyBytes, s.opts.MaxBatch)
+}
+
+// decodeWireRequest is the single/batch request decode shared by the
+// standalone Server and the ring Router (which forwards the wire contexts
+// to replicas verbatim instead of decoding them further).
+func decodeWireRequest(w http.ResponseWriter, r *http.Request, batch bool, maxBody int64, maxBatch int) ([]*snapshot.WireContext, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
-		s.clientError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("read body: %w", err))
+		httpClientError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("read body: %w", err))
 		return nil, false
 	}
 	var wire []*snapshot.WireContext
@@ -694,7 +659,7 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, batch boo
 			Contexts []*snapshot.WireContext `json:"contexts"`
 		}
 		if err := json.Unmarshal(body, &req); err != nil {
-			s.clientError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			httpClientError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 			return nil, false
 		}
 		wire = req.Contexts
@@ -703,22 +668,22 @@ func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, batch boo
 			Context *snapshot.WireContext `json:"context"`
 		}
 		if err := json.Unmarshal(body, &req); err != nil {
-			s.clientError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			httpClientError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 			return nil, false
 		}
 		if req.Context == nil {
-			s.clientError(w, http.StatusBadRequest, errors.New(`missing "context"`))
+			httpClientError(w, http.StatusBadRequest, errors.New(`missing "context"`))
 			return nil, false
 		}
 		wire = []*snapshot.WireContext{req.Context}
 	}
 	if len(wire) == 0 {
-		s.clientError(w, http.StatusBadRequest, errors.New("no contexts in request"))
+		httpClientError(w, http.StatusBadRequest, errors.New("no contexts in request"))
 		return nil, false
 	}
-	if len(wire) > s.opts.MaxBatch {
-		s.clientError(w, http.StatusRequestEntityTooLarge,
-			fmt.Errorf("batch of %d exceeds the %d-context cap", len(wire), s.opts.MaxBatch))
+	if len(wire) > maxBatch {
+		httpClientError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d exceeds the %d-context cap", len(wire), maxBatch))
 		return nil, false
 	}
 	return wire, true
@@ -749,10 +714,7 @@ func decodeAll(wire []*snapshot.WireContext) ([]*session.Context, error) {
 }
 
 func (s *Server) clientError(w http.ResponseWriter, code int, err error) {
-	if obs.On() {
-		mErrors.Inc()
-	}
-	writeJSON(w, code, errorResponse{Error: err.Error()})
+	httpClientError(w, code, err)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

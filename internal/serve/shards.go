@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/atomicio"
+	"repro/internal/knn"
+	"repro/internal/obs"
+	"repro/internal/offline"
+	"repro/internal/ring"
+	"repro/internal/snapshot"
+)
+
+// Replica-side half of the sharded serving tier (DESIGN.md §11): a ring
+// member loads the whole snapshot — one file stays the tier's unit of
+// distribution and repair — but serves kNN *candidates* only for the
+// shards the ring places on it. The router owns the cross-shard merge,
+// gate, and vote; keeping replicas vote-free is what makes the merged
+// answer provably bit-identical to a single-process scan.
+
+var (
+	mCandidates   = obs.C("serve.candidates")
+	mSnapshotPush = obs.C("serve.snapshot_push")
+)
+
+// maxSnapshotPush bounds an accepted snapshot body independently of
+// Options.MaxBodyBytes (models are much larger than predict requests).
+const maxSnapshotPush = 1 << 30
+
+// shardModel is one shard's slice of the training set: a classifier over
+// the shard's samples (training order preserved) plus the map from
+// shard-local sample positions back to global training indexes, so
+// candidate answers speak the global numbering the router merges on.
+type shardModel struct {
+	clf    *knn.Classifier
+	global []int
+}
+
+// buildShards partitions the classifier's training set across the ring's
+// shards (by each sample context's placement key) and builds classifiers
+// for the shards placed on node. Partitioning preserves training order
+// within each shard, so ascending local index maps monotonically onto
+// ascending global index — the property that keeps the merge's
+// (dist, index) tie-break identical to the whole-model scan's.
+func buildShards(clf *knn.Classifier, r *ring.Ring, node string) map[int]*shardModel {
+	out := make(map[int]*shardModel)
+	for _, sh := range r.NodeShards(node) {
+		out[sh] = &shardModel{}
+	}
+	parts := make(map[int][]*offline.Sample, len(out))
+	for i, s := range clf.Samples() {
+		c := s.Context
+		sh := r.ShardOf(ring.SampleKey(c.SessionID, c.T, c.N))
+		sm, ok := out[sh]
+		if !ok {
+			continue
+		}
+		parts[sh] = append(parts[sh], s)
+		sm.global = append(sm.global, i)
+	}
+	for sh, sm := range out {
+		sm.clf = knn.New(parts[sh], clf.Metric(), clf.Config())
+	}
+	return out
+}
+
+// candidatesRequest asks one replica for per-query candidate sets from
+// one shard it serves. Batching contexts keeps the router's fan-out at
+// one request per (shard, batch), not per (query, shard).
+type candidatesRequest struct {
+	Shard    int                     `json:"shard"`
+	Contexts []*snapshot.WireContext `json:"contexts"`
+}
+
+// candidatesResponse carries the shard's ungated local top-k per query,
+// indexes already remapped to global training order, plus the model
+// provenance the router's repair loop compares across replicas.
+type candidatesResponse struct {
+	Shard      int               `json:"shard"`
+	Generation uint64            `json:"generation"`
+	Checksum   string            `json:"checksum,omitempty"`
+	Results    [][]knn.Candidate `json:"results"`
+}
+
+// handleCandidates is POST /v1/knn/candidates: the replica-side scan of
+// the sharded predict path. It answers 501 on a standalone server, 404
+// for a shard the ring does not place here (the router treats that as a
+// routing failure and moves to the next replica), and otherwise the
+// shard's ungated top-k per query with globally numbered indexes.
+func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	am := s.cur.Load()
+	if am.shards == nil {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "not a ring replica"})
+		return
+	}
+	if obs.On() {
+		mRequests.Inc()
+		mCandidates.Inc()
+	}
+	tr := obs.TraceFrom(r.Context())
+	if !s.acquire(w, tr) {
+		return
+	}
+	defer s.release()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		s.clientError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("read body: %w", err))
+		return
+	}
+	var req candidatesRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.clientError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+		return
+	}
+	sm, ok := am.shards[req.Shard]
+	if !ok {
+		s.clientError(w, http.StatusNotFound, fmt.Errorf("shard %d is not served by this replica", req.Shard))
+		return
+	}
+	if len(req.Contexts) == 0 {
+		s.clientError(w, http.StatusBadRequest, errors.New("no contexts in request"))
+		return
+	}
+	if len(req.Contexts) > s.opts.MaxBatch {
+		s.clientError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d exceeds the %d-context cap", len(req.Contexts), s.opts.MaxBatch))
+		return
+	}
+	ctxs, err := decodeAll(req.Contexts)
+	if err != nil {
+		s.clientError(w, http.StatusBadRequest, err)
+		return
+	}
+	results := make([][]knn.Candidate, len(ctxs))
+	for i, q := range ctxs {
+		cds := sm.clf.Candidates(q)
+		for j := range cds {
+			cds[j].Index = sm.global[cds[j].Index]
+		}
+		results[i] = cds
+	}
+	writeJSON(w, http.StatusOK, candidatesResponse{
+		Shard:      req.Shard,
+		Generation: am.gen,
+		Checksum:   am.info.Checksum,
+		Results:    results,
+	})
+}
+
+// handleSnapshotPush is POST /v1/admin/snapshot — the receiving end of
+// the ring's self-healing repair loop. The body is a complete snapshot
+// file; it is verified (envelope checksum, decodable model) BEFORE it
+// replaces anything on disk, then written atomically to ModelPath and
+// hot-reloaded through the same validate-and-swap path as any reload. A
+// corrupt push can therefore never destroy a replica's good snapshot.
+func (s *Server) handleSnapshotPush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	if s.opts.ModelPath == "" || s.opts.Reloader == nil {
+		writeJSON(w, http.StatusNotImplemented, errorResponse{Error: "snapshot push not enabled (no model path or reloader)"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSnapshotPush))
+	if err != nil {
+		s.clientError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("read snapshot body: %w", err))
+		return
+	}
+	if _, err := snapshot.Read(bytes.NewReader(body)); err != nil {
+		s.clientError(w, http.StatusBadRequest, fmt.Errorf("pushed snapshot rejected: %w", err))
+		return
+	}
+	if err := atomicio.WriteFile(s.opts.ModelPath, func(w io.Writer) error {
+		_, err := w.Write(body)
+		return err
+	}); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: fmt.Sprintf("write snapshot: %v", err)})
+		return
+	}
+	st, err := s.Reload()
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	default:
+		if obs.On() {
+			mSnapshotPush.Inc()
+		}
+		writeJSON(w, http.StatusOK, st)
+	}
+}

@@ -220,3 +220,23 @@ func Load(path string) (*Model, error) {
 	defer f.Close()
 	return Read(f)
 }
+
+// FileChecksum hashes the whole snapshot file (envelope included) with
+// FNV-64a and returns it as 16 hex digits. This is the identity the
+// replicated serving tier compares across processes: two replicas serve
+// the same model iff their snapshot files hash equal, and the repair loop
+// (DESIGN.md §11) pushes the router's copy to any replica whose /v1/model
+// reports a different value. It is distinct from the envelope's internal
+// payload checksum, which only guards one file against corruption.
+func FileChecksum(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: checksum: %w", err)
+	}
+	defer f.Close()
+	h := fnv.New64a()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("snapshot: checksum: %w", err)
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
