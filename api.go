@@ -35,6 +35,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/knn"
+	knnindex "repro/internal/knn/index"
 	"repro/internal/measures"
 	"repro/internal/netlog"
 	"repro/internal/offline"
@@ -250,6 +251,11 @@ type Predictor struct {
 	// loaded from (empty when trained in-process) — the identity the ring
 	// repair loop compares across replicas.
 	checksum string
+	// idxFromSnapshot records that the metric index was decoded from a
+	// snapshot section rather than rebuilt; idxOff records an explicit
+	// SetIndexing(false) (the -index=false operator path).
+	idxFromSnapshot bool
+	idxOff          bool
 }
 
 // ckptStageTrain is the training-stage checkpoint record: the complete
@@ -307,6 +313,11 @@ func (f *Framework) TrainPredictorContext(ctx context.Context, I MeasureSet, met
 		Workers:    cfg.Workers,
 		Fallback:   cfg.Fallback,
 	})
+	// Index at train time, so Save persists the built tree and serving
+	// starts cold with it. The build is deterministic, so a resumed run
+	// that rebuilds from the checkpointed model re-encodes byte-identical
+	// snapshots (the kill-resume-compare contract).
+	clf.BuildIndex()
 	p = &Predictor{clf: clf, I: I, method: method, cfg: cfg, norm: f.Analysis.Normalizer}
 	if ck != nil {
 		// Persist the finished model so a killed-and-resumed run skips
@@ -347,7 +358,11 @@ func resumeTrainedModel(ck *checkpoint.Manager, I MeasureSet, method Method, cfg
 			return nil
 		}
 	}
-	p, err := predictorFromModel(&m)
+	// Sections are deliberately not checkpointed: the resumed path
+	// rebuilds the index from the restored model, and because the build
+	// is deterministic the resumed Save re-encodes the exact bytes an
+	// uninterrupted run would have written.
+	p, err := predictorFromModel(&m, nil)
 	if err != nil {
 		return nil
 	}
@@ -451,6 +466,55 @@ func (p *Predictor) Measure(name string) (Measure, error) {
 	return nil, fmt.Errorf("repro: measure %q is not in the model's configuration %v", name, p.I.Names())
 }
 
+// SetIndexing toggles the vantage-point metric index (DESIGN.md §12).
+// Disabling reverts every prediction to the plain linear scan — a
+// recovery knob, not a model parameter: answers are bit-identical either
+// way. Re-enabling rebuilds the index if the predictor has none.
+func (p *Predictor) SetIndexing(enabled bool) {
+	if !enabled {
+		p.idxOff = true
+		p.idxFromSnapshot = false
+		p.clf.DisableIndex()
+		return
+	}
+	p.idxOff = false
+	if p.clf.Index() == nil {
+		p.clf.BuildIndex()
+	}
+}
+
+// IndexStatus reports how the predictor's metric index came to be:
+// "snapshot" (decoded from a snapshot section — the cold-start fast
+// path), "rebuilt" (constructed in-process, at train time or because the
+// snapshot predated the section), or "off" (explicitly disabled).
+func (p *Predictor) IndexStatus() string {
+	switch {
+	case p.idxOff:
+		return "off"
+	case p.idxFromSnapshot:
+		return "snapshot"
+	default:
+		return "rebuilt"
+	}
+}
+
+// snapshotSections returns the trailing sections Save/WriteSnapshot
+// append after the model envelope: the serialized metric index, unless
+// indexing is off. The wire form carries tree structure only — derived
+// bounds are recomputed on decode — and the build is deterministic, so
+// train→save→load→save round-trips byte-identically.
+func (p *Predictor) snapshotSections() ([]snapshot.Section, error) {
+	t := p.clf.Index()
+	if p.idxOff || t == nil {
+		return nil, nil
+	}
+	sec, err := snapshot.MarshalSection(snapshot.SectionKNNIndex, snapshot.KNNIndexVersion, t.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return []snapshot.Section{sec}, nil
+}
+
 // snapshotModel returns the serializable form of the trained model,
 // building and caching it on first use. A predictor restored from a
 // snapshot or checkpoint already carries its model verbatim; only the
@@ -501,26 +565,36 @@ func (p *Predictor) buildModel() *snapshot.Model {
 
 // WriteSnapshot serializes the trained model to w in the versioned
 // snapshot format (see internal/snapshot): a restored predictor produces
-// bit-identical predictions, abstentions included.
+// bit-identical predictions, abstentions included. The prebuilt metric
+// index trails the envelope as a versioned section, so loaders start
+// serving without an index rebuild; pre-section readers ignore the tail.
 func (p *Predictor) WriteSnapshot(w io.Writer) error {
-	return snapshot.Write(w, p.snapshotModel())
+	secs, err := p.snapshotSections()
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteSections(w, p.snapshotModel(), secs...)
 }
 
 // Save writes the model snapshot to a file path atomically: a crash or
 // write error mid-save never leaves a truncated snapshot visible.
 func (p *Predictor) Save(path string) error {
-	return snapshot.Save(path, p.snapshotModel())
+	secs, err := p.snapshotSections()
+	if err != nil {
+		return err
+	}
+	return snapshot.SaveSections(path, p.snapshotModel(), secs...)
 }
 
 // ReadPredictor reconstructs a predictor from a snapshot stream. Measure
 // names resolve against the built-in registry — models configured with
 // user-defined (Func) measures cannot be restored by name and fail here.
 func ReadPredictor(r io.Reader) (*Predictor, error) {
-	m, err := snapshot.Read(r)
+	m, secs, err := snapshot.ReadSections(r)
 	if err != nil {
 		return nil, err
 	}
-	return predictorFromModel(m)
+	return predictorFromModel(m, secs)
 }
 
 // LoadPredictor reads a model snapshot from a file path (the counterpart
@@ -528,11 +602,11 @@ func ReadPredictor(r io.Reader) (*Predictor, error) {
 // checksum, which /v1/model reports so the ring repair loop can compare
 // replica snapshots without re-downloading them.
 func LoadPredictor(path string) (*Predictor, error) {
-	m, err := snapshot.Load(path)
+	m, secs, err := snapshot.LoadSections(path)
 	if err != nil {
 		return nil, err
 	}
-	p, err := predictorFromModel(m)
+	p, err := predictorFromModel(m, secs)
 	if err != nil {
 		return nil, err
 	}
@@ -542,7 +616,15 @@ func LoadPredictor(path string) (*Predictor, error) {
 	return p, nil
 }
 
-func predictorFromModel(m *snapshot.Model) (*Predictor, error) {
+// predictorFromModel rebuilds a predictor from a decoded model plus any
+// trailing snapshot sections. A SectionKNNIndex section attaches the
+// persisted metric index (its structure re-validated against the decoded
+// training set — a section that passed its checksum but fails validation
+// is corruption and surfaces as an error, never a silent rebuild); with
+// no section — an older, pre-index snapshot — the index is rebuilt here,
+// deterministically, which is also what keeps checkpoint-resumed saves
+// byte-identical to uninterrupted ones.
+func predictorFromModel(m *snapshot.Model, secs []snapshot.Section) (*Predictor, error) {
 	method, err := offline.ParseMethod(m.Method)
 	if err != nil {
 		return nil, fmt.Errorf("repro: load predictor: %w", err)
@@ -583,7 +665,24 @@ func predictorFromModel(m *snapshot.Model) (*Predictor, error) {
 		Workers:    cfg.Workers,
 		Fallback:   cfg.Fallback,
 	})
-	p := &Predictor{clf: clf, I: I, method: method, cfg: cfg, model: m}
+	fromSnapshot := false
+	for _, s := range secs {
+		if s.Kind != snapshot.SectionKNNIndex {
+			continue
+		}
+		var w knnindex.Wire
+		if err := json.Unmarshal(s.Payload, &w); err != nil {
+			return nil, fmt.Errorf("repro: load predictor: decode index section: %w", err)
+		}
+		if err := clf.AttachIndex(&w); err != nil {
+			return nil, fmt.Errorf("repro: load predictor: %w", err)
+		}
+		fromSnapshot = true
+	}
+	if !fromSnapshot {
+		clf.BuildIndex()
+	}
+	p := &Predictor{clf: clf, I: I, method: method, cfg: cfg, model: m, idxFromSnapshot: fromSnapshot}
 	if len(m.Norms) > 0 {
 		p.norm = &offline.Normalizer{Params: m.Norms}
 	}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/knn"
 	"repro/internal/measures"
 	"repro/internal/netlog"
+	"repro/internal/obs"
 	"repro/internal/offline"
 	"repro/internal/session"
 	"repro/internal/simulate"
@@ -56,6 +57,7 @@ func cmdBench(_ context.Context, args []string) error {
 	asJSON := fs.Bool("json", false, "print the report as JSON on stdout")
 	out := fs.String("out", "", "report path (default BENCH_<date>.json; \"-\" to skip the file)")
 	benchtime := fs.String("benchtime", "1s", "per-benchmark budget, a duration or Nx iteration count")
+	gateIndex := fs.Bool("gate-index", false, "fail unless the indexed kNN bench exercised the metric index and beat the sequential scan (the CI regression gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -147,8 +149,36 @@ func cmdBench(_ context.Context, args []string) error {
 	})
 	seq := run("knn-predict/sequential", knnBench(1))
 	par := run("knn-predict/parallel", knnBench(0))
+	// The indexed row builds the vantage-point tree OUTSIDE the timed
+	// closure (that is the point: the build is paid once, at train time)
+	// and answers every query through it — bit-identical to the scans
+	// above, measured against the same query mix.
+	idxVisitedBefore := obs.C("knn.index.visited").Load()
+	indexed := run("knn-predict/indexed", func() func(b *testing.B) {
+		c := cfg
+		c.Workers = 1
+		clf := knn.New(samples, distance.NewMemoizedTreeEdit(nil), c)
+		clf.BuildIndex()
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = clf.Predict(queries[i%len(queries)])
+			}
+		}
+	}())
+	idxVisited := obs.C("knn.index.visited").Load() - idxVisitedBefore
 	rep.Speedups["knn_early_abandon_vs_naive"] = ratio(naive.NsPerOp, seq.NsPerOp)
 	rep.Speedups["knn_parallel_vs_sequential"] = ratio(seq.NsPerOp, par.NsPerOp)
+	rep.Speedups["knn_indexed_vs_sequential"] = ratio(seq.NsPerOp, indexed.NsPerOp)
+	if *gateIndex {
+		if idxVisited == 0 {
+			return fmt.Errorf("bench: -gate-index: knn.index.visited stayed 0 — the indexed bench never went through the index")
+		}
+		if indexed.NsPerOp >= seq.NsPerOp {
+			return fmt.Errorf("bench: -gate-index: indexed predict (%.0f ns/op) is not faster than the sequential scan (%.0f ns/op)",
+				indexed.NsPerOp, seq.NsPerOp)
+		}
+	}
 
 	offBench := func(workers int) func(b *testing.B) {
 		return func(b *testing.B) {

@@ -386,7 +386,7 @@ func (c *Client) attempt(ctx context.Context, baseURL, method, path, key, rid st
 			code:       resp.StatusCode,
 			body:       errBody(blob),
 			requestID:  resp.Header.Get("X-Request-ID"),
-			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), c.now()),
 		}
 	}
 	if out == nil {
@@ -472,17 +472,32 @@ func (e *httpError) RetryAfterHint() (time.Duration, bool) {
 	return e.retryAfter, e.retryAfter > 0
 }
 
-// parseRetryAfter reads the delay-seconds form of Retry-After (the only
-// form internal/serve emits).
-func parseRetryAfter(v string) time.Duration {
+// parseRetryAfter reads both RFC 9110 forms of Retry-After: delay-seconds
+// and HTTP-date. internal/serve only emits delay-seconds, but the client
+// also talks through proxies and to foreign implementations that send
+// dates; before HTTP-date support, those hints were silently dropped and
+// the backoff fell back to its generic schedule. A date is converted to
+// a delay relative to now; dates in the past (or clock-skewed) clamp to
+// 0, which RetryAfterHint treats as "no hint". Malformed values also
+// yield 0 — a garbled hint must never stall or crash the retry loop.
+func parseRetryAfter(v string, now time.Time) time.Duration {
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if d := t.Sub(now); d > 0 {
+		return d
+	}
+	return 0
 }
 
 // errBody extracts the server's {"error": ...} message when present.

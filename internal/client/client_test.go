@@ -483,3 +483,59 @@ func TestErrorNamesServerRequestID(t *testing.T) {
 		t.Fatalf("httpError.RequestID not carried: %v", err)
 	}
 }
+
+func TestParseRetryAfterForms(t *testing.T) {
+	// Fixed clock: HTTP-dates have whole-second granularity, so exact
+	// expected durations need a now with no sub-second part.
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"empty", "", 0},
+		{"delay seconds", "7", 7 * time.Second},
+		{"zero seconds", "0", 0},
+		{"negative seconds clamp", "-3", 0},
+		{"http date future", now.Add(90 * time.Second).Format(http.TimeFormat), 90 * time.Second},
+		{"http date past clamps", now.Add(-time.Hour).Format(http.TimeFormat), 0},
+		{"http date rfc850 form", now.Add(30 * time.Second).Format("Monday, 02-Jan-06 15:04:05 GMT"), 30 * time.Second},
+		{"garbage", "soon", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.v, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", tc.name, tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestRetryAfterDateHintReachesBackoff(t *testing.T) {
+	// End to end: a 503 carrying the HTTP-date form must surface through
+	// httpError.RetryAfterHint just like delay-seconds does.
+	var when atomic.Value // string; the header the stub sends
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", when.Load().(string))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"draining"}`)
+	}))
+	defer srv.Close()
+	c, err := New(Options{BaseURL: srv.URL, Retry: faults.RetryPolicy{Attempts: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, form := range []string{
+		"5",
+		time.Now().UTC().Add(5 * time.Second).Format(http.TimeFormat),
+	} {
+		when.Store(form)
+		_, err := c.Predict(context.Background(), wire("q", 1))
+		var he *httpError
+		if !errors.As(err, &he) {
+			t.Fatalf("Retry-After %q: want httpError, got %v", form, err)
+		}
+		d, ok := he.RetryAfterHint()
+		if !ok || d <= 0 || d > 5*time.Second {
+			t.Fatalf("Retry-After %q: hint (%v, %v), want a positive duration <= 5s", form, d, ok)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package distance
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/session"
+)
+
+// The prepared fast path amortizes the per-call overheads of
+// TreeEdit.DistanceWithin across many evaluations. A plain call pays, per
+// pair: two O(|tree|) flattening walks (with their slice and map
+// allocations) and two fresh dynamic-program matrices. A metric index
+// evaluates one query against many stored contexts under a tightening
+// bound, so almost all of that is re-derivable state: the stored
+// contexts' flattenings never change, the query's flattening is shared
+// by the whole search, and the DP scratch can be reused between calls.
+//
+// Prepared caches a context's flattening; Evaluator fixes the query side
+// and owns the scratch. Evaluator.DistanceWithin returns bit-identical
+// results to TreeEdit.DistanceWithin — same lower bounds, same dynamic
+// program, same normalization arithmetic — it only skips repeated work.
+
+// Prepared is one context's cached flattening, reusable across any
+// number of distance evaluations and safe for concurrent use (it is
+// never mutated after Prepare).
+type Prepared struct {
+	ft *flatTree
+}
+
+// Prepare flattens c once for repeated evaluations against it.
+func (m TreeEdit) Prepare(c *session.Context) *Prepared {
+	return &Prepared{ft: flatten(c)}
+}
+
+// Evaluator evaluates bounded distances from one fixed query context
+// against prepared contexts, reusing the dynamic-program matrices
+// between calls. Not safe for concurrent use — each search goroutine
+// builds its own.
+type Evaluator struct {
+	q    *flatTree
+	unit float64
+	nd   func(a, b *session.CtxNode) float64
+	// Scratch matrices, grown on demand and zeroed per evaluation where
+	// the algorithm could observe stale values.
+	td, fd [][]float64
+}
+
+// NewEvaluator flattens the query once and resolves the metric's cost
+// model, exactly as every Distance/DistanceWithin call would.
+func (m TreeEdit) NewEvaluator(q *session.Context) *Evaluator {
+	unit := m.InsDelCost
+	if unit <= 0 {
+		unit = 1
+	}
+	nd := m.NodeDist
+	if nd == nil {
+		nd = NodeDistance
+	}
+	return &Evaluator{q: flatten(q), unit: unit, nd: nd}
+}
+
+// DistanceWithin is TreeEdit.DistanceWithin with the query side fixed:
+// (d, true) with the exact distance when d <= bound, else (lb, false)
+// with lb a valid lower bound. Identical results, identical counters.
+func (e *Evaluator) DistanceWithin(p *Prepared, bound float64) (float64, bool) {
+	if obs.On() {
+		mBoundedCalls.Inc()
+		mTreeEditCalls.Inc()
+		if obs.Timing() {
+			t0 := time.Now()
+			defer mTreeEditNS.ObserveSince(t0)
+		}
+	}
+	ta, tb := e.q, p.ft
+	if d, done := degenerateDistance(ta, tb); done {
+		return d, d <= bound
+	}
+	lb := lowerBound(ta, tb)
+	if lb > bound {
+		if obs.On() {
+			mEarlyAbandon.Inc()
+		}
+		return lb, false
+	}
+	raw := e.zhangShasha(ta, tb)
+	// Mirrors distanceFlat's normalization exactly.
+	max := e.unit * float64(len(ta.nodes)+len(tb.nodes))
+	if max == 0 {
+		return 0, 0 <= bound
+	}
+	d := raw / max
+	if d > 1 {
+		d = 1
+	}
+	return d, d <= bound
+}
+
+// zhangShasha is the package-level zhangShasha over reused scratch. The
+// recurrences write every cell they read within one treeDist call except
+// the tree-distance matrix, whose cross-keyroot reads are always of
+// previously written cells; it is still zeroed per evaluation so a reuse
+// bug could never silently change a distance.
+func (e *Evaluator) zhangShasha(ta, tb *flatTree) float64 {
+	n, m := len(ta.nodes), len(tb.nodes)
+	e.grow(n, m)
+	for i := 0; i < n; i++ {
+		row := e.td[i]
+		for j := 0; j < m; j++ {
+			row[j] = 0
+		}
+	}
+	for _, i := range ta.keyroots {
+		for _, j := range tb.keyroots {
+			treeDist(ta, tb, i, j, e.unit, e.nd, e.td, e.fd)
+		}
+	}
+	return e.td[n-1][m-1]
+}
+
+// grow ensures the scratch matrices cover an n x m problem (fd needs one
+// extra row and column for the empty-forest borders).
+func (e *Evaluator) grow(n, m int) {
+	if len(e.td) >= n && (n == 0 || len(e.td[0]) >= m) {
+		return
+	}
+	rows, cols := n, m
+	if len(e.td) > rows {
+		rows = len(e.td)
+	}
+	if len(e.td) > 0 && len(e.td[0]) > cols {
+		cols = len(e.td[0])
+	}
+	e.td = make([][]float64, rows)
+	e.fd = make([][]float64, rows+1)
+	for i := range e.td {
+		e.td[i] = make([]float64, cols)
+	}
+	for i := range e.fd {
+		e.fd[i] = make([]float64, cols+1)
+	}
+}

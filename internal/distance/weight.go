@@ -1,0 +1,41 @@
+package distance
+
+import "repro/internal/session"
+
+// SumNormalized marks a metric whose value is a raw underlying metric
+// divided by the sum of the two operands' weights:
+//
+//	d(a, b) = raw(a, b) / (Weight(a) + Weight(b))
+//
+// where raw satisfies the triangle inequality but d itself, in general,
+// does not — dividing by operand-dependent denominators breaks it as soon
+// as weights differ (take x, z disjoint of size n and y their size-2n
+// union: d(x,z)=1 but d(x,y)+d(y,z)=2/3). Metric indexes (internal/
+// knn/index) therefore must not apply triangle-inequality pruning to
+// values of a SumNormalized metric directly; they detect this interface
+// and derive their bounds in the raw space instead, where the inequality
+// holds, using per-subtree weight ranges to translate back.
+//
+// Weight must be a pure function of the context (same context, same
+// weight, on every call) and non-negative. A pair whose weights sum to
+// zero is degenerate; implementations define d for it directly (TreeEdit
+// returns 0 for two empty trees) and raw(a, b) = d(a, b)·(w_a + w_b) = 0
+// stays consistent.
+type SumNormalized interface {
+	Metric
+	Weight(c *session.Context) float64
+}
+
+// Weight implements SumNormalized: the normalization denominator
+// contribution of one context, unit·|tree|. Distance divides the raw
+// Zhang-Shasha cost by unit·(|a|+|b|), so raw(a, b) recovers exactly as
+// Distance(a, b)·(Weight(a)+Weight(b)) — including the degenerate empty
+// cases (empty-vs-empty: 0·0; empty-vs-T: 1·unit·|T|, the cost of
+// inserting all of T).
+func (m TreeEdit) Weight(c *session.Context) float64 {
+	unit := m.InsDelCost
+	if unit <= 0 {
+		unit = 1
+	}
+	return unit * float64(len(flatten(c).nodes))
+}

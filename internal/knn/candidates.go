@@ -3,6 +3,7 @@ package knn
 import (
 	"math"
 
+	"repro/internal/knn/index"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/session"
@@ -36,14 +37,11 @@ type Candidate struct {
 //
 // Indexes are positions in this classifier's own sample slice.
 func (c *Classifier) Candidates(query *session.Context) []Candidate {
-	if obs.On() {
-		mScans.Inc()
-		mDistEvals.Add(uint64(len(c.samples)))
-	}
 	k := c.cfg.K
 	w := parallel.Workers(c.cfg.Workers)
 	var sorted []cand
-	if w > 1 && len(c.samples) >= minParallelScan {
+	var st index.Stats
+	if c.idx == nil && w > 1 && len(c.samples) >= minParallelScan {
 		chunks := parallel.Chunks(len(c.samples), w)
 		accs := make([]*topK, len(chunks))
 		parallel.ForEachN(nil, len(chunks), w, func(ci int) {
@@ -52,10 +50,18 @@ func (c *Classifier) Candidates(query *session.Context) []Candidate {
 			accs[ci] = acc
 		})
 		sorted = mergeTopK(k, accs)
+		st.Visited = uint64(len(c.samples))
+		if c.idxWanted && obs.On() {
+			index.CountFallbackLinear()
+		}
 	} else {
 		acc := newTopK(k)
-		c.scanRange(query, 0, len(c.samples), acc, math.Inf(1))
+		st = c.searchInto(query, acc, math.Inf(1))
 		sorted = acc.drain()
+	}
+	if obs.On() {
+		mScans.Inc()
+		mDistEvals.Add(st.Visited)
 	}
 	out := make([]Candidate, len(sorted))
 	for i, cd := range sorted {
@@ -68,16 +74,30 @@ func (c *Classifier) Candidates(query *session.Context) []Candidate {
 // in ascending (dist, index) order. Each shard's list holds the best k of
 // its partition, so the union provably contains the global top-k — the
 // same fan-in argument mergeTopK makes for per-worker accumulators, here
-// applied across processes. Merge order is fixed by the (dist, index)
-// keys, never by which replica answered first.
+// applied across processes.
+//
+// Lists are deduplicated by training index before selection: replica
+// failover can surface the same index in more than one list (a replica
+// answering from a stale snapshot still reports the shard another node
+// now also covers), and offering duplicates to the heap let one index
+// occupy two of the k slots — and let whichever list arrived last pick
+// the kept payload at equal distances. Deduped, every offered (dist,
+// index) key is unique, so the kept set is a pure k-minimum under a
+// strict total order: fixed by the keys, never by which replica answered
+// first. Disagreeing duplicates keep the closest copy — the one the
+// matching single-process scan would have measured.
 func MergeCandidates(k int, lists ...[]Candidate) []Candidate {
-	merged := newTopK(k)
-	byIndex := make(map[int]Candidate, k)
+	byIndex := make(map[int]Candidate, k*len(lists))
 	for _, list := range lists {
 		for _, cd := range list {
-			merged.add(cd.Dist, cd.Index)
-			byIndex[cd.Index] = cd
+			if old, ok := byIndex[cd.Index]; !ok || cd.Dist < old.Dist {
+				byIndex[cd.Index] = cd
+			}
 		}
+	}
+	merged := newTopK(k)
+	for idx, cd := range byIndex {
+		merged.add(cd.Dist, idx)
 	}
 	sorted := merged.drain()
 	out := make([]Candidate, len(sorted))

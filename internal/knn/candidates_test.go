@@ -189,3 +189,84 @@ func TestPredictFromCandidatesGateIsPrefix(t *testing.T) {
 		t.Fatalf("unbounded vote = %+v, want far without fallback", p)
 	}
 }
+
+// TestMergeCandidatesSplitWidthsByteIdentical is the regression test for
+// the tie-merge nondeterminism bug: merging per-shard lists from 1-, 2-
+// and 3-way splits of the same training set must produce byte-identical
+// merged lists and predictions, at queries chosen to manufacture dense
+// exact-distance ties (stubMetric over T mod 7 puts ~1/7 of the set at
+// each distance level). Before the fix, the merge rebuilt its heap from a
+// map keyed by training index, so equal-distance entries entered in map
+// iteration order and the kept set could differ run to run and split to
+// split.
+func TestMergeCandidatesSplitWidthsByteIdentical(t *testing.T) {
+	samples := candTrainingSet(91) // 13 full tie groups of 7
+	cfg := Config{K: 6, ThetaDelta: 0.25}
+	whole := New(samples, stubMetric{}, cfg)
+	for _, q := range []*session.Context{
+		{SessionID: "q0", T: 0, N: 3}, // distance 0 ties: 13 samples
+		{SessionID: "q3", T: 3, N: 3},
+		{SessionID: "q6", T: 6, N: 3},
+	} {
+		want := whole.Predict(q)
+		wantList := MergeCandidates(cfg.K, whole.Candidates(q))
+		for shards := 1; shards <= 3; shards++ {
+			parts, globals := shardSamples(samples, shards)
+			lists := make([][]Candidate, len(parts))
+			for i, part := range parts {
+				lists[i] = remapGlobal(New(part, stubMetric{}, cfg).Candidates(q), globals[i])
+			}
+			// Merge repeatedly and under every rotation of list order: the
+			// result must never move.
+			for rot := 0; rot < len(lists); rot++ {
+				rotated := append(append([][]Candidate(nil), lists[rot:]...), lists[:rot]...)
+				merged := MergeCandidates(cfg.K, rotated...)
+				if !reflect.DeepEqual(merged, wantList) {
+					t.Fatalf("query %s shards=%d rotation %d: merged list %v != single-process %v",
+						q.SessionID, shards, rot, merged, wantList)
+				}
+				got := PredictFromCandidates(merged, cfg, whole.Prior())
+				if got.Label != want.Label || got.Covered != want.Covered || !reflect.DeepEqual(got.Votes, want.Votes) {
+					t.Fatalf("query %s shards=%d rotation %d: prediction %+v != %+v",
+						q.SessionID, shards, rot, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMergeCandidatesDuplicateIndexDeterministic pins the failover case
+// the dedup exists for: the same training index appearing in several
+// lists (a stale replica still answering for a reassigned shard), with
+// equal and with disagreeing distances. The kept payload must be the
+// minimum-distance copy and the merged list must not depend on which list
+// arrived first.
+func TestMergeCandidatesDuplicateIndexDeterministic(t *testing.T) {
+	fresh := []Candidate{
+		{Index: 5, Dist: 0.10, Labels: []string{"fresh"}},
+		{Index: 7, Dist: 0.10, Labels: []string{"seven"}},
+	}
+	stale := []Candidate{
+		{Index: 5, Dist: 0.30, Labels: []string{"stale"}}, // same index, farther copy
+		{Index: 9, Dist: 0.10, Labels: []string{"nine"}},
+	}
+	twin := []Candidate{
+		{Index: 7, Dist: 0.10, Labels: []string{"seven"}}, // exact duplicate
+	}
+	want := MergeCandidates(3, fresh, stale, twin)
+	for _, order := range [][][]Candidate{
+		{stale, twin, fresh},
+		{twin, fresh, stale},
+		{stale, fresh, twin},
+	} {
+		if got := MergeCandidates(3, order...); !reflect.DeepEqual(got, want) {
+			t.Fatalf("merge depends on arrival order: %v vs %v", got, want)
+		}
+	}
+	// Index 5 must keep the fresh (closer) copy, and equal-distance ties
+	// must resolve by index: 5 (0.10), 7 (0.10), 9 (0.10).
+	if len(want) != 3 || want[0].Index != 5 || want[0].Labels[0] != "fresh" ||
+		want[1].Index != 7 || want[2].Index != 9 {
+		t.Fatalf("merged = %v, want fresh#5, seven#7, nine#9", want)
+	}
+}

@@ -1,0 +1,90 @@
+package knn
+
+import (
+	"repro/internal/knn/index"
+	"repro/internal/obs"
+	"repro/internal/session"
+)
+
+// accTopK adapts the scan's bounded top-k accumulator to the metric
+// index's Acc interface. The index offers exact distances only, for every
+// element a bound-respecting linear scan would offer, so the (dist, idx)
+// total order inside topK makes the kept set — and therefore the
+// prediction — bit-identical to the scan's regardless of offer order.
+type accTopK struct{ t *topK }
+
+func (a accTopK) Full() bool                { return a.t.full() }
+func (a accTopK) Bound() float64            { return a.t.bound() }
+func (a accTopK) Add(dist float64, idx int) { a.t.add(dist, idx) }
+
+// contexts returns the training contexts in sample order — the index's
+// element numbering, which must match the (dist, index) tie-break keys.
+func (c *Classifier) contexts() []*session.Context {
+	ctxs := make([]*session.Context, len(c.samples))
+	for i, s := range c.samples {
+		ctxs[i] = s.Context
+	}
+	return ctxs
+}
+
+// BuildIndex builds a vantage-point index over the training set and
+// installs it. Deterministic: the same training set (by content and
+// order) always yields the same index. Not safe to call concurrently
+// with predictions.
+func (c *Classifier) BuildIndex() *index.VP {
+	t := index.Build(c.contexts(), c.metric, index.Options{})
+	c.SetIndex(t)
+	return t
+}
+
+// AttachIndex decodes a snapshot-persisted index over this classifier's
+// training set and installs it; a validation failure leaves the
+// classifier unchanged.
+func (c *Classifier) AttachIndex(w *index.Wire) error {
+	t, err := index.Decode(w, c.contexts(), c.metric)
+	if err != nil {
+		return err
+	}
+	c.SetIndex(t)
+	return nil
+}
+
+// SetIndex installs an index and marks indexing enabled. A nil index
+// marks it enabled-but-absent: scans fall back to linear and count
+// knn.index.fallback_linear, which is how a deployment spots a tier
+// serving unindexed when it shouldn't. Not safe to call concurrently
+// with predictions.
+func (c *Classifier) SetIndex(t *index.VP) {
+	c.idx = t
+	c.idxWanted = true
+}
+
+// DisableIndex turns indexing off: scans run linear without counting
+// fallbacks (the -index=false operator path, not a degradation).
+func (c *Classifier) DisableIndex() {
+	c.idx = nil
+	c.idxWanted = false
+}
+
+// Index returns the installed index, nil when absent.
+func (c *Classifier) Index() *index.VP { return c.idx }
+
+// IndexWanted reports whether indexing is enabled (even if the index
+// itself is currently absent).
+func (c *Classifier) IndexWanted() bool { return c.idxWanted }
+
+// searchInto runs one top-k search — the indexed descent when an index is
+// installed, the pruned linear scan otherwise — and reports its work. The
+// two paths offer identical candidate sets with identical distances (see
+// internal/knn/index and DESIGN.md §12), so everything downstream of the
+// accumulator is path-oblivious.
+func (c *Classifier) searchInto(query *session.Context, acc *topK, limit float64) index.Stats {
+	if c.idx != nil {
+		return c.idx.Search(query, accTopK{t: acc}, limit)
+	}
+	c.scanRange(query, 0, len(c.samples), acc, limit)
+	if c.idxWanted && obs.On() {
+		index.CountFallbackLinear()
+	}
+	return index.Stats{Visited: uint64(len(c.samples))}
+}

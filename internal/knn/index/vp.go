@@ -1,0 +1,473 @@
+// Package index implements a vantage-point tree over training contexts —
+// the metric index that turns the kNN scan's O(n) distance evaluations
+// into a pruned descent. The search contract is strict: for any query,
+// accumulator and starting bound, Search offers exactly the candidate set
+// a linear scan would keep, with exact distances, so downstream (dist,
+// index)-ordered top-k selection is bit-identical to the scan's (see
+// DESIGN.md §12).
+//
+// Pruning never trusts the metric's own values to satisfy the triangle
+// inequality. The paper's tree-edit distance is normalized by the
+// operands' combined size, and such sum-normalized values provably break
+// the inequality when sizes differ; a metric that declares this via
+// distance.SumNormalized gets its subtree bounds derived in the raw
+// (unnormalized) space instead, translated through per-subtree weight
+// ranges. Plain metrics are assumed metric in their own space.
+package index
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/distance"
+	"repro/internal/obs"
+	"repro/internal/session"
+)
+
+// Telemetry handles. visited counts exact distance evaluations performed
+// by searches (the index analogue of knn.distance_evals), pruned counts
+// training contexts skipped by a subtree bound, and fallback_linear
+// counts scans that ran linear although indexing was enabled (an index
+// was expected but absent).
+var (
+	mVisited        = obs.C("knn.index.visited")
+	mPruned         = obs.C("knn.index.pruned")
+	mFallbackLinear = obs.C("knn.index.fallback_linear")
+)
+
+// CountFallbackLinear records one linear scan taken on a classifier whose
+// indexing is enabled but whose index is missing (callers guard with
+// obs.On()).
+func CountFallbackLinear() { mFallbackLinear.Inc() }
+
+// pruneSlack absorbs floating-point rounding in the subtree bound
+// arithmetic: a subtree is discarded only when its distance lower bound
+// exceeds the current search radius by more than this. The bounds are a
+// handful of float64 operations on values well under 10³, so their
+// rounding error is below 1e-10; real distance granularity (quantized by
+// tree sizes) is orders of magnitude coarser, so the slack costs no
+// measurable pruning while guaranteeing rounding alone can never discard
+// a true neighbor — which would silently break bit-identity with the
+// linear scan.
+const pruneSlack = 1e-9
+
+// DefaultLeafSize is the bucket size below which subsets stay unsplit.
+const DefaultLeafSize = 8
+
+// Options configures Build.
+type Options struct {
+	// LeafSize caps leaf buckets; <1 means DefaultLeafSize.
+	LeafSize int
+}
+
+// Acc receives search results. *knn.topK satisfies it via a thin adapter;
+// the index calls Add with exact distances only, for every element a
+// bound-respecting linear scan would offer.
+type Acc interface {
+	// Full reports whether k candidates are held.
+	Full() bool
+	// Bound is the current k-th-best distance, valid only when Full.
+	Bound() float64
+	// Add offers one candidate with its exact distance.
+	Add(dist float64, idx int)
+}
+
+// Stats reports one search's work: Visited exact distance evaluations and
+// Pruned training contexts skipped via subtree bounds (Visited+Pruned =
+// index size). Indexed distinguishes an index-backed search from a linear
+// scan for trace annotation.
+type Stats struct {
+	Visited uint64
+	Pruned  uint64
+	Indexed bool
+}
+
+// Accum folds o into s (a prediction may run several searches: retried
+// scans, the FallbackNearest rescan).
+func (s *Stats) Accum(o Stats) {
+	s.Visited += o.Visited
+	s.Pruned += o.Pruned
+	s.Indexed = s.Indexed || o.Indexed
+}
+
+// node is one VP-tree node: either an internal node (a vantage context, a
+// median radius mu splitting its subtree into inner ≤ mu / outer ≥ mu
+// halves, and child node ids) or a leaf bucket of context indexes. All
+// fields except structure are derived (recomputed on decode): size is the
+// subtree's member count, wlo/whi its weight range and wv the vantage
+// weight (weights zero for non-SumNormalized metrics).
+type node struct {
+	vantage  int32   // training index of the vantage; -1 for leaves
+	mu       float64 // median of d(vantage, member) over the subtree
+	inner    int32   // node id of the ≤ mu half; -1 when empty
+	outer    int32   // node id of the ≥ mu half; -1 when empty
+	leaf     []int32 // non-nil: bucket of training indexes, ascending
+	size     int32
+	wlo, whi float64
+	wv       float64
+}
+
+// preparedMetric is the optional amortization fast path (see
+// internal/distance/prepared.go): per-context flattenings cached at
+// build time, per-search evaluators reusing DP scratch. Results are
+// bit-identical to the plain DistanceWithin path; metrics without it
+// just evaluate the slower way.
+type preparedMetric interface {
+	Prepare(c *session.Context) *distance.Prepared
+	NewEvaluator(q *session.Context) *distance.Evaluator
+}
+
+// VP is an immutable vantage-point tree over a training-context slice.
+// Element i of the slice keeps identity i in search results, so the
+// (dist, index) tie-break order downstream is untouched. Safe for
+// concurrent searches.
+type VP struct {
+	metric   distance.Metric
+	sn       distance.SumNormalized // non-nil iff metric is sum-normalized
+	pm       preparedMetric         // non-nil iff metric supports the prepared fast path
+	ctxs     []*session.Context
+	weights  []float64            // per-context, only when sn != nil
+	prep     []*distance.Prepared // per-context, only when pm != nil
+	nodes    []node
+	root     int32 // -1 when empty
+	leafSize int
+}
+
+// Len returns the number of indexed contexts.
+func (t *VP) Len() int { return len(t.ctxs) }
+
+// Build constructs the tree. The construction is deterministic: vantage
+// choice, splits and node layout depend only on the contexts' order and
+// pairwise distances, never on map iteration or randomness, so the same
+// training set always yields the same tree (and the same encoded bytes —
+// the crash-resume snapshot byte-identity contract depends on it).
+func Build(ctxs []*session.Context, m distance.Metric, opts Options) *VP {
+	if m == nil {
+		m = distance.TreeEdit{}
+	}
+	leafSize := opts.LeafSize
+	if leafSize < 1 {
+		leafSize = DefaultLeafSize
+	}
+	t := &VP{metric: m, ctxs: ctxs, root: -1, leafSize: leafSize}
+	t.initWeights()
+	t.initPrepared()
+	if len(ctxs) == 0 {
+		return t
+	}
+	items := make([]int32, len(ctxs))
+	for i := range items {
+		items[i] = int32(i)
+	}
+	t.root = t.build(items)
+	t.finalize()
+	return t
+}
+
+// initWeights resolves the sum-normalized weight vector (see package doc).
+func (t *VP) initWeights() {
+	sn, ok := t.metric.(distance.SumNormalized)
+	if !ok {
+		return
+	}
+	t.sn = sn
+	t.weights = make([]float64, len(t.ctxs))
+	for i, c := range t.ctxs {
+		t.weights[i] = sn.Weight(c)
+	}
+}
+
+// initPrepared caches per-context flattenings when the metric supports
+// the prepared fast path; build and every search then skip re-flattening
+// the stored side of each pair.
+func (t *VP) initPrepared() {
+	pm, ok := t.metric.(preparedMetric)
+	if !ok {
+		return
+	}
+	t.pm = pm
+	t.prep = make([]*distance.Prepared, len(t.ctxs))
+	for i, c := range t.ctxs {
+		t.prep[i] = pm.Prepare(c)
+	}
+}
+
+// vantageDistance is the exact metric distance used to split subtrees,
+// through the amortized evaluator when available (an unbounded
+// DistanceWithin is always exact, with arithmetic identical to
+// Distance).
+func (t *VP) vantageDistance(ev *distance.Evaluator, v, it int32) float64 {
+	if ev != nil {
+		d, _ := ev.DistanceWithin(t.prep[it], math.Inf(1))
+		return d
+	}
+	return t.metric.Distance(t.ctxs[v], t.ctxs[it])
+}
+
+// build recursively indexes one subset and returns its node id. The
+// vantage is the subset element minimizing fmix64(index) — a deterministic
+// pseudo-random pick that avoids the pathological vantage chains a
+// "first element" rule produces on session-ordered training sets.
+func (t *VP) build(items []int32) int32 {
+	if len(items) <= t.leafSize {
+		leaf := make([]int32, len(items))
+		copy(leaf, items)
+		sort.Slice(leaf, func(i, j int) bool { return leaf[i] < leaf[j] })
+		return t.push(node{vantage: -1, inner: -1, outer: -1, leaf: leaf})
+	}
+	v := items[0]
+	for _, it := range items[1:] {
+		if fmix64(uint64(it)) < fmix64(uint64(v)) {
+			v = it
+		}
+	}
+	var ev *distance.Evaluator
+	if t.pm != nil {
+		ev = t.pm.NewEvaluator(t.ctxs[v])
+	}
+	type distItem struct {
+		d  float64
+		id int32
+	}
+	rest := make([]distItem, 0, len(items)-1)
+	for _, it := range items {
+		if it == v {
+			continue
+		}
+		rest = append(rest, distItem{d: t.vantageDistance(ev, v, it), id: it})
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		return rest[i].d < rest[j].d || (rest[i].d == rest[j].d && rest[i].id < rest[j].id)
+	})
+	h := len(rest) / 2
+	mu := rest[h].d
+	split := func(part []distItem) int32 {
+		if len(part) == 0 {
+			return -1
+		}
+		ids := make([]int32, len(part))
+		for i, di := range part {
+			ids[i] = di.id
+		}
+		return t.build(ids)
+	}
+	inner := split(rest[:h]) // all d ≤ mu (sorted prefix)
+	outer := split(rest[h:]) // all d ≥ mu
+	return t.push(node{vantage: v, mu: mu, inner: inner, outer: outer})
+}
+
+// push appends a node and returns its id.
+func (t *VP) push(n node) int32 {
+	t.nodes = append(t.nodes, n)
+	return int32(len(t.nodes) - 1)
+}
+
+// fmix64 is the 64-bit finalizer of MurmurHash3 — a cheap bijective
+// mixer, used only to pick vantages deterministically.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// finalize recomputes the derived node fields (size, weight ranges,
+// vantage weight) bottom-up. Called after Build's recursion and after
+// Decode; both produce children before parents, so a single reverse-order
+// pass is impossible — the node order differs — and a post-order walk
+// from the root is used instead.
+func (t *VP) finalize() {
+	if t.root < 0 {
+		return
+	}
+	var walk func(id int32)
+	walk = func(id int32) {
+		n := &t.nodes[id]
+		if n.leaf != nil {
+			n.size = int32(len(n.leaf))
+			n.wlo, n.whi = math.Inf(1), math.Inf(-1)
+			for _, xi := range n.leaf {
+				w := t.weight(xi)
+				n.wlo = math.Min(n.wlo, w)
+				n.whi = math.Max(n.whi, w)
+			}
+			return
+		}
+		n.size = 1
+		n.wv = t.weight(n.vantage)
+		n.wlo, n.whi = n.wv, n.wv
+		for _, ch := range [2]int32{n.inner, n.outer} {
+			if ch < 0 {
+				continue
+			}
+			walk(ch)
+			c := &t.nodes[ch]
+			n.size += c.size
+			n.wlo = math.Min(n.wlo, c.wlo)
+			n.whi = math.Max(n.whi, c.whi)
+		}
+	}
+	walk(t.root)
+}
+
+// weight returns context i's sum-normalization weight (0 for plain
+// metrics, where weights never enter the bounds).
+func (t *VP) weight(i int32) float64 {
+	if t.weights == nil {
+		return 0
+	}
+	return t.weights[i]
+}
+
+// Search descends the tree, offering every context whose exact distance
+// is within the current radius τ = min(limit, acc bound when full) and
+// pruning subtrees whose distance lower bound exceeds τ. τ only tightens
+// as the accumulator fills, and every bound is recomputed at use, so any
+// offer a linear scan would make is made here too — just fewer exact
+// evaluations. Returns this search's Stats (also accumulated into the
+// knn.index.* counters).
+func (t *VP) Search(q *session.Context, acc Acc, limit float64) Stats {
+	st := Stats{Indexed: true}
+	if t == nil || t.root < 0 {
+		return st
+	}
+	s := searcher{t: t, q: q, acc: acc, limit: limit, st: &st}
+	if t.sn != nil {
+		s.wq = t.sn.Weight(q)
+	}
+	if t.pm != nil {
+		s.ev = t.pm.NewEvaluator(q)
+	}
+	s.descend(t.root)
+	if obs.On() {
+		mVisited.Add(st.Visited)
+		mPruned.Add(st.Pruned)
+	}
+	return st
+}
+
+// searcher carries one search's state through the recursion.
+type searcher struct {
+	t     *VP
+	q     *session.Context
+	wq    float64
+	acc   Acc
+	limit float64
+	st    *Stats
+	ev    *distance.Evaluator // non-nil iff the metric supports it
+}
+
+// eval is one exact-or-abandon distance evaluation against stored
+// context xi, through the amortized evaluator when available.
+func (s *searcher) eval(xi int32, bound float64) (float64, bool) {
+	if s.ev != nil {
+		return s.ev.DistanceWithin(s.t.prep[xi], bound)
+	}
+	return distance.Within(s.t.metric, s.q, s.t.ctxs[xi], bound)
+}
+
+// radius is the current search radius: the starting limit, tightened to
+// the accumulator's k-th-best distance once it fills — exactly the bound
+// sequence the linear scan feeds DistanceWithin.
+func (s *searcher) radius() float64 {
+	if s.acc.Full() {
+		if b := s.acc.Bound(); b < s.limit {
+			return b
+		}
+	}
+	return s.limit
+}
+
+func (s *searcher) descend(id int32) {
+	n := &s.t.nodes[id]
+	if n.leaf != nil {
+		for _, xi := range n.leaf {
+			d, within := s.eval(xi, s.radius())
+			s.st.Visited++
+			if within {
+				s.acc.Add(d, int(xi))
+			}
+		}
+		return
+	}
+	// The vantage is evaluated like any scan element: exact iff within the
+	// current radius. On abandon, dv is still a valid lower bound on the
+	// true distance (DistanceWithin's contract) — enough for the inner
+	// subtree bound, but not for the outer one, which needs an upper bound
+	// and therefore an exact dv.
+	dv, exact := s.eval(n.vantage, s.radius())
+	s.st.Visited++
+	if exact {
+		s.acc.Add(dv, int(n.vantage))
+	}
+	// Nearer half first, so the radius tightens before the far half's
+	// prune test runs. Order affects only speed: the accumulator's
+	// (dist, idx) total order makes the kept set offer-order independent.
+	first, second := n.inner, n.outer
+	if !exact || dv >= n.mu {
+		first, second = n.outer, n.inner
+	}
+	for _, ch := range [2]int32{first, second} {
+		if ch < 0 {
+			continue
+		}
+		if s.prune(n, ch, dv, exact) {
+			s.st.Pruned += uint64(s.t.nodes[ch].size)
+			continue
+		}
+		s.descend(ch)
+	}
+}
+
+// prune reports whether child ch of n provably contains no context within
+// the current radius. dv is the query-to-vantage distance — exact when
+// exact, otherwise a lower bound.
+func (s *searcher) prune(n *node, ch int32, dv float64, exact bool) bool {
+	tau := s.radius()
+	if math.IsInf(tau, 1) {
+		return false
+	}
+	isInner := ch == n.inner
+	if s.t.weights == nil {
+		// Plain metric: ordinary vantage-point bounds from the triangle
+		// inequality on d itself. Inner members have d(x,v) ≤ mu, so
+		// d(q,x) ≥ dv − mu (valid with dv a lower bound); outer members
+		// have d(x,v) ≥ mu, so d(q,x) ≥ mu − dv (needs dv exact).
+		if isInner {
+			return dv-n.mu > tau+pruneSlack
+		}
+		return exact && n.mu-dv > tau+pruneSlack
+	}
+	// Sum-normalized metric: the triangle inequality holds only for
+	// raw(a,b) = d(a,b)·(w_a+w_b). With rawv = dv·(w_q+w_v):
+	//
+	//   inner: raw(x,v) ≤ mu·(w_x+w_v)  ⇒  d(q,x) ≥ (rawv − mu·(w_x+w_v)) / (w_q+w_x)
+	//   outer: raw(x,v) ≥ mu·(w_x+w_v)  ⇒  d(q,x) ≥ (mu·(w_x+w_v) − rawv) / (w_q+w_x)
+	//
+	// Both right-hand sides are monotone in w_x (the derivative's sign is
+	// fixed), so their minimum over the subtree's weight range [wlo, whi]
+	// sits at an endpoint; prune only when that minimum still exceeds τ.
+	// The inner bound needs rawv from below (a lower-bound dv suffices);
+	// the outer bound needs it from above, so an abandoned vantage never
+	// prunes its outer half.
+	if !isInner && !exact {
+		return false
+	}
+	rawv := dv * (s.wq + n.wv)
+	c := &s.t.nodes[ch]
+	lb := math.Inf(1)
+	for _, wx := range [2]float64{c.wlo, c.whi} {
+		denom := s.wq + wx
+		if denom <= 0 {
+			return false
+		}
+		num := rawv - n.mu*(wx+n.wv)
+		if !isInner {
+			num = -num
+		}
+		lb = math.Min(lb, num/denom)
+	}
+	return lb > tau+pruneSlack
+}

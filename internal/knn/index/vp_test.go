@@ -1,0 +1,436 @@
+package index
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/session"
+)
+
+// lineMetric is a true metric over Context.T (a 1-D line), used to test
+// the plain-metric pruning bounds: |Ta - Tb| scaled into [0, 1].
+type lineMetric struct{}
+
+func (lineMetric) Name() string { return "line" }
+func (lineMetric) Distance(a, b *session.Context) float64 {
+	d := float64(a.T - b.T)
+	if d < 0 {
+		d = -d
+	}
+	return d / 1000
+}
+
+// sumNormLine divides the line metric by the operands' combined weight
+// (carried in Context.N), reproducing the tree-edit distance's
+// triangle-inequality-breaking shape so the raw-space bounds get
+// exercised with cheap arithmetic.
+type sumNormLine struct{}
+
+func (sumNormLine) Name() string                      { return "sumnorm-line" }
+func (sumNormLine) Weight(c *session.Context) float64 { return float64(c.N) }
+func (m sumNormLine) Distance(a, b *session.Context) float64 {
+	raw := float64(a.T - b.T)
+	if raw < 0 {
+		raw = -raw
+	}
+	den := m.Weight(a) + m.Weight(b)
+	if den == 0 {
+		return 0
+	}
+	return raw / den
+}
+
+// collector records every offer, so tests can compare the index's offer
+// set against a linear reference scan. full/bound emulate a k-bounded
+// accumulator with the same strict (dist, idx) order as knn's topK.
+type collector struct {
+	k      int
+	offers []offer
+	kept   []offer // the k best under (dist, idx), ascending
+}
+
+type offer struct {
+	d   float64
+	idx int
+}
+
+func (c *collector) Full() bool { return c.k > 0 && len(c.kept) >= c.k }
+func (c *collector) Bound() float64 {
+	return c.kept[len(c.kept)-1].d
+}
+func (c *collector) Add(d float64, idx int) {
+	c.offers = append(c.offers, offer{d, idx})
+	c.kept = append(c.kept, offer{d, idx})
+	sort.Slice(c.kept, func(i, j int) bool {
+		if c.kept[i].d != c.kept[j].d {
+			return c.kept[i].d < c.kept[j].d
+		}
+		return c.kept[i].idx < c.kept[j].idx
+	})
+	if c.k > 0 && len(c.kept) > c.k {
+		c.kept = c.kept[:c.k]
+	}
+}
+
+// linearReference replays the bound-respecting linear scan the index must
+// be equivalent to: every element evaluated in order under the current
+// radius, kept when within.
+func linearReference(ctxs []*session.Context, m distance.Metric, q *session.Context, k int, limit float64) []offer {
+	acc := &collector{k: k}
+	for i, c := range ctxs {
+		tau := limit
+		if acc.Full() {
+			if b := acc.Bound(); b < tau {
+				tau = b
+			}
+		}
+		if d, within := distance.Within(m, q, c, tau); within {
+			acc.Add(d, i)
+		}
+	}
+	return acc.kept
+}
+
+func lineCtx(t, n int) *session.Context { return &session.Context{T: t, N: n} }
+
+func offersEqual(a, b []offer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSearchMatchesLinearScan fuzzes the equivalence contract over random
+// point sets (with duplicate points to force exact distance ties), both
+// the plain and the sum-normalized metric, several k and limit choices.
+func TestSearchMatchesLinearScan(t *testing.T) {
+	metrics := []struct {
+		name string
+		m    distance.Metric
+	}{
+		{"plain", lineMetric{}},
+		{"sumnorm", sumNormLine{}},
+	}
+	for _, mc := range metrics {
+		t.Run(mc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			for trial := 0; trial < 30; trial++ {
+				n := 1 + rng.Intn(120)
+				ctxs := make([]*session.Context, n)
+				for i := range ctxs {
+					// Coarse grid + duplicates: ties are common, weights vary.
+					ctxs[i] = lineCtx(rng.Intn(40)*10, 1+rng.Intn(5))
+				}
+				tree := Build(ctxs, mc.m, Options{LeafSize: 1 + rng.Intn(6)})
+				for qi := 0; qi < 8; qi++ {
+					q := lineCtx(rng.Intn(500), 1+rng.Intn(5))
+					k := 1 + rng.Intn(4)
+					limit := []float64{0.05, 0.15, 0.5, math.Inf(1)}[rng.Intn(4)]
+					want := linearReference(ctxs, mc.m, q, k, limit)
+					acc := &collector{k: k}
+					st := tree.Search(q, acc, limit)
+					if !offersEqual(acc.kept, want) {
+						t.Fatalf("trial %d query %d (k=%d limit=%g): index kept %v, scan kept %v",
+							trial, qi, k, limit, acc.kept, want)
+					}
+					if st.Visited+st.Pruned != uint64(n) {
+						t.Fatalf("visited %d + pruned %d != %d", st.Visited, st.Pruned, n)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSearchPrunes asserts the index actually skips work on clustered
+// data — a regression guard against a silently degenerate tree that
+// visits everything.
+func TestSearchPrunes(t *testing.T) {
+	ctxs := make([]*session.Context, 256)
+	for i := range ctxs {
+		// Two far-apart clusters.
+		base := 0
+		if i%2 == 1 {
+			base = 900
+		}
+		ctxs[i] = lineCtx(base+i/2, 1)
+	}
+	tree := Build(ctxs, lineMetric{}, Options{})
+	acc := &collector{k: 3}
+	st := tree.Search(lineCtx(10, 1), acc, 0.05)
+	if st.Pruned == 0 {
+		t.Fatalf("expected pruning on clustered data, visited all %d", st.Visited)
+	}
+	if st.Visited+st.Pruned != uint64(len(ctxs)) {
+		t.Fatalf("visited %d + pruned %d != %d", st.Visited, st.Pruned, len(ctxs))
+	}
+}
+
+// TestBuildDeterministic asserts identical training slices produce
+// byte-identical encodings — the property the crash-resume snapshot
+// byte-identity check leans on.
+func TestBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ctxs := make([]*session.Context, 90)
+	for i := range ctxs {
+		ctxs[i] = lineCtx(rng.Intn(300), 1+rng.Intn(4))
+	}
+	enc := func() []byte {
+		blob, err := json.Marshal(Build(ctxs, sumNormLine{}, Options{}).Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	first := enc()
+	for i := 0; i < 3; i++ {
+		if got := enc(); !bytes.Equal(got, first) {
+			t.Fatalf("rebuild %d produced different bytes", i)
+		}
+	}
+}
+
+// TestEncodeDecodeRoundTrip checks a decoded tree searches identically to
+// the built one and re-encodes to the same bytes.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ctxs := make([]*session.Context, 70)
+	for i := range ctxs {
+		ctxs[i] = lineCtx(rng.Intn(200), 1+rng.Intn(3))
+	}
+	built := Build(ctxs, sumNormLine{}, Options{})
+	w := built.Encode()
+	decoded, err := Decode(w, ctxs, sumNormLine{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(built.Encode())
+	b2, _ := json.Marshal(decoded.Encode())
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("decode/re-encode changed bytes")
+	}
+	for qi := 0; qi < 10; qi++ {
+		q := lineCtx(rng.Intn(300), 1+rng.Intn(3))
+		a1 := &collector{k: 3}
+		a2 := &collector{k: 3}
+		built.Search(q, a1, 0.2)
+		decoded.Search(q, a2, 0.2)
+		if !offersEqual(a1.kept, a2.kept) {
+			t.Fatalf("query %d: built kept %v, decoded kept %v", qi, a1.kept, a2.kept)
+		}
+	}
+}
+
+// TestDecodeRejectsCorruptWires covers the validation classes Decode must
+// refuse: each mutation yields a structurally broken tree.
+func TestDecodeRejectsCorruptWires(t *testing.T) {
+	ctxs := make([]*session.Context, 20)
+	for i := range ctxs {
+		ctxs[i] = lineCtx(i*7, 1)
+	}
+	fresh := func() *Wire { return Build(ctxs, lineMetric{}, Options{LeafSize: 2}).Encode() }
+	cases := []struct {
+		name string
+		mut  func(w *Wire)
+	}{
+		{"nil wire", nil},
+		{"count mismatch", func(w *Wire) { w.Count++ }},
+		{"root out of range", func(w *Wire) { w.Root = int32(len(w.Nodes)) }},
+		{"negative root", func(w *Wire) { w.Root = -1 }},
+		{"context out of range", func(w *Wire) {
+			for i := range w.Nodes {
+				if len(w.Nodes[i].Leaf) > 0 {
+					w.Nodes[i].Leaf[0] = int32(len(ctxs))
+					return
+				}
+			}
+		}},
+		{"duplicate context", func(w *Wire) {
+			for i := range w.Nodes {
+				if len(w.Nodes[i].Leaf) > 1 {
+					w.Nodes[i].Leaf[1] = w.Nodes[i].Leaf[0]
+					return
+				}
+			}
+		}},
+		{"cycle", func(w *Wire) {
+			for i := range w.Nodes {
+				if w.Nodes[i].Leaf == nil {
+					w.Nodes[i].In = w.Root
+					return
+				}
+			}
+		}},
+		{"negative radius", func(w *Wire) {
+			for i := range w.Nodes {
+				if w.Nodes[i].Leaf == nil {
+					w.Nodes[i].Mu = -0.5
+					return
+				}
+			}
+		}},
+		{"NaN radius", func(w *Wire) {
+			for i := range w.Nodes {
+				if w.Nodes[i].Leaf == nil {
+					w.Nodes[i].Mu = math.NaN()
+					return
+				}
+			}
+		}},
+		{"leaf and internal", func(w *Wire) {
+			for i := range w.Nodes {
+				if len(w.Nodes[i].Leaf) > 0 {
+					w.Nodes[i].V = 0
+					return
+				}
+			}
+		}},
+		{"nonempty for empty set", nil}, // handled below
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			switch tc.name {
+			case "nil wire":
+				if _, err := Decode(nil, ctxs, lineMetric{}); err == nil {
+					t.Fatal("nil wire accepted")
+				}
+				return
+			case "nonempty for empty set":
+				w := fresh()
+				w.Count = 0
+				if _, err := Decode(w, nil, lineMetric{}); err == nil {
+					t.Fatal("nonempty tree over empty context set accepted")
+				}
+				return
+			}
+			w := fresh()
+			tc.mut(w)
+			if _, err := Decode(w, ctxs, lineMetric{}); err == nil {
+				t.Fatalf("corrupt wire (%s) accepted", tc.name)
+			}
+		})
+	}
+}
+
+// TestEmptyAndTinyTrees covers the degenerate sizes.
+func TestEmptyAndTinyTrees(t *testing.T) {
+	empty := Build(nil, lineMetric{}, Options{})
+	acc := &collector{k: 1}
+	if st := empty.Search(lineCtx(0, 1), acc, 1); st.Visited != 0 || len(acc.offers) != 0 {
+		t.Fatal("empty tree offered something")
+	}
+	dec, err := Decode(empty.Encode(), nil, lineMetric{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Len() != 0 {
+		t.Fatal("decoded empty tree non-empty")
+	}
+	one := Build([]*session.Context{lineCtx(5, 1)}, lineMetric{}, Options{})
+	acc = &collector{k: 1}
+	one.Search(lineCtx(5, 1), acc, 1)
+	if len(acc.kept) != 1 || acc.kept[0] != (offer{0, 0}) {
+		t.Fatalf("single-element tree kept %v", acc.kept)
+	}
+}
+
+// TestTreeEditEquivalence runs the real paper metric (including the
+// prepared fast path and the memoized variant) through the index and
+// checks offer-set equivalence against the linear scan on small real
+// context trees.
+func TestTreeEditEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	mkCtx := func(depth, fan int) *session.Context {
+		var build func(d int) *session.CtxNode
+		build = func(d int) *session.CtxNode {
+			n := &session.CtxNode{}
+			if d > 0 {
+				for i := 0; i < fan; i++ {
+					n.Children = append(n.Children, build(d-1))
+				}
+			}
+			return n
+		}
+		return &session.Context{Root: build(depth)}
+	}
+	ctxs := make([]*session.Context, 40)
+	for i := range ctxs {
+		ctxs[i] = mkCtx(1+rng.Intn(3), 1+rng.Intn(2))
+	}
+	for _, m := range []distance.Metric{distance.TreeEdit{}, distance.NewMemoizedTreeEdit(nil)} {
+		tree := Build(ctxs, m, Options{LeafSize: 4})
+		for qi := 0; qi < 6; qi++ {
+			q := mkCtx(1+rng.Intn(3), 1+rng.Intn(2))
+			for _, limit := range []float64{0.1, 0.4, math.Inf(1)} {
+				want := linearReference(ctxs, m, q, 3, limit)
+				acc := &collector{k: 3}
+				tree.Search(q, acc, limit)
+				if !offersEqual(acc.kept, want) {
+					t.Fatalf("%s query %d limit %g: index kept %v, scan kept %v",
+						m.Name(), qi, limit, acc.kept, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStatsAccum sanity-checks the accumulator fold.
+func TestStatsAccum(t *testing.T) {
+	var s Stats
+	s.Accum(Stats{Visited: 3, Pruned: 2, Indexed: true})
+	s.Accum(Stats{Visited: 1})
+	if s.Visited != 4 || s.Pruned != 2 || !s.Indexed {
+		t.Fatalf("accum = %+v", s)
+	}
+}
+
+// TestBuildLeafOrdering asserts leaves hold ascending training indexes —
+// part of the deterministic-bytes contract.
+func TestBuildLeafOrdering(t *testing.T) {
+	ctxs := make([]*session.Context, 64)
+	for i := range ctxs {
+		ctxs[i] = lineCtx((i*37)%64, 1)
+	}
+	tree := Build(ctxs, lineMetric{}, Options{LeafSize: 5})
+	for id, n := range tree.nodes {
+		for i := 1; i < len(n.leaf); i++ {
+			if n.leaf[i-1] >= n.leaf[i] {
+				t.Fatalf("node %d leaf not ascending: %v", id, n.leaf)
+			}
+		}
+	}
+}
+
+// failIfCalled guards against Decode evaluating distances: decoding must
+// be structure-only (no metric calls), so attaching a snapshot index to a
+// large model stays cheap.
+type failIfCalled struct {
+	t *testing.T
+}
+
+func (f failIfCalled) Name() string { return "fail" }
+func (f failIfCalled) Distance(a, b *session.Context) float64 {
+	f.t.Fatal("Decode evaluated a distance")
+	return 0
+}
+
+func TestDecodeEvaluatesNoDistances(t *testing.T) {
+	ctxs := make([]*session.Context, 30)
+	for i := range ctxs {
+		ctxs[i] = lineCtx(i, 1)
+	}
+	w := Build(ctxs, lineMetric{}, Options{}).Encode()
+	if _, err := Decode(w, ctxs, failIfCalled{t}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package index
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/distance"
+	"repro/internal/session"
+)
+
+// Wire is the persistable form of a VP tree: structure only. Everything
+// derivable (subtree sizes, weight ranges) is recomputed on decode from
+// the contexts the tree indexes, which travel separately in the snapshot
+// model — so a decoded tree searches bit-identically to the one Build
+// produced, and the encoding stays compact and deterministic
+// (json.Marshal of the same tree always yields the same bytes, which the
+// crash-resume snapshot byte-identity check relies on).
+type Wire struct {
+	LeafSize int        `json:"leaf_size"`
+	Count    int        `json:"count"`
+	Root     int32      `json:"root"`
+	Nodes    []WireNode `json:"nodes,omitempty"`
+}
+
+// WireNode is one encoded node. Leaves carry V == -1 and a non-empty
+// Leaf; internal nodes carry the vantage index, the median radius and
+// child node ids (-1 for an absent child).
+type WireNode struct {
+	V    int32   `json:"v"`
+	Mu   float64 `json:"mu,omitempty"`
+	In   int32   `json:"in"`
+	Out  int32   `json:"out"`
+	Leaf []int32 `json:"leaf,omitempty"`
+}
+
+// Encode returns the tree's wire form.
+func (t *VP) Encode() *Wire {
+	w := &Wire{LeafSize: t.leafSize, Count: len(t.ctxs), Root: t.root}
+	w.Nodes = make([]WireNode, len(t.nodes))
+	for i, n := range t.nodes {
+		w.Nodes[i] = WireNode{V: n.vantage, Mu: n.mu, In: n.inner, Out: n.outer, Leaf: n.leaf}
+	}
+	return w
+}
+
+// Decode rebuilds a VP tree from its wire form over the given contexts
+// (the same slice, in the same order, the encoded tree was built from)
+// and validates it fully: node and sample ids in range, every node
+// reachable from the root exactly once (no cycles, no orphans), every
+// sample indexed exactly once, radii finite and non-negative. A snapshot
+// section that decodes but fails validation is corrupt, and serving must
+// refuse it rather than silently search a broken tree.
+func Decode(w *Wire, ctxs []*session.Context, m distance.Metric) (*VP, error) {
+	if w == nil {
+		return nil, fmt.Errorf("index: nil wire tree")
+	}
+	if w.Count != len(ctxs) {
+		return nil, fmt.Errorf("index: wire tree covers %d contexts, model has %d", w.Count, len(ctxs))
+	}
+	if m == nil {
+		m = distance.TreeEdit{}
+	}
+	leafSize := w.LeafSize
+	if leafSize < 1 {
+		leafSize = DefaultLeafSize
+	}
+	t := &VP{metric: m, ctxs: ctxs, root: w.Root, leafSize: leafSize}
+	if len(ctxs) == 0 {
+		if w.Root != -1 || len(w.Nodes) != 0 {
+			return nil, fmt.Errorf("index: empty tree with root %d and %d nodes", w.Root, len(w.Nodes))
+		}
+		t.initWeights()
+		t.initPrepared()
+		return t, nil
+	}
+	nn := len(w.Nodes)
+	if w.Root < 0 || int(w.Root) >= nn {
+		return nil, fmt.Errorf("index: root %d out of range [0, %d)", w.Root, nn)
+	}
+	t.nodes = make([]node, nn)
+	seenCtx := make([]bool, len(ctxs))
+	claimCtx := func(id int32) error {
+		if id < 0 || int(id) >= len(ctxs) {
+			return fmt.Errorf("index: context id %d out of range [0, %d)", id, len(ctxs))
+		}
+		if seenCtx[id] {
+			return fmt.Errorf("index: context %d indexed twice", id)
+		}
+		seenCtx[id] = true
+		return nil
+	}
+	seenNode := make([]bool, nn)
+	// Iterative reachability walk: recursion here would let a corrupt
+	// long-chain tree overflow the stack before validation catches it.
+	stack := []int32{w.Root}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if id < 0 || int(id) >= nn {
+			return nil, fmt.Errorf("index: node id %d out of range [0, %d)", id, nn)
+		}
+		if seenNode[id] {
+			return nil, fmt.Errorf("index: node %d reached twice", id)
+		}
+		seenNode[id] = true
+		wn := &w.Nodes[id]
+		if wn.Leaf != nil {
+			if wn.V != -1 || wn.In != -1 || wn.Out != -1 {
+				return nil, fmt.Errorf("index: node %d is both leaf and internal", id)
+			}
+			if len(wn.Leaf) == 0 {
+				return nil, fmt.Errorf("index: node %d is an empty leaf", id)
+			}
+			for i, xi := range wn.Leaf {
+				if err := claimCtx(xi); err != nil {
+					return nil, err
+				}
+				if i > 0 && wn.Leaf[i-1] >= xi {
+					return nil, fmt.Errorf("index: node %d leaf not ascending", id)
+				}
+			}
+			t.nodes[id] = node{vantage: -1, inner: -1, outer: -1, leaf: wn.Leaf}
+			continue
+		}
+		if err := claimCtx(wn.V); err != nil {
+			return nil, err
+		}
+		if math.IsNaN(wn.Mu) || math.IsInf(wn.Mu, 0) || wn.Mu < 0 {
+			return nil, fmt.Errorf("index: node %d has invalid radius %v", id, wn.Mu)
+		}
+		if wn.In == -1 && wn.Out == -1 {
+			return nil, fmt.Errorf("index: internal node %d has no children", id)
+		}
+		for _, ch := range [2]int32{wn.In, wn.Out} {
+			if ch >= 0 {
+				stack = append(stack, ch)
+			} else if ch != -1 {
+				return nil, fmt.Errorf("index: node %d has invalid child id %d", id, ch)
+			}
+		}
+		t.nodes[id] = node{vantage: wn.V, mu: wn.Mu, inner: wn.In, outer: wn.Out}
+	}
+	for id, ok := range seenNode {
+		if !ok {
+			return nil, fmt.Errorf("index: node %d unreachable from root", id)
+		}
+	}
+	for id, ok := range seenCtx {
+		if !ok {
+			return nil, fmt.Errorf("index: context %d not indexed", id)
+		}
+	}
+	t.initWeights()
+	t.initPrepared()
+	t.finalize()
+	return t, nil
+}

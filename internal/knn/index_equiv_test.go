@@ -1,0 +1,209 @@
+package knn
+
+import (
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/offline"
+	"repro/internal/session"
+	"repro/internal/stats"
+)
+
+// lineTrueMetric is a genuine metric over Context.T (absolute difference
+// on a line, scaled into [0, 1] for T up to ~1000). Unlike hashMetric it
+// satisfies the triangle inequality, which the index's plain-metric
+// pruning bounds assume. Quantizing the *distance* would break the
+// inequality (floor is not subadditive), so ties are manufactured by
+// placing training contexts on a coarse T grid instead: duplicates and
+// symmetric grid neighbors of a query tie exactly.
+type lineTrueMetric struct{}
+
+func (lineTrueMetric) Name() string { return "line-true" }
+func (lineTrueMetric) Distance(a, b *session.Context) float64 {
+	d := a.T - b.T
+	if d < 0 {
+		d = -d
+	}
+	return float64(d) / 1024
+}
+
+// buildTiedSamples clusters training contexts on a coarse T grid so many
+// samples sit at identical distances from any query.
+func buildTiedSamples(n int, seed uint64) []*offline.Sample {
+	rng := stats.NewRNG(seed)
+	labels := []string{"variance", "osf", "peculiarity", "conciseness"}
+	samples := make([]*offline.Sample, n)
+	for i := range samples {
+		ls := []string{labels[rng.Intn(len(labels))]}
+		if rng.Intn(5) == 0 {
+			ls = append(ls, labels[rng.Intn(len(labels))])
+		}
+		samples[i] = &offline.Sample{
+			Context: &session.Context{T: int(rng.Intn(64)) * 16},
+			Labels:  ls,
+		}
+	}
+	return samples
+}
+
+// TestIndexedPredictEquivalence is the tentpole contract: an index-backed
+// classifier produces bit-identical Predictions to the linear-scan
+// classifier across seeds, worker counts, thresholds, the unbounded mode
+// and the FallbackNearest rescan — under a true metric whose tie density
+// makes any tie-break divergence loud.
+func TestIndexedPredictEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		samples := buildTiedSamples(700, seed)
+		for _, cfg := range []Config{
+			{K: 1, ThetaDelta: 0.1},
+			{K: 3, ThetaDelta: 0.2},
+			{K: 7, ThetaDelta: 0.05},
+			{K: 5, Unbounded: true},
+			{K: 3, ThetaDelta: 0.02, Fallback: FallbackNearest},
+			{K: 40, ThetaDelta: 0.5},
+		} {
+			for _, workers := range []int{1, 2, 3, 8} {
+				c := cfg
+				c.Workers = workers
+				plain := New(samples, lineTrueMetric{}, c)
+				indexed := New(samples, lineTrueMetric{}, c)
+				indexed.BuildIndex()
+				for qt := 0; qt < 25; qt++ {
+					query := &session.Context{T: qt * 37}
+					want := plain.Predict(query)
+					got := indexed.Predict(query)
+					if !predictionsEqual(got, want) {
+						t.Fatalf("seed=%d cfg=%+v workers=%d query=%d:\n got %+v\nwant %+v",
+							seed, cfg, workers, qt, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexedPredictAllEquivalence checks the batch path stays aligned
+// and bit-identical with the index installed.
+func TestIndexedPredictAllEquivalence(t *testing.T) {
+	samples := buildTiedSamples(400, 3)
+	cfg := Config{K: 3, ThetaDelta: 0.15, Workers: 4}
+	plain := New(samples, lineTrueMetric{}, cfg)
+	indexed := New(samples, lineTrueMetric{}, cfg)
+	indexed.BuildIndex()
+	queries := make([]*session.Context, 40)
+	for i := range queries {
+		queries[i] = &session.Context{T: i * 29}
+	}
+	want := plain.PredictAll(queries)
+	got := indexed.PredictAll(queries)
+	if len(got) != len(want) {
+		t.Fatalf("batch sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if !predictionsEqual(got[i], want[i]) {
+			t.Fatalf("query %d: indexed %+v != plain %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestIndexedTreeEditEquivalence runs the paper's real metric (memoized
+// tree edit, sum-normalized — the raw-space pruning path) over synthetic
+// context trees and checks indexed-vs-scan prediction equality. This is
+// the configuration production serving uses.
+func TestIndexedTreeEditEquivalence(t *testing.T) {
+	rng := stats.NewRNG(17)
+	mkTree := func(depth, fan int) *session.Context {
+		var build func(d int) *session.CtxNode
+		build = func(d int) *session.CtxNode {
+			n := &session.CtxNode{}
+			if d > 0 {
+				for i := 0; i < fan; i++ {
+					n.Children = append(n.Children, build(d-1))
+				}
+			}
+			return n
+		}
+		return &session.Context{Root: build(depth)}
+	}
+	labels := []string{"variance", "osf", "schutz"}
+	samples := make([]*offline.Sample, 60)
+	for i := range samples {
+		samples[i] = &offline.Sample{
+			Context: mkTree(1+int(rng.Intn(3)), 1+int(rng.Intn(2))),
+			Labels:  []string{labels[rng.Intn(len(labels))]},
+		}
+	}
+	for _, cfg := range []Config{
+		{K: 3, ThetaDelta: 0.1},
+		{K: 2, ThetaDelta: 0.3},
+		{K: 1, Unbounded: true},
+		{K: 3, ThetaDelta: 0.05, Fallback: FallbackNearest},
+	} {
+		plain := New(samples, distance.NewMemoizedTreeEdit(nil), cfg)
+		indexed := New(samples, distance.NewMemoizedTreeEdit(nil), cfg)
+		indexed.BuildIndex()
+		for qi := 0; qi < 12; qi++ {
+			query := mkTree(1+int(rng.Intn(3)), 1+int(rng.Intn(2)))
+			want := plain.Predict(query)
+			got := indexed.Predict(query)
+			if !predictionsEqual(got, want) {
+				t.Fatalf("cfg=%+v query %d:\n got %+v\nwant %+v", cfg, qi, got, want)
+			}
+		}
+	}
+}
+
+// TestIndexLifecycle covers SetIndex/DisableIndex/IndexWanted and the
+// enabled-but-absent fallback accounting hook.
+func TestIndexLifecycle(t *testing.T) {
+	samples := buildTiedSamples(50, 9)
+	clf := New(samples, lineTrueMetric{}, Config{K: 3, ThetaDelta: 0.2})
+	if clf.Index() != nil || clf.IndexWanted() {
+		t.Fatal("fresh classifier should have no index")
+	}
+	tree := clf.BuildIndex()
+	if tree == nil || clf.Index() != tree || !clf.IndexWanted() {
+		t.Fatal("BuildIndex did not install the index")
+	}
+	query := &session.Context{T: 100}
+	withIdx := clf.Predict(query)
+	clf.SetIndex(nil) // enabled-but-absent: linear fallback path
+	if clf.Index() != nil || !clf.IndexWanted() {
+		t.Fatal("SetIndex(nil) should leave indexing wanted")
+	}
+	noIdx := clf.Predict(query)
+	if !predictionsEqual(withIdx, noIdx) {
+		t.Fatalf("fallback-linear prediction differs: %+v vs %+v", withIdx, noIdx)
+	}
+	clf.DisableIndex()
+	if clf.IndexWanted() {
+		t.Fatal("DisableIndex should clear wanted")
+	}
+	off := clf.Predict(query)
+	if !predictionsEqual(withIdx, off) {
+		t.Fatalf("disabled-index prediction differs: %+v vs %+v", withIdx, off)
+	}
+}
+
+// TestAttachIndexRejectsMismatch: decoding an index built over a
+// different training set must fail and leave the classifier unindexed.
+func TestAttachIndexRejectsMismatch(t *testing.T) {
+	small := buildTiedSamples(50, 1)
+	a := New(small, lineTrueMetric{}, Config{K: 3, ThetaDelta: 0.2})
+	b := New(buildTiedSamples(80, 2), lineTrueMetric{}, Config{K: 3, ThetaDelta: 0.2})
+	w := a.BuildIndex().Encode()
+	if err := b.AttachIndex(w); err == nil {
+		t.Fatal("attaching a 50-element index to an 80-sample classifier must fail")
+	}
+	if b.Index() != nil {
+		t.Fatal("failed attach must leave the classifier unchanged")
+	}
+	c := New(small, lineTrueMetric{}, Config{K: 3, ThetaDelta: 0.2})
+	if err := c.AttachIndex(w); err != nil {
+		t.Fatalf("attaching a matching index failed: %v", err)
+	}
+	q := &session.Context{T: 64}
+	if !predictionsEqual(a.Predict(q), c.Predict(q)) {
+		t.Fatal("attached index predicts differently from built index")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/distance"
 	"repro/internal/faults"
+	"repro/internal/knn/index"
 	"repro/internal/obs"
 	"repro/internal/offline"
 	"repro/internal/parallel"
@@ -138,6 +139,13 @@ type Classifier struct {
 	// fault-degraded queries; empty when no sample carries a label.
 	prior string
 
+	// idx is the optional vantage-point metric index over samples;
+	// idxWanted distinguishes "indexing off" from "indexing enabled but
+	// the index absent" (the latter counts knn.index.fallback_linear).
+	// See index.go for the lifecycle methods.
+	idx       *index.VP
+	idxWanted bool
+
 	// Per-θ_δ outcome counters, resolved once at construction so Predict
 	// never formats metric names on the hot path.
 	mCovered  *obs.Counter
@@ -234,14 +242,13 @@ func (c *Classifier) PredictCtx(ctx context.Context, query *session.Context) (Pr
 	if ctx != nil && ctx.Err() != nil {
 		return Prediction{}, pipeline.Wrap("knn.predict", 0, 1, ctx.Err())
 	}
-	if obs.On() {
-		mScans.Inc()
-		mDistEvals.Add(uint64(len(c.samples)))
-	}
 	k := c.cfg.K
 	w := parallel.Workers(c.cfg.Workers)
 	var p Prediction
-	if w > 1 && len(c.samples) >= minParallelScan {
+	var st index.Stats
+	// An installed index replaces the chunked-parallel scan outright: the
+	// pruned descent touches so few contexts that fan-out overhead loses.
+	if c.idx == nil && w > 1 && len(c.samples) >= minParallelScan {
 		chunks := parallel.Chunks(len(c.samples), w)
 		accs := make([]*topK, len(chunks))
 		done, err := parallel.ForEachN(ctx, len(chunks), w, func(ci int) {
@@ -253,25 +260,35 @@ func (c *Classifier) PredictCtx(ctx context.Context, query *session.Context) (Pr
 			return Prediction{}, pipeline.Wrap("knn.predict", done, len(chunks), err)
 		}
 		p = c.voteCands(mergeTopK(k, accs))
+		st.Visited = uint64(len(c.samples))
+		if c.idxWanted && obs.On() {
+			index.CountFallbackLinear()
+		}
 	} else {
-		p = c.predictOne(query)
+		p, st = c.predictOne(query)
 	}
-	p = c.applyFallback(query, p)
+	p, st = c.applyFallback(query, p, st)
 	if obs.On() {
+		mScans.Inc()
+		mDistEvals.Add(st.Visited)
 		c.countOutcome(p)
 	}
-	traceOutcome(obs.TraceFrom(ctx), uint64(len(c.samples)), p)
+	traceOutcome(obs.TraceFrom(ctx), st, p)
 	return p, nil
 }
 
 // traceOutcome annotates a request trace with one prediction's scan cost
-// and degradation rung. Nil-safe: the non-HTTP paths (benchmarks, batch
-// CLI runs) pass a nil trace and pay one comparison.
-func traceOutcome(tr *obs.Trace, distEvals uint64, p Prediction) {
+// (exact evaluations, and the index's prune split when the indexed path
+// served it) and degradation rung. Nil-safe: the non-HTTP paths
+// (benchmarks, batch CLI runs) pass a nil trace and pay one comparison.
+func traceOutcome(tr *obs.Trace, st index.Stats, p Prediction) {
 	if tr == nil {
 		return
 	}
-	tr.AddDistanceEvals(distEvals)
+	tr.AddDistanceEvals(st.Visited)
+	if st.Indexed {
+		tr.AddIndexStats(st.Visited, st.Pruned)
+	}
 	tr.AddCandidates(len(p.Neighbors))
 	switch {
 	case p.Fallback:
@@ -327,14 +344,15 @@ func (c *Classifier) voteCands(sorted []cand) Prediction {
 // FallbackPolicy may then rescue). The probe key is the query context's
 // identity (session, position, n) — content, not call order — so the
 // same queries degrade at every worker count.
-func (c *Classifier) predictOne(query *session.Context) Prediction {
+func (c *Classifier) predictOne(query *session.Context) (Prediction, index.Stats) {
+	var st index.Stats
 	scan := func() Prediction {
 		acc := newTopK(c.cfg.K)
-		c.scanRange(query, 0, len(c.samples), acc, c.scanLimit())
+		st.Accum(c.searchInto(query, acc, c.scanLimit()))
 		return c.voteCands(acc.drain())
 	}
 	if !faults.Enabled() {
-		return scan()
+		return scan(), st
 	}
 	base := query.SessionID + "@" + strconv.Itoa(query.T) + "/" + strconv.Itoa(query.N)
 	var p Prediction
@@ -351,24 +369,25 @@ func (c *Classifier) predictOne(query *session.Context) Prediction {
 		return nil
 	})
 	if err != nil {
-		return Prediction{Covered: false}
+		return Prediction{Covered: false}, st
 	}
-	return p
+	return p, st
 }
 
 // applyFallback implements the kNN rung of the degradation ladder: an
-// abstaining prediction is rewritten according to Config.Fallback.
-func (c *Classifier) applyFallback(query *session.Context, p Prediction) Prediction {
+// abstaining prediction is rewritten according to Config.Fallback. The
+// FallbackNearest rescan's work accumulates into st.
+func (c *Classifier) applyFallback(query *session.Context, p Prediction, st index.Stats) (Prediction, index.Stats) {
 	if p.Covered || c.cfg.Fallback == FallbackAbstain {
-		return p
+		return p, st
 	}
 	switch c.cfg.Fallback {
 	case FallbackNearest:
 		acc := newTopK(c.cfg.K)
-		c.scanRange(query, 0, len(c.samples), acc, math.Inf(1))
+		st.Accum(c.searchInto(query, acc, math.Inf(1)))
 		if np := c.voteCands(acc.drain()); np.Covered {
 			np.Fallback = true
-			return np
+			return np, st
 		}
 	case FallbackPrior:
 		if c.prior != "" {
@@ -377,7 +396,7 @@ func (c *Classifier) applyFallback(query *session.Context, p Prediction) Predict
 			p.Fallback = true
 		}
 	}
-	return p
+	return p, st
 }
 
 // countOutcome records the covered/abstain/fallback split for one
@@ -413,12 +432,14 @@ func (c *Classifier) PredictAllCtx(ctx context.Context, queries []*session.Conte
 		t0 = time.Now()
 	}
 	out := make([]Prediction, len(queries))
+	stats := make([]index.Stats, len(queries))
 	done, err := parallel.ForEachN(ctx, len(queries), c.cfg.Workers, func(i int) {
+		p, st := c.predictOne(queries[i])
+		out[i], stats[i] = c.applyFallback(queries[i], p, st)
 		if obs.On() {
 			mScans.Inc()
-			mDistEvals.Add(uint64(len(c.samples)))
+			mDistEvals.Add(stats[i].Visited)
 		}
-		out[i] = c.applyFallback(queries[i], c.predictOne(queries[i]))
 	})
 	if obs.On() {
 		for i := range out {
@@ -428,7 +449,7 @@ func (c *Classifier) PredictAllCtx(ctx context.Context, queries []*session.Conte
 	if tr != nil {
 		tr.AddStage("knn.predict_all", time.Since(t0))
 		for i := 0; i < done && i < len(out); i++ {
-			traceOutcome(tr, uint64(len(c.samples)), out[i])
+			traceOutcome(tr, stats[i], out[i])
 		}
 	}
 	if err != nil {

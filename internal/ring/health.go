@@ -72,11 +72,21 @@ type Checker struct {
 	opts CheckerOptions
 
 	mu    sync.Mutex
-	state map[string]State
+	state map[string]*nodeHealth
 	// gauges holds the pre-registered per-node state gauges so /metrics
 	// shows every replica from startup (same idiom as the per-site fault
 	// counters in internal/faults).
 	gauges map[string]*obs.Gauge
+}
+
+// nodeHealth is one node's state plus a generation counter bumped on
+// every state change. Probes snapshot the generation before the (slow)
+// network call and their outcome is applied only if it still matches:
+// a probe success that raced a routing-driven ejection is evidence from
+// before the ejection and must not readmit the node.
+type nodeHealth struct {
+	state State
+	gen   uint64
 }
 
 // NewChecker builds a checker with every node Healthy.
@@ -90,11 +100,11 @@ func NewChecker(r *Ring, opts CheckerOptions) *Checker {
 	c := &Checker{
 		ring:   r,
 		opts:   opts,
-		state:  make(map[string]State),
+		state:  make(map[string]*nodeHealth),
 		gauges: make(map[string]*obs.Gauge),
 	}
 	for _, n := range r.Nodes() {
-		c.state[n.Name] = Healthy
+		c.state[n.Name] = &nodeHealth{state: Healthy}
 		c.gauges[n.Name] = obs.G("ring.replica_state[node=" + n.Name + "]")
 		c.gauges[n.Name].Set(int64(Healthy))
 	}
@@ -105,7 +115,10 @@ func NewChecker(r *Ring, opts CheckerOptions) *Checker {
 func (c *Checker) State(name string) State {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.state[name]
+	if nh, ok := c.state[name]; ok {
+		return nh.state
+	}
+	return Healthy
 }
 
 // States returns a snapshot of every node's state.
@@ -114,7 +127,7 @@ func (c *Checker) States() map[string]State {
 	defer c.mu.Unlock()
 	out := make(map[string]State, len(c.state))
 	for k, v := range c.state {
-		out[k] = v
+		out[k] = v.state
 	}
 	return out
 }
@@ -136,31 +149,41 @@ func (c *Checker) ReportSuccess(name string) {
 // ReportFailure records a failed request to a node: Healthy → Probation,
 // Probation → Ejected.
 func (c *Checker) ReportFailure(name string) {
-	c.transition(name, func(s State) State {
-		switch s {
-		case Healthy:
-			mProbations.Inc()
-			return Probation
-		case Probation:
-			mEjections.Inc()
-			return Ejected
-		}
-		return s
-	})
+	c.transition(name, downward)
 }
 
-// reportProbe folds one active-probe outcome in. A probe success readmits
-// an Ejected node to Probation (not straight to Healthy: it must survive
-// one real request first) and heals Probation → Healthy; a probe failure
-// walks the same downward path as a routing failure, so a dead-but-idle
-// replica is ejected by the prober alone.
-func (c *Checker) reportProbe(name string, err error) {
+// downward is the shared failure path: Healthy → Probation → Ejected.
+func downward(s State) State {
+	switch s {
+	case Healthy:
+		mProbations.Inc()
+		return Probation
+	case Probation:
+		mEjections.Inc()
+		return Ejected
+	}
+	return s
+}
+
+// reportProbe folds one active-probe outcome in, but only if the node's
+// generation still matches the snapshot taken before the probe started —
+// a probe is a slow observation, and if the state changed underneath it
+// (say, two routing failures ejected the node mid-probe) its verdict
+// describes a node that no longer exists and is dropped. Without the
+// guard, the stale success readmits a just-ejected node and the router
+// resumes sending real traffic to a replica only the prober should
+// touch. A fresh probe success readmits an Ejected node to Probation
+// (not straight to Healthy: it must survive one real request first) and
+// heals Probation → Healthy; a probe failure walks the same downward
+// path as a routing failure, so a dead-but-idle replica is ejected by
+// the prober alone.
+func (c *Checker) reportProbe(name string, gen uint64, err error) {
 	if err != nil {
 		mProbeFailures.Inc()
-		c.ReportFailure(name)
+		c.transitionIf(name, gen, downward)
 		return
 	}
-	c.transition(name, func(s State) State {
+	c.transitionIf(name, gen, func(s State) State {
 		switch s {
 		case Ejected:
 			return Probation
@@ -175,15 +198,46 @@ func (c *Checker) reportProbe(name string, err error) {
 func (c *Checker) transition(name string, f func(State) State) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	old, ok := c.state[name]
+	c.apply(name, f)
+}
+
+// transitionIf applies f only if the node's generation still equals gen
+// — the compare-and-swap that keeps stale probe outcomes from clobbering
+// fresher passive signals.
+func (c *Checker) transitionIf(name string, gen uint64, f func(State) State) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if nh, ok := c.state[name]; !ok || nh.gen != gen {
+		return
+	}
+	c.apply(name, f)
+}
+
+// apply runs one transition under c.mu, bumping the generation on any
+// state change.
+func (c *Checker) apply(name string, f func(State) State) {
+	nh, ok := c.state[name]
 	if !ok {
 		return // not a ring member
 	}
-	next := f(old)
-	if next != old {
-		c.state[name] = next
+	next := f(nh.state)
+	if next != nh.state {
+		nh.state = next
+		nh.gen++
 		c.gauges[name].Set(int64(next))
 	}
+}
+
+// generation snapshots a node's current generation for a probe about to
+// start.
+func (c *Checker) generation(name string) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nh, ok := c.state[name]
+	if !ok {
+		return 0, false
+	}
+	return nh.gen, true
 }
 
 // Order returns shard's replica group sorted for routing: Healthy nodes
@@ -196,13 +250,13 @@ func (c *Checker) Order(shard int) []Node {
 	defer c.mu.Unlock()
 	out := make([]Node, 0, len(group))
 	for _, n := range group {
-		if c.state[n.Name] != Ejected {
+		if c.state[n.Name].state != Ejected {
 			out = append(out, n)
 		}
 	}
 	// Stable: preserves circle-walk preference within each state class.
 	sort.SliceStable(out, func(i, j int) bool {
-		return c.state[out[i].Name] < c.state[out[j].Name]
+		return c.state[out[i].Name].state < c.state[out[j].Name].state
 	})
 	return out
 }
@@ -213,7 +267,7 @@ func (c *Checker) ShardHealthy(shard int) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, n := range c.ring.ReplicaGroup(shard) {
-		if c.state[n.Name] == Healthy {
+		if c.state[n.Name].state == Healthy {
 			return true
 		}
 	}
@@ -258,9 +312,13 @@ func (c *Checker) ProbeOnce(ctx context.Context) {
 		if ctx.Err() != nil {
 			return
 		}
+		gen, ok := c.generation(n.Name)
+		if !ok {
+			continue
+		}
 		pctx, cancel := context.WithTimeout(ctx, c.opts.ProbeTimeout)
 		err := c.opts.Probe(pctx, n)
 		cancel()
-		c.reportProbe(n.Name, err)
+		c.reportProbe(n.Name, gen, err)
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync/atomic"
 	"testing"
 )
 
@@ -222,12 +223,15 @@ func TestCheckerStateMachine(t *testing.T) {
 		t.Fatalf("routing success readmitted an ejected node: %v", got)
 	}
 
-	// Probe success: Ejected → Probation → Healthy.
-	c.reportProbe("a", nil)
+	// Probe success: Ejected → Probation → Healthy. Each probe snapshots
+	// the generation first, as ProbeOnce does.
+	gen, _ := c.generation("a")
+	c.reportProbe("a", gen, nil)
 	if got := c.State("a"); got != Probation {
 		t.Fatalf("probe success on ejected: %v, want Probation", got)
 	}
-	c.reportProbe("a", nil)
+	gen, _ = c.generation("a")
+	c.reportProbe("a", gen, nil)
 	if got := c.State("a"); got != Healthy {
 		t.Fatalf("probe success on probation: %v, want Healthy", got)
 	}
@@ -341,5 +345,54 @@ func TestProbeOnceDrivesTransitions(t *testing.T) {
 	c.ProbeOnce(canceled)
 	if got := c.State("a"); got != Healthy {
 		t.Fatalf("canceled probe round still transitioned: %v", got)
+	}
+}
+
+// TestStaleProbeSuccessCannotReadmit pins the probe/ejection race: a
+// probe observes a node while it is still routable, the node is ejected
+// by routing failures while the probe is in flight, and the probe's
+// (now stale) success must NOT readmit it — its evidence predates the
+// ejection. The generation guard drops the stale outcome; a fresh probe
+// round readmits as usual. Run under -race: the blocked probe goroutine
+// and the failure reports genuinely interleave.
+func TestStaleProbeSuccessCannotReadmit(t *testing.T) {
+	r, err := New(threeNodeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	c := NewChecker(r, CheckerOptions{
+		Probe: func(ctx context.Context, n Node) error {
+			if n.Name == "a" && calls.Add(1) == 1 {
+				close(started)
+				<-release
+			}
+			return nil
+		},
+	})
+	done := make(chan struct{})
+	go func() {
+		c.ProbeOnce(context.Background())
+		close(done)
+	}()
+	<-started
+	// The probe for "a" is in flight, holding a generation snapshot from
+	// when "a" was Healthy. Eject it out from under the probe.
+	c.ReportFailure("a")
+	c.ReportFailure("a")
+	if got := c.State("a"); got != Ejected {
+		t.Fatalf("setup: %v, want Ejected", got)
+	}
+	close(release)
+	<-done
+	if got := c.State("a"); got != Ejected {
+		t.Fatalf("stale probe success readmitted an ejected node: %v", got)
+	}
+	// A probe that starts after the ejection readmits normally.
+	c.ProbeOnce(context.Background())
+	if got := c.State("a"); got != Probation {
+		t.Fatalf("fresh probe after ejection: %v, want Probation", got)
 	}
 }

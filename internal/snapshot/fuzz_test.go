@@ -37,6 +37,26 @@ func FuzzReadSnapshot(f *testing.F) {
 	f.Add([]byte("NOTASNAPxxxxxxxxxxxxxxxxxxxxxxxx"))
 	f.Add([]byte{})
 
+	// Section-bearing seeds: Read validates trailing sections even though
+	// it discards their content, so the same invariant holds over the
+	// extended format. Seed the section header boundaries and a flip in
+	// the section's checksummed region (header fields + payload).
+	var sbuf bytes.Buffer
+	if err := WriteSections(&sbuf, testModel(),
+		Section{Kind: SectionKNNIndex, Version: KNNIndexVersion, Payload: []byte(`{"count":2}`)}); err != nil {
+		f.Fatal(err)
+	}
+	withSec := sbuf.Bytes()
+	f.Add(withSec)
+	for _, cut := range []int{len(good) + 1, len(good) + 8, len(good) + 28, len(withSec) - 9, len(withSec) - 1} {
+		if cut >= 0 && cut <= len(withSec) {
+			f.Add(withSec[:cut])
+		}
+	}
+	secFlip := append([]byte(nil), withSec...)
+	secFlip[len(good)+9] ^= 0x01 // inside the section kind field
+	f.Add(secFlip)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Read(bytes.NewReader(data))
 		if (m == nil) == (err == nil) {

@@ -132,9 +132,22 @@ func Write(w io.Writer, m *Model) error {
 	return nil
 }
 
-// Read parses a snapshot envelope: magic and version checks first, then
-// the payload checksum, and only then the JSON decode.
+// Read parses a snapshot: the model envelope plus full validation of any
+// trailing sections (see section.go), whose contents are discarded. Use
+// ReadSections to keep them. Validating the tail even when it's unwanted
+// keeps Read's contract whole-file: a snapshot Read accepts has no
+// corrupt byte anywhere, which the replica snapshot-push handler and the
+// corruption tests rely on.
 func Read(r io.Reader) (*Model, error) {
+	m, _, err := ReadSections(r)
+	return m, err
+}
+
+// readModel parses the model envelope alone: magic and version checks
+// first, then the payload checksum, and only then the JSON decode. It
+// consumes exactly the envelope's bytes, leaving the reader at the first
+// trailing section (or EOF).
+func readModel(r io.Reader) (*Model, error) {
 	var head [24]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return nil, fmt.Errorf("snapshot: read header: %w", err)
