@@ -23,6 +23,7 @@ func cmdClient(ctx context.Context, args []string) error {
 	limit := fs.Int("limit", 0, "cap on contexts sent (0 = all)")
 	prior := fs.String("prior", "", "pin the degraded-mode prior label (default: learned from /v1/model)")
 	batch := fs.Bool("batch", false, "send everything as one /v1/predict/batch request instead of per-context calls")
+	deadline := fs.Duration("deadline", 0, "per-request budget: stamped as X-Deadline-Ms and stops retries it cannot fund (0 = none)")
 	verbose := fs.Bool("v", false, "print one line per prediction, not just the summary")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,17 +60,31 @@ func cmdClient(ctx context.Context, args []string) error {
 		fmt.Fprintln(os.Stderr, "client: /v1/model unavailable:", err)
 	}
 
+	// budgeted derives the per-request context: with -deadline the client
+	// stamps the remaining budget as X-Deadline-Ms and gives up on retries
+	// the budget cannot fund (client.ErrBudgetExhausted).
+	budgeted := func() (context.Context, context.CancelFunc) {
+		if *deadline > 0 {
+			return context.WithTimeout(ctx, *deadline)
+		}
+		return ctx, func() {}
+	}
+
 	var preds []client.Prediction
 	failed := 0
 	if *batch {
-		preds, err = cl.PredictBatch(ctx, wire)
+		bctx, cancel := budgeted()
+		preds, err = cl.PredictBatch(bctx, wire)
+		cancel()
 		if err != nil {
 			return err
 		}
 	} else {
 		preds = make([]client.Prediction, 0, len(wire))
 		for i, wc := range wire {
-			p, err := cl.Predict(ctx, wc)
+			rctx, cancel := budgeted()
+			p, err := cl.Predict(rctx, wc)
+			cancel()
 			if err != nil {
 				// Per-context failures are the client's normal weather —
 				// keep going so the breaker can open and later contexts

@@ -31,9 +31,11 @@ func cmdLoadtest(ctx context.Context, args []string) error {
 	conc := fs.Int("c", 0, "concurrent in-flight requests (0 = one per CPU)")
 	duration := fs.Duration("duration", 10*time.Second, "arrival-schedule window")
 	reqTimeout := fs.Duration("reqtimeout", 5*time.Second, "per-request timeout")
+	deadline := fs.Duration("deadline", 0, "stamp each request with this X-Deadline-Ms budget so deadline-aware servers fast-fail doomed work (0 = off)")
 	sloP99 := fs.Duration("slo-p99", 0, "fail the run when p99 latency exceeds this (0 = off)")
 	sloErrors := fs.Float64("slo-errors", 0, "fail the run when the error rate exceeds this fraction (negative = off)")
 	sloShed := fs.Float64("slo-shed", -1, "fail the run when the 503-shed rate exceeds this fraction (negative = off)")
+	sloTimeouts := fs.Float64("slo-timeouts", -1, "fail the run when the timeout rate (504s + transport timeouts) exceeds this fraction (negative = off)")
 	sloMinQPS := fs.Float64("slo-minqps", 0, "fail the run when achieved throughput falls below this (0 = off)")
 	out := fs.String("out", "", "artifact path (default LOAD_<date>.json; \"-\" to skip the file)")
 	asJSON := fs.Bool("json", false, "print the result as JSON on stdout")
@@ -86,11 +88,13 @@ func cmdLoadtest(ctx context.Context, args []string) error {
 		Concurrency:    *conc,
 		Duration:       *duration,
 		RequestTimeout: *reqTimeout,
+		Deadline:       *deadline,
 		SLO: loadtest.SLO{
-			MaxP99:       *sloP99,
-			MaxErrorRate: *sloErrors,
-			MaxShedRate:  *sloShed,
-			MinQPS:       *sloMinQPS,
+			MaxP99:         *sloP99,
+			MaxErrorRate:   *sloErrors,
+			MaxShedRate:    *sloShed,
+			MaxTimeoutRate: *sloTimeouts,
+			MinQPS:         *sloMinQPS,
 		},
 	}
 	if *model != "" {
@@ -120,8 +124,8 @@ func cmdLoadtest(ctx context.Context, args []string) error {
 	} else {
 		fmt.Printf("loadtest: %d requests in %.1fs (offered %.0f qps, achieved %.1f qps, mode %s)\n",
 			res.Requests, res.ElapsedSec, res.TargetQPS, res.AchievedQPS, res.Mode)
-		fmt.Printf("  outcomes: %d ok, %d abstain, %d degraded, %d shed, %d errors\n",
-			res.OK, res.Abstain, res.Degraded, res.Shed, res.Errors)
+		fmt.Printf("  outcomes: %d ok, %d abstain, %d degraded, %d shed, %d timeouts, %d errors\n",
+			res.OK, res.Abstain, res.Degraded, res.Shed, res.Timeouts, res.Errors)
 		fmt.Printf("  latency: p50 %v  p90 %v  p99 %v  p999 %v  max %v\n",
 			time.Duration(res.Latency.P50NS), time.Duration(res.Latency.P90NS),
 			time.Duration(res.Latency.P99NS), time.Duration(res.Latency.P999NS),

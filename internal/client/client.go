@@ -46,6 +46,29 @@ var (
 // with no prior label to degrade to.
 var ErrBreakerOpen = errors.New("client: circuit breaker open")
 
+// ErrBudgetExhausted reports a retry loop stopped early because the
+// caller's remaining context budget could not cover another useful
+// attempt (the next backoff sleep plus one full RequestTimeout). Match
+// with errors.Is; the underlying transient failure is wrapped.
+var ErrBudgetExhausted = errors.New("client: deadline budget exhausted")
+
+// budgetError carries ErrBudgetExhausted identity plus the transient
+// cause that would otherwise have been retried.
+type budgetError struct {
+	need      time.Duration
+	remaining time.Duration
+	cause     error
+}
+
+func (e *budgetError) Error() string {
+	return fmt.Sprintf("client: deadline budget exhausted: %s remaining, next attempt needs %s (last failure: %v)",
+		e.remaining, e.need, e.cause)
+}
+
+func (e *budgetError) Unwrap() error { return e.cause }
+
+func (e *budgetError) Is(target error) bool { return target == ErrBudgetExhausted }
+
 // Options configures the client. The zero value is usable given a
 // BaseURL.
 type Options struct {
@@ -289,7 +312,24 @@ func (c *Client) do(ctx context.Context, method, path, key string, body []byte, 
 	retry := c.opts.Retry
 	retry.Retryable = transient
 	err := retry.Do(ctx, func(attempt int) error {
-		return c.sweep(ctx, method, path, key, rid, body, out, attempt)
+		serr := c.sweep(ctx, method, path, key, rid, body, out, attempt)
+		if serr == nil || !transient(serr) {
+			return serr
+		}
+		// This transient failure would now sleep and retry. When the
+		// caller's remaining budget cannot cover the next backoff sleep
+		// plus one full attempt, that retry is doomed to die mid-flight —
+		// return the typed budget error (not retryable) so the caller
+		// gets a fast, honest answer instead of a late ctx timeout.
+		if attempt+1 < retry.Attempts && ctx != nil {
+			if dl, ok := ctx.Deadline(); ok {
+				need := nextSleepBound(retry, attempt, serr) + c.opts.RequestTimeout
+				if remaining := time.Until(dl); remaining < need {
+					return &budgetError{need: need, remaining: remaining, cause: serr}
+				}
+			}
+		}
+		return serr
 	})
 	if err != nil {
 		if obs.On() {
@@ -364,6 +404,16 @@ func (c *Client) attempt(ctx context.Context, baseURL, method, path, key, rid st
 		req.Header.Set("Content-Type", "application/json")
 	}
 	req.Header.Set("X-Request-ID", rid)
+	// Stamp the attempt's budget (the tighter of the caller's deadline
+	// and RequestTimeout — actx carries both) so the server can fast-fail
+	// a request it cannot finish in time instead of timing out silently.
+	if dl, ok := actx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 0 {
+			ms = 0
+		}
+		req.Header.Set(serve.DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
 	resp, err := c.opts.HTTPClient.Do(req)
 	if err != nil {
 		// The caller's context ending is final; this attempt's timeout
@@ -405,10 +455,39 @@ func recoveredErr(r any) error {
 	return fmt.Errorf("client: recovered panic: %v", r)
 }
 
+// nextSleepBound is an upper bound on the sleep the retry policy will
+// take before attempt+1: the exponential backoff (doubled attempt times,
+// capped), or the server's Retry-After hint when it asks for longer.
+// Jitter only shortens sleeps, so the un-jittered backoff is the bound.
+func nextSleepBound(p faults.RetryPolicy, attempt int, err error) time.Duration {
+	sleep := p.Backoff
+	for i := 0; i < attempt; i++ {
+		sleep *= 2
+		if p.MaxBackoff > 0 && sleep > p.MaxBackoff {
+			sleep = p.MaxBackoff
+			break
+		}
+	}
+	var hinter faults.RetryAfterHinter
+	if errors.As(err, &hinter) {
+		if hint, ok := hinter.RetryAfterHint(); ok && hint > sleep {
+			sleep = hint
+		}
+	}
+	return sleep
+}
+
 // transient classifies an attempt failure for the retry loop: injected
 // faults, transport errors, per-attempt timeouts and 5xx/429 retry;
-// other HTTP errors and caller cancellation do not.
+// other HTTP errors, caller cancellation, and budget exhaustion do not.
+// The budget check comes first: a budgetError wraps a transient cause,
+// and unwrapping past it would turn the deliberate stop back into a
+// retry.
 func transient(err error) bool {
+	var be *budgetError
+	if errors.As(err, &be) {
+		return false
+	}
 	if faults.IsInjected(err) {
 		return true
 	}

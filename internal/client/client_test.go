@@ -348,6 +348,107 @@ func TestCancelMidBackoff(t *testing.T) {
 	}
 }
 
+// TestBudgetExhaustedStopsRetries: when the caller's remaining deadline
+// cannot cover the next backoff sleep plus one full attempt, the retry
+// loop stops immediately with ErrBudgetExhausted instead of launching a
+// doomed attempt that dies mid-flight.
+func TestBudgetExhaustedStopsRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"saturated"}`)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{
+		BaseURL:        ts.URL,
+		RequestTimeout: 5 * time.Second,
+		Retry:          faults.RetryPolicy{Attempts: 3, Backoff: time.Millisecond, MaxBackoff: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget of 1s < 1ms sleep + 5s RequestTimeout: the first transient
+	// failure must end the loop.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	t0 := time.Now()
+	_, err = c.Predict(ctx, wire("q", 1))
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no doomed retries)", got)
+	}
+	if elapsed := time.Since(t0); elapsed > 500*time.Millisecond {
+		t.Fatalf("budget-exhausted predict took %v; should fail fast", elapsed)
+	}
+	// The transient cause stays inspectable through the wrapper.
+	var herr interface{ StatusCode() int }
+	if !errors.As(err, &herr) || herr.StatusCode() != http.StatusServiceUnavailable {
+		t.Fatalf("budget error does not wrap the 503 cause: %v", err)
+	}
+}
+
+// TestBudgetAllowsRetryWhenRoomy: a generous deadline leaves the retry
+// behavior untouched.
+func TestBudgetAllowsRetryWhenRoomy(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"measure":"variance","ok":true}`)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{BaseURL: ts.URL, RequestTimeout: time.Second, Retry: fastRetry(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	p, err := c.Predict(ctx, wire("q", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Measure != "variance" || calls.Load() != 2 {
+		t.Fatalf("predict = %+v after %d calls, want variance after 2", p, calls.Load())
+	}
+}
+
+// TestDeadlineHeaderStamped: every attempt carries X-Deadline-Ms derived
+// from its per-attempt context so servers can budget admission.
+func TestDeadlineHeaderStamped(t *testing.T) {
+	var sawMs atomic.Int64
+	sawMs.Store(-1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if v := r.Header.Get(serve.DeadlineHeader); v != "" {
+			var ms int64
+			fmt.Sscanf(v, "%d", &ms)
+			sawMs.Store(ms)
+		}
+		fmt.Fprint(w, `{"measure":"variance","ok":true}`)
+	}))
+	defer ts.Close()
+
+	c, err := New(Options{BaseURL: ts.URL, RequestTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict(context.Background(), wire("q", 1)); err != nil {
+		t.Fatal(err)
+	}
+	ms := sawMs.Load()
+	// The per-attempt budget is RequestTimeout (2s) minus scheduling
+	// slop; anything in (0, 2000] proves the stamp is real and bounded.
+	if ms <= 0 || ms > 2000 {
+		t.Fatalf("X-Deadline-Ms = %d, want in (0, 2000]", ms)
+	}
+}
+
 func TestInjectedFaultSite(t *testing.T) {
 	var calls atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -23,6 +23,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -110,6 +111,12 @@ const (
 	// SiteRingRepair guards one snapshot push of the self-healing repair
 	// loop (a failure leaves the replica stale until the next sweep).
 	SiteRingRepair = "ring.repair"
+	// SiteServeSlow is the gray-failure site: a latency-only probe on the
+	// replica candidates path, addressed per node as serve.slow.<node> so
+	// one replica of a ring can be skewed while its peers stay fast (the
+	// prefix-matched Sites filter selects the node). It never fails a
+	// request — that is exactly what makes the failure gray.
+	SiteServeSlow = "serve.slow"
 )
 
 // Sites lists every named injection site (for docs, tests, and chaos
@@ -129,6 +136,7 @@ func Sites() []string {
 		SiteRingRoute,
 		SiteRingHealth,
 		SiteRingRepair,
+		SiteServeSlow,
 	}
 }
 
@@ -207,15 +215,38 @@ var (
 // mInjectedAt splits faults.injected per site. Every named site is
 // pre-registered (not lazily created on first fire), so the /metrics
 // surface exports a stable zero-valued series for each fault site even
-// before — or without — the injector ever firing there.
-var mInjectedAt = func() map[string]*obs.Counter {
-	sites := Sites()
-	m := make(map[string]*obs.Counter, len(sites))
-	for _, s := range sites {
-		m[s] = obs.C("faults.injected[site=" + s + "]")
+// before — or without — the injector ever firing there. Derived sites
+// (serve.slow.<node>) are added through RegisterSite, hence the lock.
+var (
+	injectedAtMu sync.RWMutex
+	mInjectedAt  = func() map[string]*obs.Counter {
+		sites := Sites()
+		m := make(map[string]*obs.Counter, len(sites))
+		for _, s := range sites {
+			m[s] = obs.C("faults.injected[site=" + s + "]")
+		}
+		return m
+	}()
+)
+
+// RegisterSite pre-registers the injection counter for a derived site
+// name (e.g. serve.slow.<node>), so per-node chaos sites get the same
+// stable /metrics series as the static ones. Idempotent.
+func RegisterSite(site string) {
+	injectedAtMu.Lock()
+	defer injectedAtMu.Unlock()
+	if _, ok := mInjectedAt[site]; !ok {
+		mInjectedAt[site] = obs.C("faults.injected[site=" + site + "]")
 	}
-	return m
-}()
+}
+
+// siteCounter looks up a site's injection counter (nil for unregistered
+// derived sites — the aggregate faults.injected still counts them).
+func siteCounter(site string) *obs.Counter {
+	injectedAtMu.RLock()
+	defer injectedAtMu.RUnlock()
+	return mInjectedAt[site]
+}
 
 // Enable arms the injector with cfg. Passing Prob <= 0 disables it.
 func Enable(cfg Config) {
@@ -349,7 +380,7 @@ func Inject(site, key string, allowed Kind) error {
 	h2 := hash64(inj.cfg.Seed^0x9E3779B97F4A7C15, site, key)
 	k := flavors[int(h2%uint64(len(flavors)))]
 	mInjected.Inc()
-	if c := mInjectedAt[site]; c != nil {
+	if c := siteCounter(site); c != nil {
 		c.Inc()
 	}
 	switch k {

@@ -30,6 +30,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,10 @@ type SLO struct {
 	MaxErrorRate float64 `json:"max_error_rate"`
 	// MaxShedRate bounds 503-shed/requests. Negative disables.
 	MaxShedRate float64 `json:"max_shed_rate"`
+	// MaxTimeoutRate bounds timeouts/requests (504 deadline rejections
+	// plus transport-level timeouts). Negative disables; 0 demands
+	// perfection.
+	MaxTimeoutRate float64 `json:"max_timeout_rate"`
 	// MinQPS asserts a floor on achieved (completed) throughput.
 	MinQPS float64 `json:"min_qps,omitempty"`
 }
@@ -82,9 +87,18 @@ type Options struct {
 	Duration time.Duration
 	// RequestTimeout bounds one request. Default 5s.
 	RequestTimeout time.Duration
+	// Deadline, when positive, stamps each request with an X-Deadline-Ms
+	// budget so deadline-aware servers can fast-fail work they cannot
+	// finish in time. Those 504s land in the timeout outcome class, not
+	// errors.
+	Deadline time.Duration
 	// SLO is the pass/fail contract checked into Result.Violations.
 	SLO SLO
 }
+
+// deadlineHeader mirrors serve.DeadlineHeader without pulling the whole
+// serving stack into the load generator.
+const deadlineHeader = "X-Deadline-Ms"
 
 func (o Options) withDefaults() Options {
 	if o.Path == "" {
@@ -145,6 +159,11 @@ type Result struct {
 	Degraded uint64 `json:"degraded"`
 	// Shed counts 503s (load-shed or fault-degraded).
 	Shed uint64 `json:"shed"`
+	// Timeouts counts deadline-exceeded outcomes: 504s from
+	// deadline-aware servers and transport-level timeouts. They are
+	// their own class — a budget the server honestly declined is not a
+	// server error.
+	Timeouts uint64 `json:"timeouts"`
 	// Errors counts transport failures and unexpected statuses.
 	Errors uint64 `json:"errors"`
 	// Dropped counts scheduled arrivals never sent because the run
@@ -157,6 +176,7 @@ type Result struct {
 	AchievedQPS  float64 `json:"achieved_qps"`
 	ErrorRate    float64 `json:"error_rate"`
 	ShedRate     float64 `json:"shed_rate"`
+	TimeoutRate  float64 `json:"timeout_rate"`
 	DegradedRate float64 `json:"degraded_rate"`
 
 	Latency LatencySummary `json:"latency"`
@@ -244,6 +264,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		res.Abstain += ws.abstain
 		res.Degraded += ws.degraded
 		res.Shed += ws.shed
+		res.Timeouts += ws.timeouts
 		res.Errors += ws.errors
 		res.Dropped += ws.dropped
 		for code, n := range ws.statuses {
@@ -252,10 +273,11 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		hist.merge(ws.hist)
 	}
 	res.Errors += res.Dropped
-	res.Requests = res.OK + res.Abstain + res.Degraded + res.Shed + res.Errors
+	res.Requests = res.OK + res.Abstain + res.Degraded + res.Shed + res.Timeouts + res.Errors
 	if res.Requests > 0 {
 		res.ErrorRate = float64(res.Errors) / float64(res.Requests)
 		res.ShedRate = float64(res.Shed) / float64(res.Requests)
+		res.TimeoutRate = float64(res.Timeouts) / float64(res.Requests)
 		res.DegradedRate = float64(res.Degraded) / float64(res.Requests)
 	}
 	if elapsed > 0 {
@@ -281,6 +303,10 @@ func (r *Result) checkSLO(slo SLO) []string {
 		v = append(v, fmt.Sprintf("shed rate %.4f exceeds SLO %.4f (%d/%d)",
 			r.ShedRate, slo.MaxShedRate, r.Shed, r.Requests))
 	}
+	if slo.MaxTimeoutRate >= 0 && r.TimeoutRate > slo.MaxTimeoutRate {
+		v = append(v, fmt.Sprintf("timeout rate %.4f exceeds SLO %.4f (%d/%d)",
+			r.TimeoutRate, slo.MaxTimeoutRate, r.Timeouts, r.Requests))
+	}
 	if slo.MinQPS > 0 && r.AchievedQPS < slo.MinQPS {
 		v = append(v, fmt.Sprintf("achieved %.1f qps below SLO floor %.1f", r.AchievedQPS, slo.MinQPS))
 	}
@@ -290,9 +316,9 @@ func (r *Result) checkSLO(slo SLO) []string {
 // workerState is one worker's private tallies; no other goroutine
 // touches it until the post-run merge.
 type workerState struct {
-	ok, abstain, degraded, shed, errors, dropped uint64
-	statuses                                     map[int]uint64
-	hist                                         *hdrHist
+	ok, abstain, degraded, shed, timeouts, errors, dropped uint64
+	statuses                                               map[int]uint64
+	hist                                                   *hdrHist
 }
 
 func newWorkerState() *workerState {
@@ -329,8 +355,8 @@ func runWorker(ctx context.Context, ws *workerState, seq *atomic.Uint64,
 		if ctx.Err() != nil {
 			return
 		}
-		status, degraded, abstain := doRequest(ctx, hc,
-			bases[i%uint64(len(bases))]+o.Path, o.Bodies[i%uint64(len(o.Bodies))])
+		status, degraded, abstain, timedOut := doRequest(ctx, hc,
+			bases[i%uint64(len(bases))]+o.Path, o.Bodies[i%uint64(len(o.Bodies))], o.Deadline)
 		ws.hist.record(uint64(time.Since(sched)))
 		ws.statuses[status]++
 		switch {
@@ -340,6 +366,8 @@ func runWorker(ctx context.Context, ws *workerState, seq *atomic.Uint64,
 			ws.abstain++
 		case status == http.StatusOK:
 			ws.ok++
+		case status == http.StatusGatewayTimeout || timedOut:
+			ws.timeouts++
 		case status == http.StatusServiceUnavailable:
 			ws.shed++
 		default:
@@ -349,33 +377,48 @@ func runWorker(ctx context.Context, ws *workerState, seq *atomic.Uint64,
 }
 
 // doRequest sends one request and classifies the answer. status 0 means
-// a transport-level failure.
-func doRequest(ctx context.Context, hc *http.Client, url string, body []byte) (status int, degraded, abstain bool) {
+// a transport-level failure; timedOut marks transport failures that were
+// timeouts (per-request budget ran out in flight).
+func doRequest(ctx context.Context, hc *http.Client, url string, body []byte, deadline time.Duration) (status int, degraded, abstain, timedOut bool) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
-		return 0, false, false
+		return 0, false, false, false
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if deadline > 0 {
+		req.Header.Set(deadlineHeader, fmt.Sprintf("%d", deadline.Milliseconds()))
+	}
 	resp, err := hc.Do(req)
 	if err != nil {
-		return 0, false, false
+		return 0, false, false, isTimeout(err)
 	}
 	defer resp.Body.Close()
 	blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return 0, false, false
+		return 0, false, false, isTimeout(err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return resp.StatusCode, false, false
+		return resp.StatusCode, false, false, false
 	}
 	var pr struct {
 		OK       bool `json:"ok"`
 		Fallback bool `json:"fallback"`
 	}
 	if err := json.Unmarshal(blob, &pr); err != nil {
-		return 0, false, false
+		return 0, false, false, false
 	}
-	return http.StatusOK, pr.Fallback, !pr.OK && !pr.Fallback
+	return http.StatusOK, pr.Fallback, !pr.OK && !pr.Fallback, false
+}
+
+// isTimeout reports whether a transport failure was a timeout: the
+// http.Client per-request timeout, a context deadline, or a net-level
+// timeout condition.
+func isTimeout(err error) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var nerr net.Error
+	return errors.As(err, &nerr) && nerr.Timeout()
 }
 
 // handlerTransport drives an http.Handler without a socket: each

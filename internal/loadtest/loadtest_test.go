@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sort"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -102,6 +103,19 @@ func TestRunClassifiesOutcomes(t *testing.T) {
 				t.Fatalf("abstentions misclassified: %+v", r)
 			}
 		}},
+		{"timeout", func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, `{"error":"serve.deadline_rejected"}`, http.StatusGatewayTimeout)
+		}, func(t *testing.T, r *Result) {
+			if r.Timeouts != r.Requests || r.Errors != 0 || r.Shed != 0 {
+				t.Fatalf("504s must count as timeouts, not errors or shed: %+v", r)
+			}
+			if r.TimeoutRate != 1 {
+				t.Fatalf("timeout rate = %v", r.TimeoutRate)
+			}
+			if len(r.Violations) == 0 {
+				t.Fatal("timeout-rate SLO did not fire")
+			}
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -111,7 +125,7 @@ func TestRunClassifiesOutcomes(t *testing.T) {
 				QPS:         400,
 				Concurrency: 2,
 				Duration:    100 * time.Millisecond,
-				SLO:         SLO{MaxErrorRate: 0, MaxShedRate: 0},
+				SLO:         SLO{MaxErrorRate: 0, MaxShedRate: 0, MaxTimeoutRate: 0},
 			})
 			if err != nil {
 				t.Fatal(err)
@@ -289,5 +303,53 @@ func TestMultiTargetRoundRobin(t *testing.T) {
 		if got := counts[i].Load(); got < total/(2*n) {
 			t.Fatalf("target %d got %d of %d requests — not round-robined", i, got, total)
 		}
+	}
+}
+
+// TestDeadlineStampAndTransportTimeout: Options.Deadline stamps the
+// X-Deadline-Ms header on every request, and transport-level timeouts
+// (the per-request budget dying in flight) land in the timeout class,
+// not errors.
+func TestDeadlineStampAndTransportTimeout(t *testing.T) {
+	var stamped atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(deadlineHeader) != "" {
+			stamped.Add(1)
+		}
+		time.Sleep(80 * time.Millisecond)
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	res, err := Run(context.Background(), Options{
+		BaseURL:        ts.URL,
+		Bodies:         body(),
+		QPS:            100,
+		Concurrency:    4,
+		Duration:       100 * time.Millisecond,
+		RequestTimeout: 10 * time.Millisecond,
+		Deadline:       10 * time.Millisecond,
+		SLO:            SLO{MaxErrorRate: 0, MaxShedRate: -1, MaxTimeoutRate: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stamped.Load() == 0 {
+		t.Fatal("no request carried the deadline header")
+	}
+	if res.Timeouts == 0 || res.Errors != 0 {
+		t.Fatalf("in-flight timeouts misclassified: %+v", res)
+	}
+	if res.TimeoutRate != 1 {
+		t.Fatalf("timeout rate = %v, want 1 (every request outlives its budget)", res.TimeoutRate)
+	}
+	fired := false
+	for _, v := range res.Violations {
+		if strings.Contains(v, "timeout rate") {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatalf("timeout-rate SLO did not fire: %v", res.Violations)
 	}
 }

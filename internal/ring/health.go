@@ -17,6 +17,15 @@ type State int
 const (
 	// Healthy replicas are preferred routing targets.
 	Healthy State = iota
+	// Degraded replicas are gray failures: they answer (no liveness
+	// signal condemns them) but at latency far above their peers'. They
+	// stay routable — ejecting on latency alone would trade a slow answer
+	// for a lost replica — but sort behind every Healthy peer in Order,
+	// so they see traffic only when the fast replicas cannot answer.
+	// Degraded is a latency overlay on Healthy, not a rung of the
+	// failure machine: a request failure moves the node to Probation
+	// exactly as it would a Healthy one.
+	Degraded
 	// Probation replicas recently failed (or just recovered from
 	// ejection): they are selectable only when no Healthy replica of the
 	// shard remains, and a single further failure ejects them. The
@@ -33,6 +42,8 @@ func (s State) String() string {
 	switch s {
 	case Healthy:
 		return "healthy"
+	case Degraded:
+		return "degraded"
 	case Probation:
 		return "probation"
 	case Ejected:
@@ -47,10 +58,12 @@ func (s State) String() string {
 type Probe func(ctx context.Context, n Node) error
 
 var (
-	mEjections     = obs.C("ring.ejections")
-	mProbations    = obs.C("ring.probations")
-	mRecoveries    = obs.C("ring.recoveries")
-	mProbeFailures = obs.C("ring.probe_failures")
+	mEjections        = obs.C("ring.ejections")
+	mProbations       = obs.C("ring.probations")
+	mRecoveries       = obs.C("ring.recoveries")
+	mProbeFailures    = obs.C("ring.probe_failures")
+	mDegraded         = obs.C("ring.degraded")
+	mDegradeRecovered = obs.C("ring.degrade_recovered")
 )
 
 // CheckerOptions tune the health checker.
@@ -61,12 +74,30 @@ type CheckerOptions struct {
 	ProbeTimeout time.Duration
 	// Probe is the active check; required for Run, unused otherwise.
 	Probe Probe
+
+	// LatencyWindow sizes the per-node rolling latency window behind
+	// gray-failure detection. <1 means 64 samples.
+	LatencyWindow int
+	// MinLatencySamples is how many samples a node needs before its
+	// latency opinion counts (for itself and for the peer baseline).
+	// <1 means 5.
+	MinLatencySamples int
+	// DegradeFactor: a node is Degraded while its latency EWMA exceeds
+	// max(DegradeFactor × peer-median EWMA, DegradeFloor), and recovers
+	// below half that threshold (hysteresis). <=0 means 3.
+	DegradeFactor float64
+	// DegradeFloor is the absolute latency below which a node is never
+	// Degraded, however slow relative to its peers — sub-millisecond
+	// spread is noise, not gray failure. <=0 means 2ms.
+	DegradeFloor time.Duration
 }
 
-// Checker tracks per-node health for a ring from two signal streams:
+// Checker tracks per-node health for a ring from three signal streams:
 // passive routing outcomes (ReportSuccess/ReportFailure from the router's
-// own requests) and an active probe loop (Run) that is the only way an
-// Ejected node gets back in. Metrics mirror every transition.
+// own requests), per-request latency observations (ReportLatency, the
+// gray-failure detector), and an active probe loop (Run) that is the
+// only way an Ejected node gets back in. Metrics mirror every
+// transition.
 type Checker struct {
 	ring *Ring
 	opts CheckerOptions
@@ -77,6 +108,10 @@ type Checker struct {
 	// shows every replica from startup (same idiom as the per-site fault
 	// counters in internal/faults).
 	gauges map[string]*obs.Gauge
+	// stateGauges count nodes per (effective) state —
+	// ring.replica_state[state=degraded] etc., the series the chaos
+	// smoke asserts on.
+	stateGauges map[State]*obs.Gauge
 }
 
 // nodeHealth is one node's state plus a generation counter bumped on
@@ -84,9 +119,26 @@ type Checker struct {
 // network call and their outcome is applied only if it still matches:
 // a probe success that raced a routing-driven ejection is evidence from
 // before the ejection and must not readmit the node.
+//
+// slow is the gray-failure overlay, kept outside the state machine (and
+// its generation guard): latency evidence and liveness evidence are
+// independent observations, and a probe verdict about liveness must not
+// be invalidated by a latency flip that happened mid-probe. A node's
+// effective State is Degraded while its base state is Healthy and slow
+// is set.
 type nodeHealth struct {
 	state State
 	gen   uint64
+	slow  bool
+	lat   *LatencyWindow
+}
+
+// effective folds the slowness overlay into the reported state.
+func (nh *nodeHealth) effective() State {
+	if nh.state == Healthy && nh.slow {
+		return Degraded
+	}
+	return nh.state
 }
 
 // NewChecker builds a checker with every node Healthy.
@@ -97,17 +149,34 @@ func NewChecker(r *Ring, opts CheckerOptions) *Checker {
 	if opts.ProbeTimeout <= 0 {
 		opts.ProbeTimeout = time.Second
 	}
+	if opts.LatencyWindow < 1 {
+		opts.LatencyWindow = 64
+	}
+	if opts.MinLatencySamples < 1 {
+		opts.MinLatencySamples = 5
+	}
+	if opts.DegradeFactor <= 0 {
+		opts.DegradeFactor = 3
+	}
+	if opts.DegradeFloor <= 0 {
+		opts.DegradeFloor = 2 * time.Millisecond
+	}
 	c := &Checker{
-		ring:   r,
-		opts:   opts,
-		state:  make(map[string]*nodeHealth),
-		gauges: make(map[string]*obs.Gauge),
+		ring:        r,
+		opts:        opts,
+		state:       make(map[string]*nodeHealth),
+		gauges:      make(map[string]*obs.Gauge),
+		stateGauges: make(map[State]*obs.Gauge),
+	}
+	for _, st := range []State{Healthy, Degraded, Probation, Ejected} {
+		c.stateGauges[st] = obs.G("ring.replica_state[state=" + st.String() + "]")
 	}
 	for _, n := range r.Nodes() {
-		c.state[n.Name] = &nodeHealth{state: Healthy}
+		c.state[n.Name] = &nodeHealth{state: Healthy, lat: NewLatencyWindow(opts.LatencyWindow)}
 		c.gauges[n.Name] = obs.G("ring.replica_state[node=" + n.Name + "]")
 		c.gauges[n.Name].Set(int64(Healthy))
 	}
+	c.recountLocked()
 	return c
 }
 
@@ -116,7 +185,7 @@ func (c *Checker) State(name string) State {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if nh, ok := c.state[name]; ok {
-		return nh.state
+		return nh.effective()
 	}
 	return Healthy
 }
@@ -127,9 +196,101 @@ func (c *Checker) States() map[string]State {
 	defer c.mu.Unlock()
 	out := make(map[string]State, len(c.state))
 	for k, v := range c.state {
-		out[k] = v.state
+		out[k] = v.effective()
 	}
 	return out
+}
+
+// Latency reports a node's windowed latency view: EWMA, p95, and sample
+// count. Zeroes for unknown nodes or before any observation.
+func (c *Checker) Latency(name string) (ewma, p95 time.Duration, n int) {
+	c.mu.Lock()
+	nh, ok := c.state[name]
+	c.mu.Unlock()
+	if !ok {
+		return 0, 0, 0
+	}
+	// The window has its own lock; c.mu only guards the map.
+	return nh.lat.EWMA(), nh.lat.Quantile(0.95), nh.lat.Count()
+}
+
+// ReportLatency feeds one real request outcome's latency into the
+// gray-failure detector. Callers report the service time of successful
+// calls, and the elapsed time of calls they abandoned (a cancelled hedge
+// loser): the latter under-reports the node's true latency but is still
+// a lower bound far above a healthy peer's, which is all detection
+// needs.
+//
+// Degradation is relative and hysteretic: a node enters Degraded when
+// its EWMA exceeds max(DegradeFactor × peer-median, DegradeFloor) and
+// leaves below half that threshold. The peer median makes the detector
+// self-calibrating — a uniformly slow tier degrades nobody — and the
+// floor keeps sub-millisecond spread from flagging anything.
+func (c *Checker) ReportLatency(name string, d time.Duration) {
+	c.mu.Lock()
+	nh, ok := c.state[name]
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	nh.lat.Observe(d)
+	c.reevaluateSlow()
+}
+
+// reevaluateSlow recomputes every node's slowness flag against the
+// current peer baseline.
+func (c *Checker) reevaluateSlow() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ewmas := make([]float64, 0, len(c.state))
+	for _, nh := range c.state {
+		if nh.lat.Count() >= c.opts.MinLatencySamples {
+			ewmas = append(ewmas, float64(nh.lat.EWMA()))
+		}
+	}
+	if len(ewmas) == 0 {
+		return
+	}
+	sort.Float64s(ewmas)
+	baseline := ewmas[(len(ewmas)-1)/2] // lower median
+	threshold := c.opts.DegradeFactor * baseline
+	if floor := float64(c.opts.DegradeFloor); threshold < floor {
+		threshold = floor
+	}
+	changed := false
+	for name, nh := range c.state {
+		if nh.lat.Count() < c.opts.MinLatencySamples {
+			continue
+		}
+		ewma := float64(nh.lat.EWMA())
+		switch {
+		case !nh.slow && ewma > threshold:
+			nh.slow = true
+			mDegraded.Inc()
+			changed = true
+		case nh.slow && ewma < threshold/2:
+			nh.slow = false
+			mDegradeRecovered.Inc()
+			changed = true
+		default:
+			continue
+		}
+		c.gauges[name].Set(int64(nh.effective()))
+	}
+	if changed {
+		c.recountLocked()
+	}
+}
+
+// recountLocked refreshes the per-state node-count gauges; c.mu held.
+func (c *Checker) recountLocked() {
+	counts := make(map[State]int64, 4)
+	for _, nh := range c.state {
+		counts[nh.effective()]++
+	}
+	for st, g := range c.stateGauges {
+		g.Set(counts[st])
+	}
 }
 
 // ReportSuccess records a successful request to a node. Probation →
@@ -224,7 +385,8 @@ func (c *Checker) apply(name string, f func(State) State) {
 	if next != nh.state {
 		nh.state = next
 		nh.gen++
-		c.gauges[name].Set(int64(next))
+		c.gauges[name].Set(int64(nh.effective()))
+		c.recountLocked()
 	}
 }
 
@@ -241,9 +403,9 @@ func (c *Checker) generation(name string) (uint64, bool) {
 }
 
 // Order returns shard's replica group sorted for routing: Healthy nodes
-// first (in circle-walk preference order), then Probation, never Ejected.
-// An empty result means the shard is unavailable and the caller must
-// degrade.
+// first (in circle-walk preference order), then Degraded, then Probation,
+// never Ejected. An empty result means the shard is unavailable and the
+// caller must degrade.
 func (c *Checker) Order(shard int) []Node {
 	group := c.ring.ReplicaGroup(shard)
 	c.mu.Lock()
@@ -256,13 +418,16 @@ func (c *Checker) Order(shard int) []Node {
 	}
 	// Stable: preserves circle-walk preference within each state class.
 	sort.SliceStable(out, func(i, j int) bool {
-		return c.state[out[i].Name].state < c.state[out[j].Name].state
+		return c.state[out[i].Name].effective() < c.state[out[j].Name].effective()
 	})
 	return out
 }
 
-// ShardHealthy reports whether shard has at least one Healthy replica —
-// the per-shard predicate behind the router's /readyz.
+// ShardHealthy reports whether shard has at least one serving replica —
+// the per-shard predicate behind the router's /readyz. Degraded counts:
+// a gray-slow replica still answers, so the shard is available (just not
+// fast), and flipping /readyz on latency alone would let one slow node
+// take a whole router out of the load balancer.
 func (c *Checker) ShardHealthy(shard int) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()

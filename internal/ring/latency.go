@@ -1,0 +1,117 @@
+package ring
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Gray-failure detection (DESIGN.md §13): liveness probes catch replicas
+// that stop answering, but a replica that answers 200s at 100x latency
+// looks perfectly healthy to them. The signal that exposes it is the
+// latency of REAL request outcomes, so the Checker keeps a rolling
+// LatencyWindow per node, fed by the router's routing results (successful
+// calls, and the elapsed time of hedged calls it cancelled — a censored
+// lower bound that is still evidence of slowness). A node whose EWMA
+// towers over its peers' is marked Degraded: it keeps serving (ejecting
+// on latency alone would trade a slow answer for a lost replica) but
+// sorts behind every healthy peer in Order, so it only sees traffic when
+// the fast replicas cannot answer.
+
+// latAlpha is the EWMA smoothing factor: heavy enough that a handful of
+// slow samples move the estimate, light enough that one outlier does not.
+const latAlpha = 0.25
+
+// LatencyWindow is a fixed-size rolling window of duration samples with
+// an incrementally maintained EWMA. Safe for concurrent use; all methods
+// are nil-safe so callers can thread an optional window unconditionally.
+type LatencyWindow struct {
+	mu      sync.Mutex
+	samples []float64 // ns, ring buffer
+	idx     int
+	n       int
+	ewma    float64 // ns
+}
+
+// NewLatencyWindow builds a window over the last size samples (size < 1
+// means 64).
+func NewLatencyWindow(size int) *LatencyWindow {
+	if size < 1 {
+		size = 64
+	}
+	return &LatencyWindow{samples: make([]float64, size)}
+}
+
+// Observe records one latency sample.
+func (w *LatencyWindow) Observe(d time.Duration) {
+	if w == nil {
+		return
+	}
+	ns := float64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	w.mu.Lock()
+	w.samples[w.idx] = ns
+	w.idx = (w.idx + 1) % len(w.samples)
+	if w.n < len(w.samples) {
+		w.n++
+	}
+	if w.n == 1 {
+		w.ewma = ns
+	} else {
+		w.ewma = latAlpha*ns + (1-latAlpha)*w.ewma
+	}
+	w.mu.Unlock()
+}
+
+// Count reports how many samples the window holds (saturates at its
+// size).
+func (w *LatencyWindow) Count() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}
+
+// EWMA returns the exponentially weighted moving average latency, or 0
+// with no samples.
+func (w *LatencyWindow) EWMA() time.Duration {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return time.Duration(w.ewma)
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) of the windowed samples,
+// or 0 with no samples. It sorts a copy — callers are pacing decisions
+// and status pages, not per-sample hot paths.
+func (w *LatencyWindow) Quantile(q float64) time.Duration {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	n := w.n
+	cp := make([]float64, n)
+	copy(cp, w.samples[:n])
+	w.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Float64s(cp)
+	if q <= 0 {
+		return time.Duration(cp[0])
+	}
+	if q >= 1 {
+		return time.Duration(cp[n-1])
+	}
+	i := int(q * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return time.Duration(cp[i])
+}

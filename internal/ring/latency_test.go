@@ -1,0 +1,164 @@
+package ring
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyWindowObserveAndQuantile(t *testing.T) {
+	w := NewLatencyWindow(8)
+	if w.Count() != 0 || w.EWMA() != 0 || w.Quantile(0.95) != 0 {
+		t.Fatal("empty window must report zeroes")
+	}
+	for i := 1; i <= 8; i++ {
+		w.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count = %d, want 8", w.Count())
+	}
+	if p50 := w.Quantile(0.5); p50 < 4*time.Millisecond || p50 > 6*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~5ms", p50)
+	}
+	if p95 := w.Quantile(0.95); p95 < 7*time.Millisecond {
+		t.Fatalf("p95 = %v, want near the max", p95)
+	}
+	// The ring buffer evicts oldest: after 8 more large samples, small
+	// ones are gone from the quantiles.
+	for i := 0; i < 8; i++ {
+		w.Observe(100 * time.Millisecond)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("count after wrap = %d, want window size 8", w.Count())
+	}
+	if p50 := w.Quantile(0.5); p50 != 100*time.Millisecond {
+		t.Fatalf("p50 after wrap = %v, want 100ms", p50)
+	}
+	if w.EWMA() <= 0 {
+		t.Fatal("EWMA never updated")
+	}
+	// nil receivers are inert, not panics.
+	var nilw *LatencyWindow
+	nilw.Observe(time.Millisecond)
+	if nilw.Count() != 0 || nilw.EWMA() != 0 || nilw.Quantile(0.5) != 0 {
+		t.Fatal("nil window must report zeroes")
+	}
+}
+
+// feedLatency reports n identical observations for a node.
+func feedLatency(c *Checker, name string, d time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		c.ReportLatency(name, d)
+	}
+}
+
+// TestGrayFailureDegradesAndRecovers: a node answering 40x slower than
+// its peers becomes Degraded (without any failure report), stays
+// routable, and recovers once its latency falls back under half the
+// threshold.
+func TestGrayFailureDegradesAndRecovers(t *testing.T) {
+	r, err := New(threeNodeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(r, CheckerOptions{})
+
+	feedLatency(c, "a", 500*time.Microsecond, 6)
+	feedLatency(c, "b", 500*time.Microsecond, 6)
+	if got := c.State("c"); got != Healthy {
+		t.Fatalf("no-sample node state = %v, want Healthy", got)
+	}
+	feedLatency(c, "c", 20*time.Millisecond, 6)
+	if got := c.State("c"); got != Degraded {
+		t.Fatalf("slow node state = %v, want Degraded", got)
+	}
+	if got := c.State("a"); got != Healthy {
+		t.Fatalf("fast peer state = %v, want Healthy", got)
+	}
+	if ewma, p95, n := c.Latency("c"); n != 6 || ewma == 0 || p95 < 20*time.Millisecond {
+		t.Fatalf("Latency(c) = (%v, %v, %d), want 6 samples around 20ms", ewma, p95, n)
+	}
+
+	// The latency overlay rides on top of the failure machine: a request
+	// failure still demotes the node exactly as if it were Healthy.
+	c.ReportFailure("c")
+	if got := c.State("c"); got != Probation {
+		t.Fatalf("degraded node after failure = %v, want Probation", got)
+	}
+	c.ReportSuccess("c")
+	// Back to Healthy base — still slow, so Degraded again.
+	if got := c.State("c"); got != Degraded {
+		t.Fatalf("recovered-but-slow node = %v, want Degraded", got)
+	}
+
+	// Fast answers pull the EWMA down; below threshold/2 the node
+	// recovers.
+	feedLatency(c, "c", 100*time.Microsecond, 30)
+	if got := c.State("c"); got != Healthy {
+		ewma, _, _ := c.Latency("c")
+		t.Fatalf("fast-again node = %v (ewma %v), want Healthy", got, ewma)
+	}
+}
+
+// TestDegradeFloorSuppressesNoise: sub-millisecond spread must never
+// degrade anyone, however large the ratio between peers.
+func TestDegradeFloorSuppressesNoise(t *testing.T) {
+	r, err := New(threeNodeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(r, CheckerOptions{})
+	feedLatency(c, "a", 50*time.Microsecond, 6)
+	feedLatency(c, "b", 50*time.Microsecond, 6)
+	feedLatency(c, "c", 900*time.Microsecond, 6) // 18x peers, still < 2ms floor
+	for name, st := range c.States() {
+		if st != Healthy {
+			t.Fatalf("node %s = %v under sub-floor latencies, want Healthy", name, st)
+		}
+	}
+}
+
+// TestDegradedSortsBehindHealthyInOrder: a Degraded replica stays in the
+// routing order (and keeps its shard serving) but behind every Healthy
+// peer, and ahead of Probation.
+func TestDegradedSortsBehindHealthyInOrder(t *testing.T) {
+	r, err := New(threeNodeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewChecker(r, CheckerOptions{})
+
+	// Pick a shard and its first-preference replica, then degrade it.
+	shard := 0
+	group := r.ReplicaGroup(shard)
+	slow, fast := group[0].Name, group[1].Name
+	third := ""
+	for _, n := range r.Nodes() {
+		if n.Name != slow && n.Name != fast {
+			third = n.Name
+		}
+	}
+	feedLatency(c, fast, 500*time.Microsecond, 6)
+	feedLatency(c, third, 500*time.Microsecond, 6)
+	feedLatency(c, slow, 50*time.Millisecond, 6)
+	if got := c.State(slow); got != Degraded {
+		t.Fatalf("state(%s) = %v, want Degraded", slow, got)
+	}
+
+	order := c.Order(shard)
+	if len(order) != 2 {
+		t.Fatalf("order = %v, want both replicas routable", order)
+	}
+	if order[0].Name != fast || order[1].Name != slow {
+		t.Fatalf("order = [%s %s], want the Degraded replica last", order[0].Name, order[1].Name)
+	}
+	if !c.ShardHealthy(shard) {
+		t.Fatal("shard with one Degraded replica reported unhealthy")
+	}
+
+	// Probation sorts behind Degraded: fail the fast one once.
+	c.ReportFailure(fast)
+	order = c.Order(shard)
+	if order[0].Name != slow || order[1].Name != fast {
+		t.Fatalf("order = [%s %s], want Degraded ahead of Probation", order[0].Name, order[1].Name)
+	}
+}

@@ -40,7 +40,7 @@ func TestEveryResponseCarriesRequestIDAndContentType(t *testing.T) {
 		{name: "batch over cap", method: "POST", path: "/v1/predict/batch", body: "BATCH2", status: 413, ctPrefix: "application/json",
 			prep: func(_ *testing.T, s *Server) { s.opts.MaxBatch = 1 }},
 		{name: "predict shed", method: "POST", path: "/v1/predict", body: "VALID", status: 503, ctPrefix: "application/json",
-			prep:       func(_ *testing.T, s *Server) { s.sem <- struct{}{} },
+			prep:       func(_ *testing.T, s *Server) { s.lim.tryAcquire() },
 			wantHeader: map[string]bool{"Retry-After": true}},
 		{name: "reload wrong method", method: "GET", path: "/v1/admin/reload", status: 405, ctPrefix: "application/json"},
 		{name: "reload no reloader", method: "POST", path: "/v1/admin/reload", status: 501, ctPrefix: "application/json"},
@@ -180,7 +180,7 @@ func TestTraceEndpointShowsStageBreakdown(t *testing.T) {
 func TestTraceRingHonorsCapAndShedRung(t *testing.T) {
 	s := tinyServer(t, Options{MaxInFlight: 1, TraceRing: 2})
 	h := s.Handler()
-	s.sem <- struct{}{} // saturate: every predict sheds
+	s.lim.tryAcquire() // saturate: every predict sheds
 	for i := 0; i < 5; i++ {
 		if rec := post(t, h, "/v1/predict", wireBody(t, false, trainCtx("q", i+1))); rec.Code != 503 {
 			t.Fatalf("want shed 503, got %d", rec.Code)

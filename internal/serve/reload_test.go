@@ -173,11 +173,11 @@ func TestReloadMethodNotAllowed(t *testing.T) {
 func TestRetryAfterScalesWithOccupancy(t *testing.T) {
 	s := tinyServer(t, Options{MaxInFlight: 4, RetryAfter: 8 * time.Second, ShutdownGrace: 7 * time.Second})
 	fill := func(n int) {
-		for len(s.sem) > 0 {
-			<-s.sem
+		for occ, _ := s.lim.occupancy(); occ > 0; occ, _ = s.lim.occupancy() {
+			s.lim.release(0)
 		}
 		for i := 0; i < n; i++ {
-			s.sem <- struct{}{}
+			s.lim.tryAcquire()
 		}
 	}
 	for _, tc := range []struct {
@@ -204,8 +204,8 @@ func TestRetryAfterScalesWithOccupancy(t *testing.T) {
 // saturated server advertises its configured interval on the shed 503.
 func TestSaturationRetryAfterHeader(t *testing.T) {
 	s := tinyServer(t, Options{MaxInFlight: 1, RetryAfter: 8 * time.Second})
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	s.lim.tryAcquire()
+	defer s.lim.release(0)
 	rec := post(t, s.Handler(), "/v1/predict", wireBody(t, false, trainCtx("q", 1)))
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("saturated predict: %d, want 503", rec.Code)
@@ -273,9 +273,13 @@ func TestDrainCompletesInFlight(t *testing.T) {
 	// Wait until all three requests hold in-flight slots (blocked on the
 	// gate inside the classifier).
 	deadline := time.Now().Add(2 * time.Second)
-	for len(s.sem) < inFlight {
+	for {
+		occ, _ := s.lim.occupancy()
+		if occ >= inFlight {
+			break
+		}
 		if time.Now().After(deadline) {
-			t.Fatalf("only %d/%d requests in flight", len(s.sem), inFlight)
+			t.Fatalf("only %d/%d requests in flight", occ, inFlight)
 		}
 		time.Sleep(time.Millisecond)
 	}

@@ -56,9 +56,14 @@ type Router struct {
 	checker *ring.Checker
 	opts    RouterOptions
 	httpc   *http.Client
-	sem     chan struct{}
-	mux     *http.ServeMux
-	trace   *tracePipe
+	lim     *limiter
+	// hedge paces hedged replica requests; nil means hedging is off.
+	hedge *hedgePacer
+	// est tracks the router's end-to-end service time for deadline
+	// admission.
+	est   latEstimator
+	mux   *http.ServeMux
+	trace *tracePipe
 
 	loadedAt time.Time
 
@@ -86,14 +91,30 @@ var (
 // RouterOptions configures a Router.
 type RouterOptions struct {
 	// MaxInFlight, MaxBatch, MaxBodyBytes, ShutdownGrace, RetryAfter,
-	// TraceRing and AccessLog mean exactly what they do in Options.
-	MaxInFlight   int
-	MaxBatch      int
-	MaxBodyBytes  int64
-	ShutdownGrace time.Duration
-	RetryAfter    time.Duration
-	TraceRing     int
-	AccessLog     io.Writer
+	// AdaptiveInFlight, LatencyTarget, TraceRing and AccessLog mean
+	// exactly what they do in Options.
+	MaxInFlight      int
+	MaxBatch         int
+	MaxBodyBytes     int64
+	ShutdownGrace    time.Duration
+	RetryAfter       time.Duration
+	AdaptiveInFlight bool
+	LatencyTarget    time.Duration
+	TraceRing        int
+	AccessLog        io.Writer
+
+	// HedgeFraction enables hedged replica requests: after a per-shard
+	// pacing delay, a slow shard call gets ONE backup request to the next
+	// replica in health order, capped so fired hedges never exceed this
+	// fraction of shard calls. <=0 disables hedging.
+	HedgeFraction float64
+	// HedgeDelayFloor is the minimum time a shard call must run before a
+	// hedge may fire (and the pacing delay used until the shard's latency
+	// window warms up). <=0 means 5ms.
+	HedgeDelayFloor time.Duration
+	// HedgeDelayCeil caps the pacing delay so a shard whose p95 has
+	// drifted high still hedges usefully. <=0 means ReplicaTimeout/2.
+	HedgeDelayCeil time.Duration
 
 	// Info describes the model the router merges for (served on
 	// /v1/model with Role "router"). Info.Checksum is the reference the
@@ -144,6 +165,15 @@ func (o RouterOptions) withDefaults() RouterOptions {
 	if o.ReplicaTimeout <= 0 {
 		o.ReplicaTimeout = 5 * time.Second
 	}
+	if o.LatencyTarget <= 0 {
+		o.LatencyTarget = 50 * time.Millisecond
+	}
+	if o.HedgeDelayFloor <= 0 {
+		o.HedgeDelayFloor = 5 * time.Millisecond
+	}
+	if o.HedgeDelayCeil <= 0 {
+		o.HedgeDelayCeil = o.ReplicaTimeout / 2
+	}
 	return o
 }
 
@@ -156,7 +186,10 @@ func NewRouter(r *ring.Ring, opts RouterOptions) *Router {
 		ready:    true,
 	}
 	rt.httpc = &http.Client{Transport: rt.opts.Transport}
-	rt.sem = make(chan struct{}, rt.opts.MaxInFlight)
+	rt.lim = newLimiter(rt.opts.MaxInFlight, rt.opts.AdaptiveInFlight, rt.opts.LatencyTarget)
+	if rt.opts.HedgeFraction > 0 {
+		rt.hedge = newHedgePacer(rt.opts.HedgeFraction, rt.opts.HedgeDelayFloor, rt.opts.HedgeDelayCeil)
+	}
 	rt.checker = ring.NewChecker(r, ring.CheckerOptions{
 		Interval:     rt.opts.ProbeInterval,
 		ProbeTimeout: rt.opts.ReplicaTimeout,
@@ -235,6 +268,16 @@ type ringStatus struct {
 	States          map[string]string   `json:"states"`
 	Groups          map[string][]string `json:"groups"`
 	UnhealthyShards []int               `json:"unhealthy_shards"`
+	// Latency is each node's windowed latency view (EWMA and p95, in
+	// milliseconds) from real routed requests — the evidence behind any
+	// "degraded" state above.
+	Latency map[string]nodeLatency `json:"latency,omitempty"`
+}
+
+type nodeLatency struct {
+	EwmaMs  float64 `json:"ewma_ms"`
+	P95Ms   float64 `json:"p95_ms"`
+	Samples int     `json:"samples"`
 }
 
 func (rt *Router) handleRing(w http.ResponseWriter, r *http.Request) {
@@ -249,8 +292,16 @@ func (rt *Router) handleRing(w http.ResponseWriter, r *http.Request) {
 		Groups:          make(map[string][]string),
 		UnhealthyShards: []int{},
 	}
+	st.Latency = make(map[string]nodeLatency)
 	for name, s := range rt.checker.States() {
 		st.States[name] = s.String()
+		if ewma, p95, n := rt.checker.Latency(name); n > 0 {
+			st.Latency[name] = nodeLatency{
+				EwmaMs:  float64(ewma) / float64(time.Millisecond),
+				P95Ms:   float64(p95) / float64(time.Millisecond),
+				Samples: n,
+			}
+		}
 	}
 	for sh := 0; sh < rt.ring.Shards(); sh++ {
 		names := []string{}
@@ -269,28 +320,25 @@ func (rt *Router) retryAfterSeconds() int {
 	if !rt.isReady() {
 		return int(math.Max(1, math.Ceil(rt.opts.ShutdownGrace.Seconds())))
 	}
-	occ := float64(len(rt.sem))
-	capacity := float64(cap(rt.sem))
-	secs := math.Ceil(rt.opts.RetryAfter.Seconds() * occ / capacity)
+	occ, capacity := rt.lim.occupancy()
+	secs := math.Ceil(rt.opts.RetryAfter.Seconds() * float64(occ) / float64(capacity))
 	return int(math.Max(1, secs))
 }
 
 func (rt *Router) acquire(w http.ResponseWriter, tr *obs.Trace) bool {
-	select {
-	case rt.sem <- struct{}{}:
+	if rt.lim.tryAcquire() {
 		return true
-	default:
-		if obs.On() {
-			mRejected.Inc()
-		}
-		tr.Rung("serve.shed")
-		w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterSeconds()))
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "router saturated; retry"})
-		return false
 	}
+	if obs.On() {
+		mRejected.Inc()
+	}
+	tr.Rung("serve.shed")
+	w.Header().Set("Retry-After", strconv.Itoa(rt.retryAfterSeconds()))
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "router saturated; retry"})
+	return false
 }
 
-func (rt *Router) release() { <-rt.sem }
+func (rt *Router) release(lat time.Duration) { rt.lim.release(lat) }
 
 func (rt *Router) handlePredict(w http.ResponseWriter, r *http.Request) {
 	rt.routePrediction(w, r, false)
@@ -316,14 +364,20 @@ func (rt *Router) routePrediction(w http.ResponseWriter, r *http.Request, batch 
 	if !rt.acquire(w, tr) {
 		return
 	}
-	defer rt.release()
+	t0 := time.Now()
+	defer func() { rt.release(time.Since(t0)) }()
+	rctx, dcancel, ok := admitDeadline(w, r, &rt.est, tr)
+	if !ok {
+		return
+	}
+	defer dcancel()
 	sp := stServe.StartCtx(r.Context())
 	defer sp.End()
-	t0 := time.Now()
 	defer func() {
 		if obs.On() {
 			hLatency.ObserveSince(t0)
 		}
+		rt.est.observe(time.Since(t0))
 		if rec := recover(); rec != nil {
 			if obs.On() {
 				mErrors.Inc()
@@ -352,7 +406,7 @@ func (rt *Router) routePrediction(w http.ResponseWriter, r *http.Request, batch 
 		wg.Add(1)
 		go func(sh int) {
 			defer wg.Done()
-			res, err := rt.shardCandidates(r.Context(), sh, base, wire, tr)
+			res, err := rt.shardCandidates(rctx, sh, base, wire, tr)
 			if err != nil {
 				if obs.On() {
 					mShardUnavailable.Inc()
@@ -365,6 +419,15 @@ func (rt *Router) routePrediction(w http.ResponseWriter, r *http.Request, batch 
 		}(sh)
 	}
 	wg.Wait()
+
+	// Budget exhaustion mid-scatter is its own outcome (504, retryable),
+	// not a shard loss: the shard may be fine — the caller's budget was
+	// not — and answering the prior here would trade a truthful timeout
+	// for a made-up prediction.
+	if failed.Load() > 0 && errors.Is(rctx.Err(), context.DeadlineExceeded) {
+		deadlineExceeded(w, tr)
+		return
+	}
 
 	if failed.Load() > 0 {
 		// Last rung: a shard's candidates are gone, so an exact merge is
@@ -428,9 +491,27 @@ func (rt *Router) writePredictions(w http.ResponseWriter, ctx context.Context, o
 	writeJSON(w, http.StatusOK, out[0])
 }
 
+// shardOutcome is one replica attempt's result, as seen by the shard
+// call's select loop.
+type shardOutcome struct {
+	idx     int
+	n       ring.Node
+	res     *candidatesResponse
+	err     error
+	elapsed time.Duration
+}
+
 // shardCandidates asks one shard's replicas for the batch's candidate
 // lists, walking the failover ladder: preference order first, then the
-// ejected last-ditch. Every outcome feeds the health checker.
+// ejected last-ditch, two sweeps total (the ring.route fault key
+// re-rolls per attempt, so a deterministic injected hop fault is
+// transient across the retry). Failover is sequential — a failed
+// attempt launches the next. Hedging is the one concurrency exception:
+// with a pacer configured, an attempt that outlives the shard's pacing
+// delay gets a single backup launched in parallel, and whichever answers
+// first wins; the loser is cancelled, its elapsed time feeding the gray
+// detector as a censored lower bound but never the failure machine (the
+// node did not fail — the router stopped waiting).
 func (rt *Router) shardCandidates(ctx context.Context, shard int, base string, wire []*snapshot.WireContext, tr *obs.Trace) ([][]knn.Candidate, error) {
 	order := rt.checker.Order(shard)
 	tried := make(map[string]bool, len(order))
@@ -445,36 +526,123 @@ func (rt *Router) shardCandidates(ctx context.Context, shard int, base string, w
 			order = append(order, n)
 		}
 	}
-	var lastErr error
-	// Two sweeps over the group before the shard is declared lost: the
-	// ring.route fault key re-rolls per attempt, so a deterministic
-	// injected hop fault is transient across the retry — the "replica
-	// retry" rung of the ladder. A genuinely dead node just fails fast
-	// twice.
+	if len(order) == 0 {
+		return nil, fmt.Errorf("shard %d unavailable: no replicas", shard)
+	}
 	const sweeps = 2
-	attempt := 0
+	plan := make([]ring.Node, 0, len(order)*sweeps)
 	for sweep := 0; sweep < sweeps; sweep++ {
-		for _, n := range order {
-			if attempt > 0 {
-				if obs.On() {
-					mRouteFailover.Inc()
-				}
-				tr.Rung("ring.failover")
+		plan = append(plan, order...)
+	}
+	if rt.hedge != nil {
+		rt.hedge.startCall()
+	}
+
+	// outc is buffered to the whole plan so an attempt finishing after
+	// this function returned (a cancelled loser, a late success) can
+	// always deliver its outcome and exit — no goroutine leaks, ever.
+	outc := make(chan shardOutcome, len(plan))
+	cancels := make([]context.CancelFunc, len(plan))
+	abandoned := make([]*atomic.Bool, len(plan))
+	defer func() {
+		for _, cancel := range cancels {
+			if cancel != nil {
+				cancel()
 			}
-			res, err := rt.callCandidates(ctx, n, shard, base, attempt, wire, tr)
-			attempt++
-			if err != nil {
-				rt.checker.ReportFailure(n.Name)
-				tr.Hop(fmt.Sprintf("shard%d→%s fail", shard, n.Name))
-				lastErr = err
+		}
+	}()
+	launch := func(i int) {
+		actx, cancel := context.WithCancel(ctx)
+		cancels[i] = cancel
+		flag := &atomic.Bool{}
+		abandoned[i] = flag
+		n := plan[i]
+		go func() {
+			t0 := time.Now()
+			res, err := rt.callCandidates(actx, n, shard, base, i, wire, tr)
+			elapsed := time.Since(t0)
+			if err != nil && flag.Load() {
+				// Cancelled loser of a won race: feed the gray detector
+				// (the elapsed time is a lower bound on how slow the node
+				// really was), count the cancel, exit. Not a failure.
+				rt.checker.ReportLatency(n.Name, elapsed)
+				if obs.On() {
+					mHedgeCancelled.Inc()
+				}
+				return
+			}
+			outc <- shardOutcome{idx: i, n: n, res: res, err: err, elapsed: elapsed}
+		}()
+	}
+
+	launch(0)
+	next, pending := 1, 1
+	hedgeIdx := -1
+	var hedgeC <-chan time.Time
+	if rt.hedge != nil && next < len(plan) {
+		t := time.NewTimer(rt.hedge.delay(shard))
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	var lastErr error
+	for pending > 0 {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-hedgeC:
+			hedgeC = nil
+			if next < len(plan) && rt.hedge.tryHedge() {
+				if obs.On() {
+					mHedgeFired.Inc()
+				}
+				tr.Rung("ring.hedge")
+				hedgeIdx = next
+				launch(next)
+				next++
+				pending++
+			}
+		case o := <-outc:
+			pending--
+			if o.err != nil {
+				rt.checker.ReportFailure(o.n.Name)
+				tr.Hop(fmt.Sprintf("shard%d→%s fail", shard, o.n.Name))
+				lastErr = o.err
 				if ctx.Err() != nil {
 					return nil, ctx.Err()
 				}
+				if next < len(plan) {
+					if obs.On() {
+						mRouteFailover.Inc()
+					}
+					tr.Rung("ring.failover")
+					launch(next)
+					next++
+					pending++
+				}
 				continue
 			}
-			rt.checker.ReportSuccess(n.Name)
-			hop := fmt.Sprintf("shard%d→%s ok", shard, n.Name)
-			if res.Checksum != "" && rt.opts.Info.Checksum != "" && res.Checksum != rt.opts.Info.Checksum {
+			// Winner. Report health and latency, settle the hedge race,
+			// cancel everything still in flight.
+			rt.checker.ReportSuccess(o.n.Name)
+			rt.checker.ReportLatency(o.n.Name, o.elapsed)
+			if rt.hedge != nil {
+				rt.hedge.observeWin(shard, o.elapsed)
+			}
+			if o.idx == hedgeIdx {
+				if obs.On() {
+					mHedgeWon.Inc()
+				}
+				tr.Rung("ring.hedge_won")
+			}
+			for j, cancel := range cancels {
+				if j != o.idx && cancel != nil {
+					abandoned[j].Store(true)
+					cancel()
+				}
+			}
+			hop := fmt.Sprintf("shard%d→%s ok", shard, o.n.Name)
+			if o.res.Checksum != "" && rt.opts.Info.Checksum != "" && o.res.Checksum != rt.opts.Info.Checksum {
 				// The answer still merges — same topology, possibly older
 				// labels — but the staleness is surfaced and the repair loop
 				// will converge the node.
@@ -482,10 +650,10 @@ func (rt *Router) shardCandidates(ctx context.Context, shard int, base string, w
 					mStaleReplica.Inc()
 				}
 				tr.Rung("ring.stale")
-				hop = fmt.Sprintf("shard%d→%s stale", shard, n.Name)
+				hop = fmt.Sprintf("shard%d→%s stale", shard, o.n.Name)
 			}
 			tr.Hop(hop)
-			return res.Results, nil
+			return o.res.Results, nil
 		}
 	}
 	if lastErr == nil {
@@ -524,6 +692,10 @@ func (rt *Router) callCandidates(ctx context.Context, n ring.Node, shard int, ba
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Forward the remaining budget (the tighter of the caller's deadline
+	// and ReplicaTimeout is cctx's deadline) so the replica can fast-fail
+	// work it cannot finish in time.
+	stampDeadline(req, cctx)
 	if id := tr.ID(); id != "" {
 		// Propagate the request's correlation ID across the hop so the
 		// replica's trace log and access log stitch to the router's.
@@ -724,9 +896,15 @@ func (rt *Router) RunListener(ctx context.Context, ln net.Listener) error {
 	defer bgCancel()
 	go rt.runProber(bgCtx)
 	go rt.runRepair(bgCtx)
+	// Same stalled-client armor as the replica server: a connection that
+	// trickles its body or never reads its response must not pin a socket
+	// (and an admitted in-flight slot) forever.
 	srv := &http.Server{
 		Handler:           rt.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -84,6 +84,7 @@ type testRing struct {
 	replicas []*Server
 	ts       []*httptest.Server
 	nodes    []ring.Node
+	swaps    []*hswap
 }
 
 // killOwner closes the test server of the first replica of shard and
@@ -121,6 +122,7 @@ func startRing(t *testing.T, shards, replicas, count int, clf *knn.Classifier, i
 	}
 	tr.r = r
 	tr.nodes = r.Nodes()
+	tr.swaps = swaps
 	for i, n := range spec.Nodes {
 		s := New(clf, info, Options{Ring: r, NodeName: n.Name})
 		tr.replicas = append(tr.replicas, s)

@@ -133,6 +133,15 @@ type Options struct {
 	// requests are shed with 503 + Retry-After. <1 sizes the bound like a
 	// worker pool: one slot per CPU (see parallel.Workers).
 	MaxInFlight int
+	// AdaptiveInFlight turns the fixed MaxInFlight bound into the AIMD
+	// ceiling of a latency-driven concurrency limiter floating in
+	// [1, MaxInFlight] (see limiter.go). Off, admission is exactly the
+	// fixed semaphore it always was.
+	AdaptiveInFlight bool
+	// LatencyTarget is the per-request latency the adaptive limiter
+	// steers toward; EWMA above it cuts the ceiling, at/below it grows
+	// the ceiling. <=0 means 50ms. Ignored without AdaptiveInFlight.
+	LatencyTarget time.Duration
 	// MaxBatch caps the contexts accepted by one batch request
 	// (413 beyond it). <1 means 1024.
 	MaxBatch int
@@ -181,6 +190,9 @@ func (o Options) withDefaults() Options {
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
 	}
+	if o.LatencyTarget <= 0 {
+		o.LatencyTarget = 50 * time.Millisecond
+	}
 	return o
 }
 
@@ -215,8 +227,11 @@ func (a *activeModel) status() ModelStatus {
 type Server struct {
 	cur  atomic.Pointer[activeModel]
 	opts Options
-	sem  chan struct{}
-	mux  *http.ServeMux
+	lim  *limiter
+	// est tracks this server's typical service time — the admission
+	// estimate a stamped X-Deadline-Ms budget is checked against.
+	est latEstimator
+	mux *http.ServeMux
 
 	// trace is the shared tracing/access-log middleware (see
 	// middleware.go); it also backs GET /v1/admin/trace.
@@ -234,11 +249,16 @@ type Server struct {
 // server never mutates it.
 func New(clf *knn.Classifier, info ModelInfo, opts Options) *Server {
 	s := &Server{opts: opts.withDefaults()}
+	if s.opts.NodeName != "" {
+		// Pre-register this node's gray-failure chaos site so its
+		// injection counter exports a stable series from startup.
+		faults.RegisterSite(faults.SiteServeSlow + "." + s.opts.NodeName)
+	}
 	s.cur.Store(s.buildActive(clf, info, 1))
 	if obs.On() {
 		gGeneration.Set(1)
 	}
-	s.sem = make(chan struct{}, s.opts.MaxInFlight)
+	s.lim = newLimiter(s.opts.MaxInFlight, s.opts.AdaptiveInFlight, s.opts.LatencyTarget)
 	s.ready = true
 	s.trace = newTracePipe(s.opts.TraceRing, s.opts.AccessLog)
 	s.mux = http.NewServeMux()
@@ -381,9 +401,16 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 
 // RunListener is Run over an existing listener (tests use :0).
 func (s *Server) RunListener(ctx context.Context, ln net.Listener) error {
+	// The read/write/idle timeouts bound what a single stalled client can
+	// hold: without them, a connection that trickles its body (or never
+	// reads the response) pins a kernel socket — and, once admitted, an
+	// in-flight slot — forever.
 	srv := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -502,9 +529,8 @@ func (s *Server) retryAfterSeconds() int {
 	if !s.isReady() {
 		return int(math.Max(1, math.Ceil(s.opts.ShutdownGrace.Seconds())))
 	}
-	occ := float64(len(s.sem))
-	capacity := float64(cap(s.sem))
-	secs := math.Ceil(s.opts.RetryAfter.Seconds() * occ / capacity)
+	occ, capacity := s.lim.occupancy()
+	secs := math.Ceil(s.opts.RetryAfter.Seconds() * float64(occ) / float64(capacity))
 	return int(math.Max(1, secs))
 }
 
@@ -512,21 +538,21 @@ func (s *Server) retryAfterSeconds() int {
 // sheds the request immediately so the client (or load balancer) can
 // retry elsewhere instead of piling latency onto a full queue.
 func (s *Server) acquire(w http.ResponseWriter, tr *obs.Trace) bool {
-	select {
-	case s.sem <- struct{}{}:
+	if s.lim.tryAcquire() {
 		return true
-	default:
-		if obs.On() {
-			mRejected.Inc()
-		}
-		tr.Rung("serve.shed")
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server saturated; retry"})
-		return false
 	}
+	if obs.On() {
+		mRejected.Inc()
+	}
+	tr.Rung("serve.shed")
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server saturated; retry"})
+	return false
 }
 
-func (s *Server) release() { <-s.sem }
+// release returns the slot, reporting the request's latency to the
+// adaptive limiter.
+func (s *Server) release(lat time.Duration) { s.lim.release(lat) }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.servePrediction(w, r, false)
@@ -556,14 +582,24 @@ func (s *Server) servePrediction(w http.ResponseWriter, r *http.Request, batch b
 	if !s.acquire(w, tr) {
 		return
 	}
-	defer s.release()
+	t0 := time.Now()
+	defer func() { s.release(time.Since(t0)) }()
+	// Budget admission after the in-flight slot: the estimate must cover
+	// what happens from here on, and a shed (503) beats a budget reject
+	// (504) when both apply — the client's retry policy treats them the
+	// same, and the shed carries the Retry-After hint.
+	rctx, dcancel, ok := admitDeadline(w, r, &s.est, tr)
+	if !ok {
+		return
+	}
+	defer dcancel()
 	sp := stServe.StartCtx(r.Context())
 	defer sp.End()
-	t0 := time.Now()
 	defer func() {
 		if obs.On() {
 			hLatency.ObserveSince(t0)
 		}
+		s.est.observe(time.Since(t0))
 		if rec := recover(); rec != nil {
 			if obs.On() {
 				mErrors.Inc()
@@ -606,8 +642,12 @@ func (s *Server) servePrediction(w http.ResponseWriter, r *http.Request, batch b
 		}
 	}
 
-	preds, err := s.cur.Load().clf.PredictAllCtx(r.Context(), ctxs)
+	preds, err := s.cur.Load().clf.PredictAllCtx(rctx, ctxs)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) && rctx.Err() != nil {
+			deadlineExceeded(w, tr)
+			return
+		}
 		if obs.On() {
 			mErrors.Inc()
 		}

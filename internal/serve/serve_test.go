@@ -141,8 +141,8 @@ func TestSaturationSheds(t *testing.T) {
 	}
 	// Occupy the only slot directly; the next request must be shed, not
 	// queued.
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
+	s.lim.tryAcquire()
+	defer s.lim.release(0)
 
 	rec := post(t, s.Handler(), "/v1/predict", wireBody(t, false, trainCtx("q", 1)))
 	if rec.Code != http.StatusServiceUnavailable {

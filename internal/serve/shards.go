@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/atomicio"
+	"repro/internal/faults"
 	"repro/internal/knn"
 	"repro/internal/obs"
 	"repro/internal/offline"
@@ -119,7 +121,14 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 	if !s.acquire(w, tr) {
 		return
 	}
-	defer s.release()
+	t0 := time.Now()
+	defer func() { s.release(time.Since(t0)) }()
+	defer func() { s.est.observe(time.Since(t0)) }()
+	rctx, dcancel, ok := admitDeadline(w, r, &s.est, tr)
+	if !ok {
+		return
+	}
+	defer dcancel()
 
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err != nil {
@@ -145,6 +154,18 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d exceeds the %d-context cap", len(req.Contexts), s.opts.MaxBatch))
 		return
 	}
+
+	// serve.slow is the gray-failure chaos site: a latency-only fault,
+	// injected while the in-flight slot is held (a slow request occupies
+	// real capacity), keyed per node so one replica can be skewed — even
+	// when a whole test ring shares one in-process injector — via the
+	// site name serve.slow.<node>.
+	if faults.Enabled() && s.opts.NodeName != "" {
+		site := faults.SiteServeSlow + "." + s.opts.NodeName
+		key := fmt.Sprintf("%s@%d/%d#%d", req.Contexts[0].SessionID, req.Contexts[0].T, req.Contexts[0].N, len(req.Contexts))
+		_ = faults.Inject(site, key, faults.KindLatency)
+	}
+
 	ctxs, err := decodeAll(req.Contexts)
 	if err != nil {
 		s.clientError(w, http.StatusBadRequest, err)
@@ -152,6 +173,13 @@ func (s *Server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 	}
 	results := make([][]knn.Candidate, len(ctxs))
 	for i, q := range ctxs {
+		// Honor budget exhaustion between per-query scans: a cancelled
+		// caller gains nothing from the remaining queries, and the 504
+		// tells a still-listening router the failure is retryable.
+		if rctx.Err() != nil {
+			deadlineExceeded(w, tr)
+			return
+		}
 		cds := sm.clf.Candidates(q)
 		for j := range cds {
 			cds[j].Index = sm.global[cds[j].Index]
